@@ -1,0 +1,31 @@
+"""FIG2 — Figure 2: the parameterised relation class of the query graph."""
+
+from conftest import report
+
+from repro.datasets import PAPER_QUERIES
+from repro.querygraph import build_query_graph
+
+
+def test_fig2_relation_class_rendering(benchmark, movie_db):
+    def build_and_render():
+        graph = build_query_graph(movie_db.schema, PAPER_QUERIES["Q1"])
+        return graph.query_class("a").render()
+
+    rendering = benchmark(build_and_render)
+    for compartment in ("<<FROM>>", "<<alias>>", "<<SELECT>>", "<<WHERE>>", "<<HAVING>>"):
+        assert compartment in rendering
+    report(
+        "FIG2 parameterised relation class",
+        paper="class with <<FROM>>/<<SELECT>>/<<WHERE>>/<<HAVING>> parts plus alias",
+        measured=rendering.replace("\n", " | "),
+    )
+
+
+def test_fig2_group_by_order_by_notes(benchmark, movie_db):
+    sql = (
+        "select m.year, count(*) from MOVIES m"
+        " group by m.year order by m.year desc"
+    )
+    graph = benchmark(build_query_graph, movie_db.schema, sql)
+    rendering = graph.query_class("m").render()
+    assert "<<GROUP BY>>" in rendering and "<<ORDER BY>>" in rendering

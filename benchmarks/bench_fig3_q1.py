@@ -1,0 +1,43 @@
+"""FIG3 / Q1 — the path query of Figure 3 and its two narratives."""
+
+from conftest import report
+
+from repro.datasets import PAPER_NARRATIVES, PAPER_QUERIES
+from repro.engine import Executor
+from repro.querygraph import QueryCategory, build_query_graph, classify_query
+
+
+def test_fig3_q1_query_graph(benchmark, movie_db):
+    graph = benchmark(build_query_graph, movie_db.schema, PAPER_QUERIES["Q1"])
+    assert set(graph.bindings) == {"m", "c", "a"}
+    assert len(graph.join_edges) == 2
+    assert all(edge.is_foreign_key for edge in graph.join_edges)
+    report(
+        "FIG3 query graph of Q1 (path query)",
+        paper="MOVIES - CAST - ACTOR path with FK joins and a.name = 'Brad Pitt'",
+        measured=graph.summary(),
+    )
+
+
+def test_fig3_q1_classification(benchmark, movie_db):
+    classification = benchmark(classify_query, movie_db.schema, PAPER_QUERIES["Q1"])
+    assert classification.category is QueryCategory.PATH
+
+
+def test_fig3_q1_translation(benchmark, movie_translator):
+    translation = benchmark(movie_translator.translate, PAPER_QUERIES["Q1"])
+    assert translation.text == PAPER_NARRATIVES["Q1"]
+    assert translation.concise == PAPER_NARRATIVES["Q1_concise"]
+    report(
+        "Q1 narrative",
+        paper=PAPER_NARRATIVES["Q1"],
+        generated=translation.text,
+        concise=translation.concise,
+        exact_match=translation.text == PAPER_NARRATIVES["Q1"],
+    )
+
+
+def test_fig3_q1_execution(benchmark, movie_db):
+    executor = Executor(movie_db)
+    result = benchmark(executor.execute_sql, PAPER_QUERIES["Q1"])
+    assert set(result.column("m.title")) == {"Troy", "Seven", "Ocean Heist"}

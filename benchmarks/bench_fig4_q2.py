@@ -1,0 +1,41 @@
+"""FIG4 / Q2 — the subgraph query of Figure 4."""
+
+from conftest import report
+
+from repro.datasets import PAPER_NARRATIVES, PAPER_QUERIES
+from repro.engine import Executor
+from repro.querygraph import QueryCategory, build_query_graph, classify_query
+
+
+def test_fig4_q2_query_graph(benchmark, movie_db):
+    graph = benchmark(build_query_graph, movie_db.schema, PAPER_QUERIES["Q2"])
+    assert len(graph.classes) == 6
+    assert graph.degree("m") == 3
+    assert not graph.has_cycle()
+    report(
+        "FIG4 query graph of Q2 (subgraph query)",
+        paper="six relations, MOVIES joined to CAST/DIRECTED/GENRE, constants on DIRECTOR and GENRE",
+        measured=graph.summary(),
+    )
+
+
+def test_fig4_q2_classification(benchmark, movie_db):
+    classification = benchmark(classify_query, movie_db.schema, PAPER_QUERIES["Q2"])
+    assert classification.category is QueryCategory.SUBGRAPH
+
+
+def test_fig4_q2_translation(benchmark, movie_translator):
+    translation = benchmark(movie_translator.translate, PAPER_QUERIES["Q2"])
+    assert translation.text == PAPER_NARRATIVES["Q2"]
+    report(
+        "Q2 narrative",
+        paper=PAPER_NARRATIVES["Q2"],
+        generated=translation.text,
+        exact_match=True,
+    )
+
+
+def test_fig4_q2_execution(benchmark, movie_db):
+    executor = Executor(movie_db)
+    result = benchmark(executor.execute_sql, PAPER_QUERIES["Q2"])
+    assert set(result.to_tuples()) == {("Mark Hamill", "Star Battles")}

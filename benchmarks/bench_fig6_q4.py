@@ -1,0 +1,40 @@
+"""FIG6 / Q4 — the cyclic graph query of Figure 6."""
+
+from conftest import report
+
+from repro.datasets import PAPER_NARRATIVES, PAPER_QUERIES
+from repro.engine import Executor
+from repro.querygraph import QueryCategory, build_query_graph, classify_query
+
+
+def test_fig6_q4_query_graph(benchmark, movie_db):
+    graph = benchmark(build_query_graph, movie_db.schema, PAPER_QUERIES["Q4"])
+    assert graph.has_cycle()
+    assert len(graph.non_fk_join_edges()) == 1
+    report(
+        "FIG6 query graph of Q4 (cyclic query)",
+        paper="MOVIES and CAST joined both by FK (m.id = c.mid) and by c.role = m.title",
+        measured=graph.summary(),
+    )
+
+
+def test_fig6_q4_classification(benchmark, movie_db):
+    classification = benchmark(classify_query, movie_db.schema, PAPER_QUERIES["Q4"])
+    assert classification.category is QueryCategory.GRAPH
+
+
+def test_fig6_q4_translation(benchmark, movie_translator):
+    translation = benchmark(movie_translator.translate, PAPER_QUERIES["Q4"])
+    assert translation.text == PAPER_NARRATIVES["Q4"]
+    report(
+        "Q4 narrative",
+        paper=PAPER_NARRATIVES["Q4"],
+        generated=translation.text,
+        exact_match=True,
+    )
+
+
+def test_fig6_q4_execution(benchmark, movie_db):
+    executor = Executor(movie_db)
+    result = benchmark(executor.execute_sql, PAPER_QUERIES["Q4"])
+    assert result.to_tuples() == [("Melinda and Melinda",)]

@@ -1,0 +1,42 @@
+"""FIG7 / Q7 — the aggregate query of Figure 7."""
+
+from conftest import report
+
+from repro.datasets import PAPER_NARRATIVES, PAPER_QUERIES
+from repro.engine import Executor
+from repro.querygraph import QueryCategory, build_query_graph, classify_query
+
+
+def test_fig7_q7_query_graph_with_nested_block(benchmark, movie_db):
+    graph = benchmark(build_query_graph, movie_db.schema, PAPER_QUERIES["Q7"])
+    assert graph.has_aggregates()
+    assert len(graph.nesting_edges) == 1
+    assert graph.nesting_edges[0].in_having
+    report(
+        "FIG7 query graph of Q7 (aggregate query with nested HAVING block NQ1)",
+        paper="MOVIES-CAST join, GROUP BY m.id/m.title, nested count over GENRE in HAVING",
+        measured=graph.summary(),
+    )
+
+
+def test_fig7_q7_classification(benchmark, movie_db):
+    classification = benchmark(classify_query, movie_db.schema, PAPER_QUERIES["Q7"])
+    assert classification.category is QueryCategory.AGGREGATE
+
+
+def test_fig7_q7_translation(benchmark, movie_translator):
+    translation = benchmark(movie_translator.translate, PAPER_QUERIES["Q7"])
+    assert translation.text == PAPER_NARRATIVES["Q7"]
+    report(
+        "Q7 narrative",
+        paper=PAPER_NARRATIVES["Q7"],
+        generated=translation.text,
+        exact_match=True,
+    )
+
+
+def test_fig7_q7_execution(benchmark, movie_db):
+    executor = Executor(movie_db)
+    result = benchmark(executor.execute_sql, PAPER_QUERIES["Q7"])
+    titles = {row.get("m.title") for row in result.rows}
+    assert titles == {"Match Point", "Melinda and Melinda", "Ocean Heist"}

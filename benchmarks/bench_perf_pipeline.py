@@ -1,0 +1,83 @@
+"""PERF — end-to-end pipeline performance and scaling.
+
+Not a paper figure: these benchmarks record the cost of each pipeline
+stage (parse, validate+graph, classify, translate, execute) so regressions
+in the reproduction are visible, and they demonstrate that translation
+cost depends on query complexity, not on database size.
+"""
+
+import pytest
+from conftest import report
+
+from repro.datasets import (
+    GeneratorConfig,
+    PAPER_QUERIES,
+    generate_movie_database,
+    generate_workload,
+)
+from repro.engine import Executor
+from repro.query_nl import QueryTranslator
+from repro.content import movie_spec
+from repro.querygraph import build_query_graph, classify_query
+from repro.sql import parse_select
+
+ALL_QUERIES = list(PAPER_QUERIES.values())
+
+
+def test_parse_all_paper_queries(benchmark):
+    results = benchmark(lambda: [parse_select(sql) for sql in ALL_QUERIES])
+    assert len(results) == 9
+
+
+def test_build_query_graphs(benchmark, movie_db):
+    results = benchmark(
+        lambda: [build_query_graph(movie_db.schema, sql) for sql in ALL_QUERIES]
+    )
+    assert len(results) == 9
+
+
+def test_classify_all_paper_queries(benchmark, movie_db):
+    results = benchmark(
+        lambda: [classify_query(movie_db.schema, sql) for sql in ALL_QUERIES]
+    )
+    assert len(results) == 9
+
+
+def test_translate_all_paper_queries(benchmark, movie_translator):
+    results = benchmark(
+        lambda: [movie_translator.translate(sql) for sql in ALL_QUERIES]
+    )
+    assert all(t.text for t in results)
+
+
+def test_translate_generated_workload(benchmark, movie_translator):
+    workload = generate_workload(queries_per_category=10, seed=42)
+    results = benchmark(lambda: [movie_translator.translate(q.sql) for q in workload])
+    assert len(results) == 50
+    report(
+        "PERF: translating a 50-query workload",
+        queries=len(results),
+        all_start_with_find=all(t.text.startswith("Find") for t in results),
+    )
+
+
+@pytest.mark.parametrize("movies", [50, 200])
+def test_execution_scales_with_database_size(benchmark, movies):
+    database = generate_movie_database(
+        GeneratorConfig(movies=movies, directors=max(4, movies // 10), actors=max(10, movies // 4))
+    )
+    executor = Executor(database)
+    result = benchmark(executor.execute_sql, PAPER_QUERIES["Q2"])
+    assert result.row_count >= 2
+    report(
+        f"PERF: Q2 execution over {movies} synthetic movies",
+        total_rows=database.total_rows,
+        answer_rows=result.row_count,
+    )
+
+
+def test_translation_cost_independent_of_database_size(benchmark):
+    database = generate_movie_database(GeneratorConfig(movies=400, directors=40, actors=100))
+    translator = QueryTranslator(database.schema, spec=movie_spec(database.schema))
+    translation = benchmark(translator.translate, PAPER_QUERIES["Q2"])
+    assert translation.text.startswith("Find")

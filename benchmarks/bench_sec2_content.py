@@ -1,0 +1,91 @@
+"""Section 2.2 worked examples: DIRECTOR merging, Woody Allen, split pattern."""
+
+from conftest import report
+
+from repro.content import SynthesisMode
+from repro.evaluation import TextMetrics, compression_ratio
+
+PAPER_MERGED = "Woody Allen was born in Brooklyn, New York, USA on December 1, 1935."
+PAPER_COMPACT = (
+    "Woody Allen was born in Brooklyn, New York, USA on December 1, 1935."
+    " As a director, Woody Allen's work includes Match Point (2005),"
+    " Melinda and Melinda (2004), and Anything Else (2003)."
+)
+PAPER_PROCEDURAL = (
+    "Woody Allen was born in Brooklyn, New York, USA on December 1, 1935."
+    " As a director, Woody Allen's work includes Match Point, Melinda and"
+    " Melinda, Anything Else. Match Point was released in 2005. Melinda and"
+    " Melinda was released in 2004. Anything Else was released in 2003."
+)
+
+
+def test_ex_director_common_expression_merging(benchmark, movie_narrator):
+    woody = movie_narrator.database.table("DIRECTOR").lookup(("name",), ("Woody Allen",))[0]
+    text = benchmark(movie_narrator.narrate_tuple, "DIRECTOR", woody)
+    assert text == PAPER_MERGED
+    report(
+        "EX-DIRECTOR: common-expression merging",
+        paper=PAPER_MERGED,
+        generated=text,
+        exact_match=text == PAPER_MERGED,
+    )
+
+
+def test_ex_woody_allen_compact(benchmark, movie_narrator):
+    text = benchmark(
+        movie_narrator.narrate_entity,
+        "DIRECTOR",
+        "Woody Allen",
+        "MOVIES",
+        SynthesisMode.COMPACT,
+    )
+    assert text == PAPER_COMPACT
+    report(
+        "EX-WOODY compact (declarative) synthesis",
+        paper=PAPER_COMPACT,
+        generated=text,
+        exact_match=text == PAPER_COMPACT,
+        metrics=TextMetrics.of(text),
+    )
+
+
+def test_ex_woody_allen_procedural(benchmark, movie_narrator):
+    text = benchmark(
+        movie_narrator.narrate_entity,
+        "DIRECTOR",
+        "Woody Allen",
+        "MOVIES",
+        SynthesisMode.PROCEDURAL,
+    )
+    assert text == PAPER_PROCEDURAL
+    compact = movie_narrator.narrate_entity(
+        "DIRECTOR", "Woody Allen", "MOVIES", mode=SynthesisMode.COMPACT
+    )
+    report(
+        "EX-WOODY procedural synthesis",
+        paper=PAPER_PROCEDURAL,
+        generated=text,
+        exact_match=text == PAPER_PROCEDURAL,
+        compact_vs_procedural_compression=round(compression_ratio(compact, text), 3),
+    )
+
+
+def test_ex_split_pattern(benchmark, movie_narrator):
+    text = benchmark(movie_narrator.narrate_split, "MOVIES", "Troy", ["DIRECTOR", "ACTOR"])
+    assert text.count(".") == 1
+    assert "director" in text and "actor" in text and " and " in text
+    report(
+        "EX-SPLIT: split-pattern sentence",
+        paper_shape=(
+            "The movie M1 involves the director D1 who was born in Italy and"
+            " the actor A1 who is Greek."
+        ),
+        generated=text,
+        single_sentence=True,
+    )
+
+
+def test_schema_description(benchmark, movie_narrator):
+    text = benchmark(movie_narrator.narrate_schema)
+    assert "movies" in text and "directors" in text
+    report("Section 2.1: schema description", generated=text)

@@ -1,0 +1,70 @@
+"""EX-SIZE — size-bounded narration as the database grows (Section 2.2).
+
+The paper argues that narratives over large databases must be bounded by
+ranking/weights to stay "short and interesting".  This benchmark measures
+narrative generation time and output size with and without a length
+budget across database scales, showing that the bounded narrative stays
+flat while the unbounded one grows with the data.
+"""
+
+import pytest
+from conftest import report
+
+from repro.content import ContentNarrator, movie_spec
+from repro.datasets import GeneratorConfig, generate_movie_database
+from repro.nlg import LengthBudget
+from repro.nlg.realize import word_count
+
+SCALES = [25, 100, 400]
+
+
+def _narrator_for(movies: int) -> ContentNarrator:
+    database = generate_movie_database(
+        GeneratorConfig(movies=movies, directors=max(4, movies // 10), actors=max(8, movies // 5))
+    )
+    return ContentNarrator(database, spec=movie_spec(database.schema))
+
+
+@pytest.mark.parametrize("movies", SCALES)
+def test_bounded_database_narrative(benchmark, movies):
+    narrator = _narrator_for(movies)
+    budget = LengthBudget(max_sentences=8)
+
+    def narrate_unbounded():
+        return narrator.narrate_database(max_tuples_per_relation=2)
+
+    text = benchmark(narrate_unbounded)
+    bounded = narrator.narrate_database(max_tuples_per_relation=2, budget=budget)
+    report(
+        f"EX-SIZE bounded narrative ({movies} movies)",
+        total_rows=narrator.database.total_rows,
+        unbounded_words=word_count(text),
+        bounded_words=word_count(bounded),
+        bounded_sentences=bounded.count("."),
+    )
+    assert word_count(bounded) <= word_count(text)
+
+
+@pytest.mark.parametrize("movies", SCALES[:2])
+def test_unbounded_narrative_grows_with_data(benchmark, movies):
+    narrator = _narrator_for(movies)
+    text = benchmark(narrator.narrate_relation, "MOVIES")
+    assert word_count(text) > 0
+    report(
+        f"EX-SIZE unbounded relation narrative ({movies} movies)",
+        words=word_count(text),
+    )
+
+
+def test_ranking_puts_most_connected_tuples_first(benchmark):
+    narrator = _narrator_for(50)
+    from repro.content import rank_tuples
+
+    ranked = benchmark(rank_tuples, narrator.database, "MOVIES", 5)
+    assert len(ranked) == 5
+    scores = [entry.score for entry in ranked]
+    assert scores == sorted(scores, reverse=True)
+    report(
+        "EX-SIZE ranking of tuples (most significant first)",
+        top_scores=[round(s, 2) for s in scores],
+    )

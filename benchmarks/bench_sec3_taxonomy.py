@@ -1,0 +1,64 @@
+"""TAXONOMY — Section 3.3's categorisation applied to a generated workload.
+
+The paper's evaluation is the taxonomy itself: which queries are easy
+(path/subgraph), which need non-local phrases (graph), which need
+rewrites or idioms (nested/aggregate/impossible).  This benchmark
+classifies the paper's nine queries plus a generated workload and checks
+that the distribution matches the workload's labels.
+"""
+
+from collections import Counter
+
+from conftest import report
+
+from repro.datasets import generate_workload, paper_workload
+from repro.querygraph import classify_query
+
+
+def test_paper_query_taxonomy(benchmark, movie_db):
+    workload = paper_workload()
+
+    def classify_all():
+        return [classify_query(movie_db.schema, q.sql).category.value for q in workload]
+
+    categories = benchmark(classify_all)
+    expected = [q.expected_category for q in workload]
+    assert categories == expected
+    report(
+        "TAXONOMY of the paper's queries Q1-Q9",
+        paper=dict(Counter(expected)),
+        measured=dict(Counter(categories)),
+    )
+
+
+def test_generated_workload_taxonomy(benchmark, movie_db):
+    workload = generate_workload(queries_per_category=10, seed=42)
+
+    def classify_all():
+        return [classify_query(movie_db.schema, q.sql).category.value for q in workload]
+
+    categories = benchmark(classify_all)
+    mismatches = [
+        (q.name, got)
+        for q, got in zip(workload, categories)
+        if got != q.expected_category
+    ]
+    assert not mismatches
+    report(
+        "TAXONOMY of a 50-query generated workload",
+        distribution=dict(Counter(categories)),
+        mismatches=len(mismatches),
+    )
+
+
+def test_classification_difficulty_ordering(benchmark, movie_db):
+    workload = paper_workload()
+    difficulties = benchmark(
+        lambda: {
+            q.name: classify_query(movie_db.schema, q.sql).category.difficulty
+            for q in workload
+        }
+    )
+    assert difficulties["Q1"] < difficulties["Q2"] < difficulties["Q3"]
+    assert difficulties["Q9"] == 6
+    report("Difficulty ordinals (paper's escalation of difficulty)", **difficulties)

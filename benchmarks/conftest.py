@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates a paper artefact (a figure or a worked
+example); the fixtures below build the shared databases and translators
+once per session so the timed sections measure the interesting work only.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.content import ContentNarrator, employee_spec, movie_spec  # noqa: E402
+from repro.datasets import employee_database, movie_database  # noqa: E402
+from repro.query_nl import QueryTranslator  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def movie_db():
+    return movie_database()
+
+
+@pytest.fixture(scope="session")
+def movie_narrator(movie_db):
+    return ContentNarrator(movie_db, spec=movie_spec(movie_db.schema))
+
+
+@pytest.fixture(scope="session")
+def movie_translator(movie_db):
+    return QueryTranslator(movie_db.schema, spec=movie_spec(movie_db.schema))
+
+
+@pytest.fixture(scope="session")
+def employee_db():
+    return employee_database()
+
+
+@pytest.fixture(scope="session")
+def employee_translator(employee_db):
+    return QueryTranslator(employee_db.schema, spec=employee_spec(employee_db.schema))
+
+
+def report(title: str, **artifacts) -> None:
+    """Print a paper-vs-measured block once (outside the timed section)."""
+    print()
+    print(f"=== {title} ===")
+    for key, value in artifacts.items():
+        print(f"  {key}: {value}")

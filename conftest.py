@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the src/ layout importable without installation.
+
+The project is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` on machines without the ``wheel`` package);
+this fallback keeps ``pytest`` working straight from a source checkout.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

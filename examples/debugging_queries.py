@@ -1,0 +1,62 @@
+"""Query debugging scenario (Section 3.1): empty and oversized answers.
+
+"When a query returns an empty answer, it is nice to know the parts of the
+query that are responsible for the failure.  Similarly, when a query is
+expected to return a very large number of answers, it is useful to know
+the reasons."
+
+Run with::
+
+    python examples/debugging_queries.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import AnswerExplainer, QueryTranslator, movie_database, movie_spec
+
+CASES = [
+    (
+        "A typo in the genre name",
+        """
+        select m.title from MOVIES m, GENRE g
+        where m.id = g.mid and g.genre = 'westerns'
+        """,
+    ),
+    (
+        "Two conditions that are individually fine but jointly unsatisfiable",
+        """
+        select m.title from MOVIES m
+        where m.year > 2004 and m.title = 'Anything Else'
+        """,
+    ),
+    (
+        "An accidental cross product",
+        """
+        select m.title, a.name, g.genre from MOVIES m, ACTOR a, GENRE g
+        """,
+    ),
+]
+
+
+def main() -> None:
+    database = movie_database()
+    translator = QueryTranslator(database.schema, spec=movie_spec(database.schema))
+    explainer = AnswerExplainer(database)
+
+    for title, sql in CASES:
+        print()
+        print(f"=== {title} ===")
+        print("SQL:")
+        for line in sql.strip().splitlines():
+            print(f"    {line.strip()}")
+        translation = translator.translate(sql)
+        print(f"The query means : {translation.text}")
+        explanation = explainer.explain(sql, large_threshold=100)
+        print(f"What happened   : {explanation.text}")
+
+
+if __name__ == "__main__":
+    main()

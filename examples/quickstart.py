@@ -1,0 +1,57 @@
+"""Quickstart: make a database talk back in a dozen lines.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import (
+    ContentNarrator,
+    Executor,
+    QueryTranslator,
+    movie_database,
+    movie_spec,
+)
+
+
+def main() -> None:
+    # 1. A database to talk about: the movie schema of the paper's Figure 1.
+    database = movie_database()
+    spec = movie_spec(database.schema)
+
+    # 2. Content translation (Section 2): describe what is in the database.
+    narrator = ContentNarrator(database, spec=spec)
+    print("-- What does the database know about Woody Allen? --")
+    print(narrator.narrate_entity("DIRECTOR", "Woody Allen", "MOVIES"))
+    print()
+
+    # 3. Query translation (Section 3): explain a query before running it.
+    translator = QueryTranslator(database.schema, spec=spec)
+    sql = """
+        select m.title
+        from MOVIES m, CAST c, ACTOR a
+        where m.id = c.mid and c.aid = a.id
+          and a.name = 'Brad Pitt'
+    """
+    translation = translator.translate(sql)
+    print("-- The query --")
+    print(sql.strip())
+    print()
+    print("-- What the system says it means --")
+    print(f"{translation.text}  [{translation.category.value} query]")
+    print(f"(more natural variant: {translation.concise})")
+    print()
+
+    # 4. Run it and narrate the answer too.
+    result = Executor(database).execute_sql(sql)
+    print("-- The answer, talked back --")
+    print(narrator.narrate_query_answer(result, subject="The query"))
+
+
+if __name__ == "__main__":
+    main()

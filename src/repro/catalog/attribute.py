@@ -1,0 +1,76 @@
+"""Attribute (column) definitions for catalog relations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.catalog.types import DataType
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A single attribute (column) of a relation.
+
+    Beyond the usual DBMS metadata (type, nullability, primary-key flag),
+    an attribute carries NLG-oriented metadata used by the translators:
+
+    ``caption``
+        A human-friendly phrase used when the attribute is mentioned in a
+        narrative (defaults to the lower-cased attribute name with
+        underscores replaced by spaces, e.g. ``birth date`` for ``bdate``).
+    ``heading``
+        Whether this attribute is the *heading attribute* of its relation:
+        the attribute that is most characteristic of the relation's tuples
+        and is normally used as the subject of generated sentences
+        (paper, Section 2.2 — ``TITLE`` is the heading attribute of
+        ``MOVIE``).
+    ``weight``
+        Relative interestingness used by the ranking-bounded narrator
+        (paper, Section 2.2, "weights on its nodes and/or edges").
+    """
+
+    name: str
+    dtype: DataType = DataType.TEXT
+    nullable: bool = True
+    primary_key: bool = False
+    caption: Optional[str] = None
+    heading: bool = False
+    weight: float = 1.0
+    description: str = ""
+    relation_name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+
+    @property
+    def qualified_name(self) -> str:
+        """``relation.attribute`` when the owning relation is known."""
+        if self.relation_name:
+            return f"{self.relation_name}.{self.name}"
+        return self.name
+
+    @property
+    def display_caption(self) -> str:
+        """The phrase used for this attribute inside narratives."""
+        if self.caption:
+            return self.caption
+        return self.name.lower().replace("_", " ")
+
+    def renamed(self, relation_name: str) -> "Attribute":
+        """Return a copy of this attribute bound to ``relation_name``."""
+        return Attribute(
+            name=self.name,
+            dtype=self.dtype,
+            nullable=self.nullable,
+            primary_key=self.primary_key,
+            caption=self.caption,
+            heading=self.heading,
+            weight=self.weight,
+            description=self.description,
+            relation_name=relation_name,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.qualified_name

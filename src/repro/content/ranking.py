@@ -1,0 +1,133 @@
+"""Ranking of relations and tuples for size-bounded narratives.
+
+Section 2.2: limiting the resulting text "can be realized either with
+structural constraints affecting the traversal of the database schema
+graph based on weights on its nodes and/or edges, or with some notion of
+ranking of the relations and tuples involved.  The latter would force the
+most significant tuples to be presented first and the less significant
+tuples to be ignored".
+
+Tuple significance combines the owning relation's weight with the tuple's
+*connectivity* — how many related tuples it reaches through foreign keys —
+so "Woody Allen" (three movies) outranks a director with none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.relation import Relation
+from repro.content.personalization import DEFAULT_PROFILE, UserProfile
+from repro.storage.database import Database
+from repro.storage.row import Row
+
+
+@dataclass(frozen=True)
+class RankedTuple:
+    """A tuple with its computed significance score."""
+
+    relation_name: str
+    row: Row
+    score: float
+
+    def __lt__(self, other: "RankedTuple") -> bool:  # pragma: no cover - trivial
+        return self.score < other.score
+
+
+def tuple_connectivity(database: Database, relation: Relation, row: Row) -> int:
+    """How many rows in other relations reference (or are referenced by) ``row``."""
+    schema = database.schema
+    count = 0
+    for fk in schema.foreign_keys_to(relation.name):
+        values = [row.get(col) for col in fk.target_attributes]
+        if any(v is None for v in values):
+            continue
+        count += len(database.table(fk.source_relation).lookup(fk.source_attributes, values))
+    for fk in schema.foreign_keys_from(relation.name):
+        values = [row.get(col) for col in fk.source_attributes]
+        if any(v is None for v in values):
+            continue
+        count += len(database.table(fk.target_relation).lookup(fk.target_attributes, values))
+    return count
+
+
+def score_tuple(
+    database: Database,
+    relation: Relation,
+    row: Row,
+    profile: UserProfile = DEFAULT_PROFILE,
+) -> float:
+    """Significance score: relation weight plus dampened connectivity."""
+    weight = profile.relation_weight(relation)
+    connectivity = tuple_connectivity(database, relation, row)
+    return weight + 0.5 * connectivity
+
+
+def rank_tuples(
+    database: Database,
+    relation_name: str,
+    limit: Optional[int] = None,
+    profile: UserProfile = DEFAULT_PROFILE,
+) -> List[RankedTuple]:
+    """The relation's tuples ordered most-significant-first."""
+    relation = database.schema.relation(relation_name)
+    ranked = [
+        RankedTuple(
+            relation_name=relation.name,
+            row=row,
+            score=score_tuple(database, relation, row, profile),
+        )
+        for row in database.table(relation.name).rows()
+    ]
+    ranked.sort(key=lambda r: (-r.score, _stable_key(r.row)))
+    if limit is not None:
+        ranked = ranked[:limit]
+    return ranked
+
+
+def rank_relations(
+    database: Database,
+    profile: UserProfile = DEFAULT_PROFILE,
+    include_bridges: bool = False,
+    limit: Optional[int] = None,
+) -> List[Relation]:
+    """Relations ordered by interestingness (weight, then population)."""
+    relations = [
+        r
+        for r in database.schema.relations
+        if (include_bridges or not r.bridge) and profile.includes(r.name)
+    ]
+    relations.sort(
+        key=lambda r: (-profile.relation_weight(r), -len(database.table(r.name)), r.name)
+    )
+    if limit is not None:
+        relations = relations[:limit]
+    return relations
+
+
+def _stable_key(row: Row) -> Tuple:
+    return tuple(sorted((k, str(v)) for k, v in row.as_dict().items()))
+
+
+def coverage_plan(
+    database: Database,
+    profile: UserProfile = DEFAULT_PROFILE,
+    max_relations: Optional[int] = None,
+    max_tuples_per_relation: Optional[int] = None,
+) -> Dict[str, List[RankedTuple]]:
+    """Which tuples a size-bounded database narrative should cover.
+
+    Returns an ordered mapping of relation name to its ranked tuples,
+    restricted by the two limits (profile limits apply when the arguments
+    are ``None``).
+    """
+    tuples_limit = (
+        max_tuples_per_relation
+        if max_tuples_per_relation is not None
+        else profile.max_tuples_per_relation
+    )
+    plan: Dict[str, List[RankedTuple]] = {}
+    for relation in rank_relations(database, profile, limit=max_relations):
+        plan[relation.name] = rank_tuples(database, relation.name, tuples_limit, profile)
+    return plan

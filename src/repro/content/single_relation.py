@@ -1,0 +1,178 @@
+"""Translation of a single relation's tuples into clauses (paper, Section 2.2).
+
+Two alternatives are supported, exactly as the paper describes:
+
+(a) a sentence based only on the heading attribute ("The director's name is
+    Woody Allen"), and
+(b) one clause per descriptive attribute, followed by common-expression
+    aggregation so the subject is not repeated ("Woody Allen was born in
+    Brooklyn, New York, USA on December 1, 1935").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Mapping, Optional, Sequence
+
+from repro.catalog.relation import Relation
+from repro.catalog.types import render_value
+from repro.content.personalization import DEFAULT_PROFILE, UserProfile
+from repro.nlg.aggregation import merge_clauses
+from repro.nlg.clause import Clause
+from repro.templates.registry import TemplateRegistry
+from repro.templates.spec import SlotPart, Template, TextPart
+
+
+class TupleStyle(enum.Enum):
+    """The two single-relation translation alternatives of Section 2.2."""
+
+    HEADING_ONLY = "heading_only"
+    FULL = "full"
+
+
+def heading_value(relation: Relation, row: Mapping, profile: UserProfile = DEFAULT_PROFILE) -> str:
+    """The rendered subject value of a tuple (its heading attribute)."""
+    attribute = profile.heading_attribute(relation)
+    return render_value(row.get(attribute))
+
+
+def heading_clause(
+    relation: Relation,
+    row: Mapping,
+    registry: TemplateRegistry,
+    profile: UserProfile = DEFAULT_PROFILE,
+) -> Clause:
+    """Alternative (a): a sentence from the relation's node template."""
+    template = registry.relation_template(relation.name)
+    text = template.instantiate(_template_values(relation, row), strict=False)
+    return Clause(subject=text, about=relation.name, weight=profile.relation_weight(relation))
+
+
+def attribute_clause(
+    relation: Relation,
+    attribute_name: str,
+    row: Mapping,
+    registry: TemplateRegistry,
+    profile: UserProfile = DEFAULT_PROFILE,
+) -> Optional[Clause]:
+    """The clause contributed by one projection edge for one tuple.
+
+    The clause is built structurally from the edge's template: the leading
+    slot becomes the subject, the literal text following it becomes the
+    verb, and the instantiated remainder becomes the complement — which is
+    what lets :func:`repro.nlg.aggregation.merge_clauses` factor the
+    common expression out later.
+    """
+    if row.get(attribute_name) is None:
+        return None
+    template = registry.projection_template(relation.name, attribute_name)
+    values = _template_values(relation, row)
+    subject, verb, remainder = _split_structurally(template, values)
+    weight = profile.attribute_weight(relation, attribute_name)
+    if subject is None:
+        return Clause(
+            subject=template.instantiate(values, strict=False),
+            about=f"{relation.name}.{attribute_name}",
+            weight=weight,
+        )
+    return Clause(
+        subject=subject,
+        verb=verb,
+        complements=(remainder,) if remainder else (),
+        about=f"{relation.name}.{attribute_name}",
+        weight=weight,
+    )
+
+
+def tuple_clauses(
+    relation: Relation,
+    row: Mapping,
+    registry: TemplateRegistry,
+    style: TupleStyle = TupleStyle.FULL,
+    profile: UserProfile = DEFAULT_PROFILE,
+    attribute_order: Optional[Sequence[str]] = None,
+    merge: bool = True,
+) -> List[Clause]:
+    """All clauses describing one tuple, optionally aggregated.
+
+    ``attribute_order`` narrates specific attributes in a specific order
+    (the paper's DIRECTOR example lists the birth location before the
+    birth date); by default every descriptive attribute is narrated in
+    declaration order.
+    """
+    if style is TupleStyle.HEADING_ONLY:
+        return [heading_clause(relation, row, registry, profile)]
+
+    heading_name = profile.heading_attribute(relation)
+    names = list(attribute_order) if attribute_order is not None else [
+        a.name
+        for a in relation.attributes
+        if not a.primary_key and a.name != heading_name
+    ]
+    clauses: List[Clause] = []
+    for name in names:
+        clause = attribute_clause(relation, name, row, registry, profile)
+        if clause is not None:
+            clauses.append(clause)
+    if not clauses:
+        return [heading_clause(relation, row, registry, profile)]
+    if merge:
+        clauses = merge_clauses(clauses)
+    return clauses
+
+
+def _template_values(relation: Relation, row: Mapping) -> dict:
+    """Slot values for a tuple: plain and relation-qualified attribute names."""
+    values = {}
+    for attribute in relation.attributes:
+        value = row.get(attribute.name)
+        values[attribute.name] = value
+        values[f"{relation.name}.{attribute.name}"] = value
+    return values
+
+
+def _split_structurally(template: Template, values: Mapping) -> tuple:
+    """Split an instantiated template into (subject, verb, remainder).
+
+    The subject is the template's leading slot; the verb is the shared
+    "common expression" that follows it.  When the template declares a
+    ``predicate_verb`` hint (the paper's DIRECTOR templates share
+    " was born"), only that hint becomes the verb and the rest of the
+    leading text ("in ", "on ") stays with the complement — which is what
+    allows the aggregation step to merge the two birth clauses exactly as
+    the paper does.  Returns ``(None, None, None)`` when the template does
+    not start with a slot.
+    """
+    parts = list(template.parts)
+    if not parts or not isinstance(parts[0], SlotPart):
+        return None, None, None
+    subject_template = Template(parts=(parts[0],))
+    subject = subject_template.instantiate(values, strict=False)
+
+    verb_parts: List[TextPart] = []
+    rest = parts[1:]
+    while rest and isinstance(rest[0], TextPart):
+        verb_parts.append(rest.pop(0))
+    leading_text = "".join(p.text for p in verb_parts).strip()
+
+    hint = (template.predicate_verb or "").strip()
+    if hint and leading_text.lower().startswith(hint.lower()):
+        verb = leading_text[: len(hint)]
+        complement_prefix = leading_text[len(hint):].strip()
+    else:
+        verb = leading_text
+        complement_prefix = ""
+
+    remainder = ""
+    if rest:
+        remainder_template = Template(parts=tuple(rest))
+        remainder = remainder_template.instantiate(values, strict=False).strip()
+    if complement_prefix:
+        remainder = f"{complement_prefix} {remainder}".strip()
+
+    # Templates such as "the year of MOVIE is YEAR" start with text, not a
+    # slot, and are handled by the caller; templates whose verb is empty are
+    # treated as unmergeable full-text clauses.
+    if not verb and not remainder:
+        return None, None, None
+    return subject, verb, remainder

@@ -1,0 +1,50 @@
+"""Synthetic datasets and workloads used by examples, tests and benchmarks."""
+
+from repro.datasets.employees import (
+    MANAGER_NARRATIVE,
+    MANAGER_QUERY,
+    employee_database,
+    employee_schema,
+)
+from repro.datasets.generator import (
+    GeneratorConfig,
+    generate_movie_database,
+    generate_movie_records,
+)
+from repro.datasets.library import library_database, library_schema
+from repro.datasets.movies import (
+    ALL_GENRES,
+    PAPER_NARRATIVES,
+    PAPER_QUERIES,
+    movie_database,
+    movie_schema,
+    seed_rows,
+)
+from repro.datasets.workload import (
+    WorkloadQuery,
+    generate_workload,
+    paper_workload,
+    workload_by_category,
+)
+
+__all__ = [
+    "ALL_GENRES",
+    "GeneratorConfig",
+    "MANAGER_NARRATIVE",
+    "MANAGER_QUERY",
+    "PAPER_NARRATIVES",
+    "PAPER_QUERIES",
+    "WorkloadQuery",
+    "employee_database",
+    "employee_schema",
+    "generate_movie_database",
+    "generate_movie_records",
+    "generate_workload",
+    "library_database",
+    "library_schema",
+    "movie_database",
+    "movie_schema",
+    "paper_workload",
+    "seed_rows",
+    "workload_by_category",
+]

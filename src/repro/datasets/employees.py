@@ -1,0 +1,84 @@
+"""The EMP/DEPT schema of the paper's Section 3.1 motivation example.
+
+The paper writes the schema as ``EMP(eid, sal, age, did)`` and
+``DEPT(did, dname, mgr)`` and then projects ``e1.name`` in the example
+query; we include ``name`` on EMP so the query is well-formed.  The
+motivating query — "Find the names of employees who make more than their
+managers" — is exported as :data:`MANAGER_QUERY`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.catalog.builder import SchemaBuilder
+from repro.catalog.schema import Schema
+from repro.storage.database import Database
+
+
+def employee_schema() -> Schema:
+    """The EMP/DEPT schema used by the Section 3.1 example."""
+    return (
+        SchemaBuilder("company", description="EMP/DEPT schema of Section 3.1")
+        .relation("EMP", concept="employee", weight=3.0)
+        .column("eid", "integer", primary_key=True)
+        .column("name", "text", heading=True, weight=3.0)
+        .column("sal", "integer", caption="salary", weight=2.0)
+        .column("age", "integer", weight=1.0)
+        .column("did", "integer", caption="department", weight=1.0)
+        .done()
+        .relation("DEPT", concept="department", weight=2.0)
+        .column("did", "integer", primary_key=True)
+        .column("dname", "text", heading=True, caption="department name", weight=3.0)
+        .column("mgr", "integer", caption="manager", weight=2.0)
+        .done()
+        .foreign_key("EMP", ["did"], "DEPT", ["did"], verb="works in")
+        .foreign_key("DEPT", ["mgr"], "EMP", ["eid"], verb="managed by")
+        .build()
+    )
+
+
+_SEED: Dict[str, List[dict]] = {
+    "EMP": [
+        {"eid": 1, "name": "Alice Papas", "sal": 120000, "age": 48, "did": None},
+        {"eid": 2, "name": "Bob Santos", "sal": 95000, "age": 41, "did": None},
+        {"eid": 3, "name": "Carol Chen", "sal": 130000, "age": 35, "did": None},
+        {"eid": 4, "name": "Dan Wright", "sal": 70000, "age": 29, "did": None},
+        {"eid": 5, "name": "Eva Stone", "sal": 88000, "age": 33, "did": None},
+        {"eid": 6, "name": "Frank Mills", "sal": 64000, "age": 52, "did": None},
+    ],
+    "DEPT": [
+        {"did": 10, "dname": "Engineering", "mgr": 1},
+        {"did": 20, "dname": "Marketing", "mgr": 2},
+        {"did": 30, "dname": "Research", "mgr": 6},
+    ],
+    # Department assignments are applied as updates so EMP can be loaded
+    # before DEPT exists (EMP.did -> DEPT.did and DEPT.mgr -> EMP.eid form
+    # a referential cycle, the classic reason for deferred constraints).
+}
+
+_ASSIGNMENTS = {1: 10, 2: 20, 3: 10, 4: 20, 5: 10, 6: 30}
+
+
+def employee_database(seed_data: bool = True) -> Database:
+    """A populated EMP/DEPT database (employees, departments, managers)."""
+    database = Database(employee_schema())
+    if not seed_data:
+        return database
+    database.load({"EMP": _SEED["EMP"]})
+    database.load({"DEPT": _SEED["DEPT"]})
+    for eid, did in _ASSIGNMENTS.items():
+        database.update_where("EMP", lambda row, eid=eid: row["eid"] == eid, {"did": did})
+    return database
+
+
+#: The Section 3.1 query: employees who make more than their managers.
+MANAGER_QUERY = """
+    select e1.name
+    from EMP e1, EMP e2, DEPT d
+    where e1.did = d.did and d.mgr = e2.eid
+      and e1.sal > e2.sal
+"""
+
+#: The paper's target narrative for MANAGER_QUERY.
+MANAGER_NARRATIVE = "Find the names of employees who make more than their managers"

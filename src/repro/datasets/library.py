@@ -1,0 +1,85 @@
+"""A digital-library schema, one of the application scenarios of Section 2.1.
+
+The paper motivates content translation with "the highlights of a
+collection in a digital library, with a few sentences on the main authors
+in the collection".  This dataset provides that scenario: collections,
+items, authors and an authorship bridge, with NLG annotations so the
+content narrator can produce collection summaries out of the box.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.catalog.builder import SchemaBuilder
+from repro.catalog.schema import Schema
+from repro.storage.database import Database
+
+
+def library_schema() -> Schema:
+    """Digital library: COLLECTION, ITEM, AUTHOR, WROTE."""
+    return (
+        SchemaBuilder("library", description="Digital library collections")
+        .relation("COLLECTION", concept="collection", weight=3.0)
+        .column("cid", "integer", primary_key=True)
+        .column("name", "text", heading=True, weight=3.0)
+        .column("subject", "text", weight=2.0)
+        .done()
+        .relation("ITEM", concept="item", weight=2.5)
+        .column("iid", "integer", primary_key=True)
+        .column("title", "text", heading=True, weight=3.0)
+        .column("year", "integer", caption="publication year", weight=1.5)
+        .column("cid", "integer", caption="collection", weight=1.0)
+        .done()
+        .relation("AUTHOR", concept="author", weight=2.5)
+        .column("aid", "integer", primary_key=True)
+        .column("name", "text", heading=True, weight=3.0)
+        .column("country", "text", weight=1.0)
+        .done()
+        .relation("WROTE", concept="authorship", bridge=True, weight=1.0)
+        .column("iid", "integer", primary_key=True)
+        .column("aid", "integer", primary_key=True)
+        .done()
+        .foreign_key("ITEM", ["cid"], "COLLECTION", ["cid"], verb="belongs to")
+        .foreign_key("WROTE", ["iid"], "ITEM", ["iid"], verb="written")
+        .foreign_key("WROTE", ["aid"], "AUTHOR", ["aid"], verb="written by")
+        .build(require_primary_keys=True)
+    )
+
+
+_SEED: Dict[str, List[dict]] = {
+    "COLLECTION": [
+        {"cid": 1, "name": "Hellenic Manuscripts", "subject": "history"},
+        {"cid": 2, "name": "Modern Data Systems", "subject": "computer science"},
+    ],
+    "ITEM": [
+        {"iid": 1, "title": "Chronicle of Athens", "year": 1821, "cid": 1},
+        {"iid": 2, "title": "Voyages in the Aegean", "year": 1850, "cid": 1},
+        {"iid": 3, "title": "Letters from Crete", "year": 1866, "cid": 1},
+        {"iid": 4, "title": "Relational Foundations", "year": 1970, "cid": 2},
+        {"iid": 5, "title": "Query Processing at Scale", "year": 1994, "cid": 2},
+        {"iid": 6, "title": "Talking Databases", "year": 2009, "cid": 2},
+    ],
+    "AUTHOR": [
+        {"aid": 1, "name": "Eleni Vasileiou", "country": "Greece"},
+        {"aid": 2, "name": "Nikos Economou", "country": "Greece"},
+        {"aid": 3, "name": "Edgar Frank", "country": "United Kingdom"},
+        {"aid": 4, "name": "Grace Murray", "country": "USA"},
+    ],
+    "WROTE": [
+        {"iid": 1, "aid": 1},
+        {"iid": 2, "aid": 1},
+        {"iid": 3, "aid": 2},
+        {"iid": 4, "aid": 3},
+        {"iid": 5, "aid": 4},
+        {"iid": 6, "aid": 4},
+    ],
+}
+
+
+def library_database(seed_data: bool = True) -> Database:
+    """A populated digital-library database."""
+    database = Database(library_schema())
+    if seed_data:
+        database.load(_SEED)
+    return database

@@ -1,0 +1,18 @@
+"""Query execution engine: evaluator, planner, operators, executor."""
+
+from repro.engine.evaluator import ExpressionEvaluator
+from repro.engine.executor import Executor, execute
+from repro.engine.plan import LogicalPlan, Planner, classify_predicates, plan_query
+from repro.engine.result import DmlResult, QueryResult
+
+__all__ = [
+    "DmlResult",
+    "Executor",
+    "ExpressionEvaluator",
+    "LogicalPlan",
+    "Planner",
+    "QueryResult",
+    "classify_predicates",
+    "execute",
+    "plan_query",
+]

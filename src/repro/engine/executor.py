@@ -1,0 +1,444 @@
+"""Physical execution of logical plans against a :class:`Database`.
+
+The executor is deliberately simple — pipelined Python iterators over
+in-memory rows — but complete enough to run every query in the paper
+(Q1-Q9), including correlated subqueries, quantified comparisons,
+grouping with correlated HAVING subqueries, DISTINCT, ORDER BY and DML.
+Execution results are used to *verify* natural-language translations
+(e.g. the flattened form of Q5 returns the same answer as the nested
+form) and to explain empty answers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.engine.evaluator import ExpressionEvaluator
+from repro.engine.plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    LogicalPlan,
+    PlanNode,
+    Planner,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+)
+from repro.engine.result import DmlResult, QueryResult
+from repro.errors import EvaluationError, UnsupportedQueryError
+from repro.sql import ast
+from repro.sql.parser import parse_sql
+from repro.storage.database import Database
+from repro.storage.row import Row
+
+
+class Executor:
+    """Execute SQL statements against an in-memory database."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.planner = Planner()
+        self._evaluator = ExpressionEvaluator(subquery_runner=self._run_subquery)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def execute_sql(self, sql: str):
+        """Parse and execute ``sql``; returns a QueryResult or DmlResult."""
+        return self.execute(parse_sql(sql))
+
+    def execute(self, statement: ast.Statement):
+        """Execute a parsed statement."""
+        if isinstance(statement, ast.SelectStatement):
+            return self.execute_select(statement)
+        if isinstance(statement, ast.InsertStatement):
+            return self._execute_insert(statement)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._execute_update(statement)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._execute_delete(statement)
+        raise UnsupportedQueryError(
+            f"statement type {type(statement).__name__} is not executable"
+        )
+
+    def execute_select(
+        self, statement: ast.SelectStatement, outer_row: Optional[Row] = None
+    ) -> QueryResult:
+        """Execute a SELECT, optionally with an outer row for correlation."""
+        plan = self.planner.plan(statement)
+        rows = list(self._run_node(plan.root, outer_row))
+        columns = self._output_columns(statement)
+        return QueryResult(columns=columns, rows=rows)
+
+    def explain(self, statement: ast.SelectStatement) -> str:
+        """Return the indented logical plan for a SELECT statement."""
+        return self.planner.plan(statement).explain()
+
+    # ------------------------------------------------------------------
+    # Plan interpretation
+    # ------------------------------------------------------------------
+
+    def _run_node(self, node: PlanNode, outer_row: Optional[Row]) -> Iterator[Row]:
+        if isinstance(node, ScanNode):
+            yield from self._run_scan(node, outer_row)
+        elif isinstance(node, FilterNode):
+            for row in self._run_node(node.child, outer_row):
+                if self._evaluator.matches(node.predicate, self._with_outer(row, outer_row)):
+                    yield row
+        elif isinstance(node, JoinNode):
+            yield from self._run_join(node, outer_row)
+        elif isinstance(node, AggregateNode):
+            yield from self._run_aggregate(node, outer_row)
+        elif isinstance(node, ProjectNode):
+            yield from self._run_project(node, outer_row)
+        elif isinstance(node, DistinctNode):
+            yield from self._run_distinct(node, outer_row)
+        elif isinstance(node, SortNode):
+            yield from self._run_sort(node, outer_row)
+        elif isinstance(node, LimitNode):
+            yield from self._run_limit(node, outer_row)
+        else:  # pragma: no cover - defensive
+            raise UnsupportedQueryError(f"unknown plan node {type(node).__name__}")
+
+    def _run_scan(self, node: ScanNode, outer_row: Optional[Row]) -> Iterator[Row]:
+        if not node.table_name:
+            # FROM-less SELECT: a single empty row.
+            yield Row({})
+            return
+        table = self.database.table(node.table_name)
+        for row in table.rows():
+            yield row.prefixed(node.binding)
+
+    def _run_join(self, node: JoinNode, outer_row: Optional[Row]) -> Iterator[Row]:
+        left_rows = list(self._run_node(node.left, outer_row))
+        right_rows = list(self._run_node(node.right, outer_row))
+
+        usable_equi = [
+            cond
+            for cond in node.equi_conditions
+            if self._hash_keys(cond, left_rows, right_rows) is not None
+        ]
+
+        if usable_equi:
+            first = usable_equi[0]
+            keys = self._hash_keys(first, left_rows, right_rows)
+            assert keys is not None
+            left_key, right_key = keys
+            buckets: Dict[Any, List[Row]] = {}
+            for right in right_rows:
+                value = right.get(right_key)
+                if value is None:
+                    continue
+                buckets.setdefault(value, []).append(right)
+            remaining = [c for c in node.equi_conditions if c is not first]
+            for left in left_rows:
+                value = left.get(left_key)
+                if value is None:
+                    continue
+                for right in buckets.get(value, ()):
+                    combined = left.merged(right)
+                    if self._join_matches(combined, remaining, node.other_conditions, outer_row):
+                        yield combined
+            return
+
+        for left in left_rows:
+            for right in right_rows:
+                combined = left.merged(right)
+                if self._join_matches(
+                    combined, node.equi_conditions, node.other_conditions, outer_row
+                ):
+                    yield combined
+
+    def _join_matches(
+        self,
+        combined: Row,
+        equi: Iterable[ast.Expression],
+        other: Iterable[ast.Expression],
+        outer_row: Optional[Row],
+    ) -> bool:
+        scoped = self._with_outer(combined, outer_row)
+        for condition in list(equi) + list(other):
+            if not self._evaluator.matches(condition, scoped):
+                return False
+        return True
+
+    def _hash_keys(
+        self, condition: ast.BinaryOp, left_rows: List[Row], right_rows: List[Row]
+    ) -> Optional[Tuple[str, str]]:
+        """Qualified key names for a hash join, or ``None`` when unusable."""
+        if not (
+            isinstance(condition.left, ast.ColumnRef)
+            and isinstance(condition.right, ast.ColumnRef)
+        ):
+            return None
+        left_key = condition.left.qualified
+        right_key = condition.right.qualified
+        left_sample = left_rows[0] if left_rows else Row({})
+        right_sample = right_rows[0] if right_rows else Row({})
+        if left_sample.resolve_key(left_key) is not None and right_sample.resolve_key(right_key) is not None:
+            return left_key, right_key
+        if left_sample.resolve_key(right_key) is not None and right_sample.resolve_key(left_key) is not None:
+            return right_key, left_key
+        if not left_rows or not right_rows:
+            return left_key, right_key
+        return None
+
+    # ------------------------------------------------------------------
+    # Grouping and aggregation
+    # ------------------------------------------------------------------
+
+    def _run_aggregate(self, node: AggregateNode, outer_row: Optional[Row]) -> Iterator[Row]:
+        source_rows = list(self._run_node(node.child, outer_row))
+
+        groups: Dict[Tuple[Any, ...], List[Row]] = {}
+        order: List[Tuple[Any, ...]] = []
+        if node.group_by:
+            for row in source_rows:
+                scoped = self._with_outer(row, outer_row)
+                key = tuple(self._evaluator.evaluate(e, scoped) for e in node.group_by)
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(row)
+        else:
+            key = ()
+            groups[key] = source_rows
+            order.append(key)
+
+        for key in order:
+            members = groups[key]
+            if not members and not node.group_by:
+                base: Dict[str, Any] = {}
+            else:
+                base = dict(members[0].as_dict()) if members else {}
+            for expression, value in zip(node.group_by, key):
+                base[_expression_key(expression)] = value
+            for aggregate in node.aggregates:
+                base[str(aggregate)] = self._compute_aggregate(aggregate, members, outer_row)
+            yield Row(base)
+
+    def _compute_aggregate(
+        self, aggregate: ast.FunctionCall, members: List[Row], outer_row: Optional[Row]
+    ) -> Any:
+        name = aggregate.name.upper()
+        if name == "COUNT" and (not aggregate.args or isinstance(aggregate.args[0], ast.Star)):
+            return len(members)
+
+        if not aggregate.args:
+            raise EvaluationError(f"aggregate {name} requires an argument")
+        argument = aggregate.args[0]
+        values = []
+        for row in members:
+            scoped = self._with_outer(row, outer_row)
+            value = self._evaluator.evaluate(argument, scoped)
+            if value is not None:
+                values.append(value)
+        if aggregate.distinct:
+            unique = []
+            for value in values:
+                if value not in unique:
+                    unique.append(value)
+            values = unique
+
+        if name == "COUNT":
+            return len(values)
+        if not values:
+            return None
+        if name == "SUM":
+            return sum(values)
+        if name == "AVG":
+            return sum(values) / len(values)
+        if name == "MIN":
+            return min(values)
+        if name == "MAX":
+            return max(values)
+        raise EvaluationError(f"unknown aggregate {name}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Projection, distinct, ordering, limits
+    # ------------------------------------------------------------------
+
+    def _run_project(self, node: ProjectNode, outer_row: Optional[Row]) -> Iterator[Row]:
+        items = node.items
+        for row in self._run_node(node.child, outer_row):
+            scoped = self._with_outer(row, outer_row)
+            output: Dict[str, Any] = {}
+            for item in items:
+                if isinstance(item.expression, ast.Star):
+                    star = item.expression
+                    for key in row.keys():
+                        if star.table is None or key.lower().startswith(star.table.lower() + "."):
+                            output[key] = row.get(key)
+                    continue
+                output[item.output_name] = self._evaluator.evaluate(item.expression, scoped)
+            yield Row(output)
+
+    def _run_distinct(self, node: DistinctNode, outer_row: Optional[Row]) -> Iterator[Row]:
+        seen = set()
+        for row in self._run_node(node.child, outer_row):
+            key = tuple(sorted((k, _freeze(v)) for k, v in row.as_dict().items()))
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+    def _run_sort(self, node: SortNode, outer_row: Optional[Row]) -> Iterator[Row]:
+        rows = list(self._run_node(node.child, outer_row))
+
+        def sort_key(row: Row) -> Tuple:
+            scoped = self._with_outer(row, outer_row)
+            parts = []
+            for item in node.order_by:
+                value = self._try_order_value(
+                    item.expression, row, scoped, node.select_items
+                )
+                parts.append(_OrderKey(value, descending=item.descending))
+            return tuple(parts)
+
+        yield from sorted(rows, key=sort_key)
+
+    def _try_order_value(
+        self,
+        expression: ast.Expression,
+        row: Row,
+        scoped: Row,
+        select_items: Tuple[ast.SelectItem, ...] = (),
+    ) -> Any:
+        # ORDER BY may reference base columns (sorting runs before projection),
+        # aggregate results stored under their SQL text, or select-list aliases.
+        try:
+            return self._evaluator.evaluate(expression, scoped)
+        except EvaluationError:
+            resolved = row.resolve_key(str(expression))
+            if resolved is not None:
+                return row.get(resolved)
+            if isinstance(expression, ast.ColumnRef) and expression.table is None:
+                for item in select_items:
+                    if item.alias and item.alias.lower() == expression.column.lower():
+                        return self._evaluator.evaluate(item.expression, scoped)
+            raise
+
+    def _run_limit(self, node: LimitNode, outer_row: Optional[Row]) -> Iterator[Row]:
+        rows = list(self._run_node(node.child, outer_row))
+        start = node.offset or 0
+        end = start + node.limit if node.limit is not None else None
+        yield from rows[start:end]
+
+    # ------------------------------------------------------------------
+    # Subqueries, DML, helpers
+    # ------------------------------------------------------------------
+
+    def _run_subquery(
+        self, statement: ast.SelectStatement, outer_row: Optional[Row]
+    ) -> Iterable[Row]:
+        result = self.execute_select(statement, outer_row=outer_row)
+        return result.rows
+
+    def _with_outer(self, row: Row, outer_row: Optional[Row]) -> Row:
+        if outer_row is None:
+            return row
+        return outer_row.merged(row)
+
+    def _output_columns(self, statement: ast.SelectStatement) -> Tuple[str, ...]:
+        columns: List[str] = []
+        for item in statement.select_items:
+            if isinstance(item.expression, ast.Star):
+                star = item.expression
+                for table in statement.from_tables:
+                    if star.table is not None and table.binding.lower() != star.table.lower():
+                        continue
+                    relation = self.database.schema.relation(table.name)
+                    for attribute in relation.attributes:
+                        columns.append(f"{table.binding}.{attribute.name}")
+                continue
+            columns.append(item.output_name)
+        return tuple(columns)
+
+    def _execute_insert(self, statement: ast.InsertStatement) -> DmlResult:
+        table = self.database.table(statement.table)
+        columns = statement.columns or table.relation.attribute_names
+        inserted = 0
+        for row in statement.rows:
+            values = {
+                column: self._evaluator.evaluate(expression, Row({}))
+                for column, expression in zip(columns, row)
+            }
+            self.database.insert(statement.table, values)
+            inserted += 1
+        return DmlResult(statement_kind="INSERT", affected_rows=inserted)
+
+    def _execute_update(self, statement: ast.UpdateStatement) -> DmlResult:
+        binding = statement.alias or statement.table
+
+        def predicate(row: Row) -> bool:
+            return self._evaluator.matches(statement.where, row.prefixed(binding))
+
+        changes: Dict[str, Any] = {}
+        for column, expression in statement.assignments:
+            changes[column] = self._evaluator.evaluate(expression, Row({}))
+        affected = self.database.update_where(statement.table, predicate, changes)
+        return DmlResult(statement_kind="UPDATE", affected_rows=affected)
+
+    def _execute_delete(self, statement: ast.DeleteStatement) -> DmlResult:
+        binding = statement.alias or statement.table
+
+        def predicate(row: Row) -> bool:
+            return self._evaluator.matches(statement.where, row.prefixed(binding))
+
+        affected = self.database.delete_where(statement.table, predicate)
+        return DmlResult(statement_kind="DELETE", affected_rows=affected)
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _expression_key(expression: ast.Expression) -> str:
+    """The row key a GROUP BY expression's value is stored under."""
+    if isinstance(expression, ast.ColumnRef):
+        return expression.qualified
+    return str(expression)
+
+
+def _freeze(value: Any) -> Any:
+    if isinstance(value, (list, set)):
+        return tuple(value)
+    return value
+
+
+class _OrderKey:
+    """Sort key wrapper handling NULLs (last) and DESC ordering."""
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value: Any, descending: bool) -> None:
+        self.value = value
+        self.descending = descending
+
+    def __lt__(self, other: "_OrderKey") -> bool:
+        a, b = self.value, other.value
+        if a is None and b is None:
+            return False
+        if a is None:
+            return False  # NULLs sort last regardless of direction
+        if b is None:
+            return True
+        if self.descending:
+            return b < a
+        return a < b
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _OrderKey) and self.value == other.value
+
+
+def execute(database: Database, sql_or_statement) -> Any:
+    """Convenience: execute SQL text or a parsed statement against ``database``."""
+    executor = Executor(database)
+    if isinstance(sql_or_statement, str):
+        return executor.execute_sql(sql_or_statement)
+    return executor.execute(sql_or_statement)

@@ -1,0 +1,415 @@
+"""Logical query plans and the planner that derives them from SELECT ASTs.
+
+The planner performs the classic decomposition the paper's query-graph
+model also relies on: the WHERE clause is split into conjuncts, each
+conjunct is classified as a *local selection* (references a single tuple
+variable), an *equi-join* between two tuple variables, or a *residual*
+predicate (anything else, including subquery connectors), and a left-deep
+join tree is built greedily so that every join has at least one usable
+equi-join condition when one exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import PlanningError
+from repro.sql import ast
+
+
+class PlanNode:
+    """Base class for logical plan nodes."""
+
+    def children(self) -> Sequence["PlanNode"]:
+        return ()
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Scan a base table, binding its rows to a tuple-variable name."""
+
+    table_name: str
+    binding: str
+
+    def describe(self) -> str:
+        if self.binding != self.table_name:
+            return f"Scan({self.table_name} AS {self.binding})"
+        return f"Scan({self.table_name})"
+
+
+@dataclass
+class FilterNode(PlanNode):
+    """Filter rows with a predicate."""
+
+    child: PlanNode
+    predicate: ast.Expression
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        from repro.sql.printer import expression_to_sql
+
+        return f"Filter({expression_to_sql(self.predicate, top_level=True)})"
+
+
+@dataclass
+class JoinNode(PlanNode):
+    """Join two inputs.
+
+    ``equi_conditions`` are equality predicates usable for hashing;
+    ``other_conditions`` are arbitrary predicates evaluated after the match.
+    With no conditions at all this is a cross product.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    equi_conditions: Tuple[ast.BinaryOp, ...] = ()
+    other_conditions: Tuple[ast.Expression, ...] = ()
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.left, self.right)
+
+    def describe(self) -> str:
+        from repro.sql.printer import expression_to_sql
+
+        conds = list(self.equi_conditions) + list(self.other_conditions)
+        if not conds:
+            return "CrossJoin"
+        text = " AND ".join(expression_to_sql(c, top_level=True) for c in conds)
+        kind = "HashJoin" if self.equi_conditions else "NestedLoopJoin"
+        return f"{kind}({text})"
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    """Group rows and compute aggregate functions."""
+
+    child: PlanNode
+    group_by: Tuple[ast.Expression, ...]
+    aggregates: Tuple[ast.FunctionCall, ...]
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        groups = ", ".join(str(g) for g in self.group_by) or "()"
+        aggs = ", ".join(str(a) for a in self.aggregates) or "()"
+        return f"Aggregate(group by {groups}; compute {aggs})"
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    """Compute the select list."""
+
+    child: PlanNode
+    items: Tuple[ast.SelectItem, ...]
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Project(" + ", ".join(str(i) for i in self.items) + ")"
+
+
+@dataclass
+class DistinctNode(PlanNode):
+    child: PlanNode
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+@dataclass
+class SortNode(PlanNode):
+    """Sort rows.
+
+    Sorting runs *before* projection so ORDER BY may reference columns that
+    are not part of the select list; ``select_items`` lets the executor also
+    resolve references to select-list aliases.
+    """
+
+    child: PlanNode
+    order_by: Tuple[ast.OrderItem, ...]
+    select_items: Tuple[ast.SelectItem, ...] = ()
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return "Sort(" + ", ".join(str(o) for o in self.order_by) + ")"
+
+
+@dataclass
+class LimitNode(PlanNode):
+    child: PlanNode
+    limit: Optional[int]
+    offset: Optional[int]
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        parts = []
+        if self.limit is not None:
+            parts.append(f"limit {self.limit}")
+        if self.offset is not None:
+            parts.append(f"offset {self.offset}")
+        return "Limit(" + ", ".join(parts) + ")"
+
+
+@dataclass
+class LogicalPlan:
+    """A complete plan for a SELECT statement."""
+
+    root: PlanNode
+    statement: ast.SelectStatement
+
+    def explain(self) -> str:
+        """An indented, human-readable rendering of the plan tree."""
+        lines: List[str] = []
+
+        def walk(node: PlanNode, depth: int) -> None:
+            lines.append("  " * depth + node.describe())
+            for child in node.children():
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Predicate classification
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ClassifiedPredicates:
+    """WHERE conjuncts grouped by how the planner can use them."""
+
+    local: Dict[str, List[ast.Expression]] = field(default_factory=dict)
+    joins: List[ast.BinaryOp] = field(default_factory=list)
+    residual: List[ast.Expression] = field(default_factory=list)
+
+
+def referenced_bindings(expression: ast.Expression, known: Set[str]) -> Set[str]:
+    """Tuple variables from ``known`` referenced by ``expression``.
+
+    Column references inside nested subqueries are included only when they
+    refer to an outer binding (correlation), which is exactly what the
+    planner needs to decide whether a predicate is local.
+    """
+    found: Set[str] = set()
+    lowered = {k.lower(): k for k in known}
+    for node in expression.walk():
+        if isinstance(node, ast.ColumnRef) and node.table is not None:
+            key = node.table.lower()
+            if key in lowered:
+                found.add(lowered[key])
+        if isinstance(node, ast.SelectStatement):
+            inner = {t.binding.lower() for t in node.from_tables}
+            for sub in node.walk():
+                if isinstance(sub, ast.ColumnRef) and sub.table is not None:
+                    key = sub.table.lower()
+                    if key in lowered and key not in inner:
+                        found.add(lowered[key])
+    return found
+
+
+def classify_predicates(
+    where: Optional[ast.Expression], bindings: Sequence[str]
+) -> ClassifiedPredicates:
+    """Split a WHERE clause into local, join and residual conjuncts."""
+    known = set(bindings)
+    result = ClassifiedPredicates(local={b: [] for b in bindings})
+    for conjunct in ast.conjuncts(where):
+        has_subquery = any(
+            isinstance(n, (ast.InSubquery, ast.Exists, ast.QuantifiedComparison, ast.ScalarSubquery))
+            for n in conjunct.walk()
+        )
+        refs = referenced_bindings(conjunct, known)
+        unqualified = any(
+            isinstance(n, ast.ColumnRef) and n.table is None for n in conjunct.walk()
+        )
+        if has_subquery or unqualified:
+            result.residual.append(conjunct)
+        elif ast.is_join_condition(conjunct) and len(refs) == 2:
+            result.joins.append(conjunct)  # type: ignore[arg-type]
+        elif len(refs) <= 1:
+            binding = next(iter(refs), None)
+            if binding is None:
+                result.residual.append(conjunct)
+            else:
+                result.local[binding].append(conjunct)
+        else:
+            result.residual.append(conjunct)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Planner
+# ---------------------------------------------------------------------------
+
+
+class Planner:
+    """Build a :class:`LogicalPlan` from a SELECT statement."""
+
+    def plan(self, statement: ast.SelectStatement) -> LogicalPlan:
+        if not statement.from_tables:
+            # SELECT without FROM: a single empty row is projected.
+            root: PlanNode = ProjectNode(
+                child=ScanNode(table_name="", binding=""), items=statement.select_items
+            )
+            return LogicalPlan(root=root, statement=statement)
+
+        bindings = [t.binding for t in statement.from_tables]
+        if len(set(b.lower() for b in bindings)) != len(bindings):
+            raise PlanningError("duplicate tuple-variable names in FROM clause")
+
+        classified = classify_predicates(statement.where, bindings)
+
+        # Base access paths: scan plus local filters.
+        inputs: Dict[str, PlanNode] = {}
+        for table in statement.from_tables:
+            node: PlanNode = ScanNode(table_name=table.name, binding=table.binding)
+            for predicate in classified.local.get(table.binding, []):
+                node = FilterNode(child=node, predicate=predicate)
+            inputs[table.binding] = node
+
+        root = self._join_order(inputs, bindings, classified.joins)
+
+        for predicate in classified.residual:
+            root = FilterNode(child=root, predicate=predicate)
+
+        aggregates = self._collect_aggregates(statement)
+        if statement.group_by or aggregates:
+            root = AggregateNode(
+                child=root, group_by=statement.group_by, aggregates=tuple(aggregates)
+            )
+            if statement.having is not None:
+                root = FilterNode(child=root, predicate=statement.having)
+        elif statement.having is not None:
+            # HAVING without GROUP BY behaves like a filter over one big group;
+            # with no aggregates in our subset it degenerates to a WHERE.
+            root = FilterNode(child=root, predicate=statement.having)
+
+        if statement.order_by:
+            root = SortNode(
+                child=root,
+                order_by=statement.order_by,
+                select_items=statement.select_items,
+            )
+        root = ProjectNode(child=root, items=statement.select_items)
+        if statement.distinct:
+            root = DistinctNode(child=root)
+        if statement.limit is not None or statement.offset is not None:
+            root = LimitNode(child=root, limit=statement.limit, offset=statement.offset)
+        return LogicalPlan(root=root, statement=statement)
+
+    # ------------------------------------------------------------------
+
+    def _join_order(
+        self,
+        inputs: Dict[str, PlanNode],
+        bindings: Sequence[str],
+        join_conditions: List[ast.BinaryOp],
+    ) -> PlanNode:
+        """Greedy left-deep join ordering that prefers connected joins."""
+        all_bindings = set(bindings)
+        remaining = list(bindings)
+        pending = list(join_conditions)
+
+        current_bindings = {remaining.pop(0)}
+        root = inputs[next(iter(current_bindings))]
+
+        while remaining:
+            chosen_index = self._pick_connected(
+                remaining, current_bindings, pending, all_bindings
+            )
+            candidate = remaining.pop(chosen_index)
+            new_bindings = current_bindings | {candidate}
+
+            usable: List[ast.BinaryOp] = []
+            still_pending: List[ast.BinaryOp] = []
+            for cond in pending:
+                refs = referenced_bindings(cond, all_bindings)
+                if refs and refs <= new_bindings and candidate in refs:
+                    usable.append(cond)
+                else:
+                    still_pending.append(cond)
+            pending = still_pending
+
+            equi = tuple(c for c in usable if ast.is_join_condition(c))
+            other = tuple(c for c in usable if not ast.is_join_condition(c))
+            root = JoinNode(
+                left=root, right=inputs[candidate], equi_conditions=equi, other_conditions=other
+            )
+            current_bindings = new_bindings
+
+        # Any join conditions not consumed (e.g. self-join conditions over the
+        # same binding pair already joined) become filters.
+        for cond in pending:
+            root = FilterNode(child=root, predicate=cond)
+        return root
+
+    def _pick_connected(
+        self,
+        remaining: Sequence[str],
+        current_bindings: Set[str],
+        pending: Sequence[ast.BinaryOp],
+        all_bindings: Set[str],
+    ) -> int:
+        """Index of the next binding connected to the prefix by a join condition.
+
+        A binding is "connected" when some pending join condition references
+        only bindings from the current prefix plus that candidate (so the
+        condition becomes fully evaluable once the candidate joins).
+        """
+        for index, candidate in enumerate(remaining):
+            probe = current_bindings | {candidate}
+            for cond in pending:
+                refs = referenced_bindings(cond, all_bindings)
+                if candidate in refs and refs <= probe and refs & current_bindings:
+                    return index
+        return 0
+
+    def _collect_aggregates(self, statement: ast.SelectStatement) -> List[ast.FunctionCall]:
+        aggregates: List[ast.FunctionCall] = []
+        seen: Set[str] = set()
+        for item in statement.select_items:
+            self._collect_shallow_aggregates(item.expression, aggregates, seen)
+        if statement.having is not None:
+            self._collect_shallow_aggregates(statement.having, aggregates, seen)
+        for order in statement.order_by:
+            self._collect_shallow_aggregates(order.expression, aggregates, seen)
+        return aggregates
+
+    def _collect_shallow_aggregates(
+        self, expression: ast.Expression, out: List[ast.FunctionCall], seen: Set[str]
+    ) -> None:
+        """Collect aggregates in HAVING without descending into subqueries."""
+        if isinstance(expression, ast.FunctionCall) and expression.is_aggregate:
+            key = str(expression)
+            if key not in seen:
+                seen.add(key)
+                out.append(expression)
+            return
+        if isinstance(
+            expression, (ast.InSubquery, ast.Exists, ast.QuantifiedComparison, ast.ScalarSubquery)
+        ):
+            return
+        for child in expression.children():
+            if isinstance(child, ast.Expression):
+                self._collect_shallow_aggregates(child, out, seen)
+
+
+def plan_query(statement: ast.SelectStatement) -> LogicalPlan:
+    """Plan ``statement`` with the default planner."""
+    return Planner().plan(statement)

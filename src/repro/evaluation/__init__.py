@@ -1,0 +1,43 @@
+"""Evaluation harness: metrics, experiment registry, reporting."""
+
+from repro.evaluation.experiments import (
+    ExperimentResult,
+    experiment_ids,
+    run_all_experiments,
+    run_experiment,
+)
+from repro.evaluation.metrics import (
+    TextMetrics,
+    compression_ratio,
+    coverage,
+    query_coverage,
+    query_elements,
+    redundancy_ratio,
+    tokens,
+)
+from repro.evaluation.reporting import (
+    format_report,
+    format_result,
+    full_report,
+    markdown_table,
+    summary_rows,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "TextMetrics",
+    "compression_ratio",
+    "coverage",
+    "experiment_ids",
+    "format_report",
+    "format_result",
+    "full_report",
+    "markdown_table",
+    "query_coverage",
+    "query_elements",
+    "redundancy_ratio",
+    "run_all_experiments",
+    "run_experiment",
+    "summary_rows",
+    "tokens",
+]

@@ -1,0 +1,272 @@
+"""The experiment registry: every paper artefact, regenerated on demand.
+
+Each experiment corresponds to a figure or worked example of the paper
+(see DESIGN.md's experiment index).  Experiments return a dictionary of
+artefacts — the generated narrative, the paper's target text, and the
+metrics the benchmark harness records — so the same code path backs the
+pytest benchmarks, the EXPERIMENTS.md table and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from repro.content import ContentNarrator, SynthesisMode, movie_spec, employee_spec
+from repro.datasets import (
+    MANAGER_NARRATIVE,
+    MANAGER_QUERY,
+    PAPER_NARRATIVES,
+    PAPER_QUERIES,
+    employee_database,
+    movie_database,
+)
+from repro.evaluation.metrics import TextMetrics, query_coverage
+from repro.graph import SchemaGraph, dfs_traversal
+from repro.query_nl import QueryTranslator
+from repro.querygraph import build_query_graph
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment run."""
+
+    experiment_id: str
+    description: str
+    artifacts: Dict[str, Any] = field(default_factory=dict)
+
+    def summary_lines(self) -> List[str]:
+        lines = [f"[{self.experiment_id}] {self.description}"]
+        for key, value in self.artifacts.items():
+            lines.append(f"  {key}: {value}")
+        return lines
+
+
+ExperimentFn = Callable[[], ExperimentResult]
+
+_REGISTRY: Dict[str, ExperimentFn] = {}
+
+
+def experiment(experiment_id: str):
+    """Decorator registering an experiment under its id."""
+
+    def register(fn: ExperimentFn) -> ExperimentFn:
+        _REGISTRY[experiment_id] = fn
+        return fn
+
+    return register
+
+
+def experiment_ids() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    return _REGISTRY[experiment_id]()
+
+
+def run_all_experiments() -> List[ExperimentResult]:
+    return [run_experiment(experiment_id) for experiment_id in experiment_ids()]
+
+
+# ---------------------------------------------------------------------------
+# Section 2 experiments (content translation)
+# ---------------------------------------------------------------------------
+
+
+def _movie_narrator() -> ContentNarrator:
+    database = movie_database()
+    return ContentNarrator(database, spec=movie_spec(database.schema))
+
+
+@experiment("FIG1")
+def fig1_schema_graph() -> ExperimentResult:
+    """Figure 1: the movie database schema graph."""
+    database = movie_database()
+    graph = SchemaGraph(database.schema)
+    traversal = dfs_traversal(graph, start="MOVIES")
+    return ExperimentResult(
+        experiment_id="FIG1",
+        description="Movie schema graph (relations, projection and join edges)",
+        artifacts={
+            "relations": len(graph.relation_nodes),
+            "attributes": len(graph.attribute_nodes),
+            "projection_edges": len(graph.projection_edges),
+            "join_edges": len(graph.join_edges),
+            "traversal_order": traversal.order,
+            "patterns": [str(p) for p in traversal.patterns],
+            "dot": graph.to_dot(include_attributes=False),
+            "summary": graph.summary(),
+        },
+    )
+
+
+@experiment("EX-DIRECTOR")
+def ex_director_merge() -> ExperimentResult:
+    """Section 2.2: common-expression merging of the DIRECTOR templates."""
+    narrator = _movie_narrator()
+    text = narrator.narrate_tuple("DIRECTOR", _woody_allen_row(narrator))
+    target = "Woody Allen was born in Brooklyn, New York, USA on December 1, 1935."
+    return ExperimentResult(
+        experiment_id="EX-DIRECTOR",
+        description="DNAME was born in BLOCATION on BDATE (merged clause)",
+        artifacts={
+            "generated": text,
+            "paper": target,
+            "match": text == target,
+            "metrics": TextMetrics.of(text),
+        },
+    )
+
+
+@experiment("EX-WOODY-COMPACT")
+def ex_woody_compact() -> ExperimentResult:
+    """Section 2.2: the compact Woody Allen narrative."""
+    narrator = _movie_narrator()
+    text = narrator.narrate_entity(
+        "DIRECTOR", "Woody Allen", "MOVIES", mode=SynthesisMode.COMPACT
+    )
+    target = (
+        "Woody Allen was born in Brooklyn, New York, USA on December 1, 1935."
+        " As a director, Woody Allen's work includes Match Point (2005),"
+        " Melinda and Melinda (2004), and Anything Else (2003)."
+    )
+    return ExperimentResult(
+        experiment_id="EX-WOODY-COMPACT",
+        description="Woody Allen narrative, compact (declarative) synthesis",
+        artifacts={
+            "generated": text,
+            "paper": target,
+            "match": text == target,
+            "metrics": TextMetrics.of(text),
+        },
+    )
+
+
+@experiment("EX-WOODY-PROCEDURAL")
+def ex_woody_procedural() -> ExperimentResult:
+    """Section 2.2: the procedural Woody Allen narrative."""
+    narrator = _movie_narrator()
+    text = narrator.narrate_entity(
+        "DIRECTOR", "Woody Allen", "MOVIES", mode=SynthesisMode.PROCEDURAL
+    )
+    target = (
+        "Woody Allen was born in Brooklyn, New York, USA on December 1, 1935."
+        " As a director, Woody Allen's work includes Match Point, Melinda and"
+        " Melinda, Anything Else. Match Point was released in 2005. Melinda and"
+        " Melinda was released in 2004. Anything Else was released in 2003."
+    )
+    return ExperimentResult(
+        experiment_id="EX-WOODY-PROCEDURAL",
+        description="Woody Allen narrative, procedural synthesis",
+        artifacts={
+            "generated": text,
+            "paper": target,
+            "match": text == target,
+            "metrics": TextMetrics.of(text),
+        },
+    )
+
+
+@experiment("EX-SPLIT")
+def ex_split_pattern() -> ExperimentResult:
+    """Section 2.2: the split-pattern sentence (movie involves director and actor)."""
+    narrator = _movie_narrator()
+    text = narrator.narrate_split("MOVIES", "Troy", ["DIRECTOR", "ACTOR"])
+    paper_shape = (
+        "The movie M1 involves the director D1 who was born in Italy and the"
+        " actor A1 who is Greek."
+    )
+    return ExperimentResult(
+        experiment_id="EX-SPLIT",
+        description="Split pattern: subordinate clauses combined with a conjunction",
+        artifacts={
+            "generated": text,
+            "paper_shape": paper_shape,
+            "mentions_both_partners": ("director" in text and "actor" in text),
+            "single_sentence": text.count(".") == 1,
+            "metrics": TextMetrics.of(text),
+        },
+    )
+
+
+def _woody_allen_row(narrator: ContentNarrator):
+    return narrator.database.table("DIRECTOR").lookup(("name",), ("Woody Allen",))[0]
+
+
+# ---------------------------------------------------------------------------
+# Section 3 experiments (query translation)
+# ---------------------------------------------------------------------------
+
+
+def _paper_query_experiment(name: str) -> ExperimentResult:
+    database = movie_database()
+    translator = QueryTranslator(database.schema, spec=movie_spec(database.schema))
+    translation = translator.translate(PAPER_QUERIES[name])
+    graph = build_query_graph(database.schema, PAPER_QUERIES[name])
+    paper_text = PAPER_NARRATIVES[name]
+    generated = translation.text
+    concise = translation.concise or generated
+    exact = paper_text in (generated, concise)
+    return ExperimentResult(
+        experiment_id=name,
+        description=f"Paper query {name} ({translation.category.value})",
+        artifacts={
+            "category": translation.category.value,
+            "generated": generated,
+            "concise": concise,
+            "paper": paper_text,
+            "exact_match": exact,
+            "coverage": round(
+                query_coverage(database.schema, PAPER_QUERIES[name], generated), 3
+            ),
+            "graph_summary": graph.summary(),
+            "rewritten_sql": translation.rewritten_sql,
+        },
+    )
+
+
+def _register_paper_queries() -> None:
+    for name in PAPER_QUERIES:
+        _REGISTRY[name] = lambda name=name: _paper_query_experiment(name)
+
+
+_register_paper_queries()
+
+
+@experiment("Q0")
+def q0_manager_query() -> ExperimentResult:
+    """Section 3.1: the EMP/DEPT motivating query."""
+    database = employee_database()
+    translator = QueryTranslator(database.schema, spec=employee_spec(database.schema))
+    translation = translator.translate(MANAGER_QUERY)
+    return ExperimentResult(
+        experiment_id="Q0",
+        description="Employees who make more than their managers (Section 3.1)",
+        artifacts={
+            "category": translation.category.value,
+            "generated": translation.text,
+            "paper": MANAGER_NARRATIVE,
+            "coverage": round(
+                query_coverage(database.schema, MANAGER_QUERY, translation.text), 3
+            ),
+        },
+    )
+
+
+@experiment("FIG2")
+def fig2_query_class() -> ExperimentResult:
+    """Figure 2: the parameterised relation class rendering."""
+    database = movie_database()
+    graph = build_query_graph(database.schema, PAPER_QUERIES["Q1"])
+    rendering = graph.query_class("a").render()
+    required = ["<<FROM>>", "<<alias>>", "<<SELECT>>", "<<WHERE>>", "<<HAVING>>"]
+    return ExperimentResult(
+        experiment_id="FIG2",
+        description="Schematic representation of a relation participating in a query",
+        artifacts={
+            "rendering": rendering,
+            "has_all_compartments": all(part in rendering for part in required),
+            "dot": graph.to_dot(),
+        },
+    )

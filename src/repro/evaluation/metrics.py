@@ -1,0 +1,146 @@
+"""Proxy metrics for narrative quality.
+
+The paper defines the two qualities a generated text must balance —
+*expressive* ("accurate in capturing the underlying queries or data") and
+*effective* ("allowing fast and unique interpretation") — but, being a
+vision paper, reports no quantitative evaluation.  These metrics are the
+measurable proxies the benchmark harness reports:
+
+* **coverage** — the fraction of query elements (constants, relation
+  concepts, projected attributes) that the narrative mentions; a proxy for
+  expressiveness;
+* **length** (words / sentences) and **redundancy** (repeated-token
+  fraction) — proxies for effectiveness/concision;
+* **compression** — how much shorter one narrative is than another
+  (compact vs procedural synthesis, declarative vs procedural query
+  translation).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.catalog.schema import Schema
+from repro.lexicon.lexicon import Lexicon, default_lexicon
+from repro.nlg.realize import sentence_count, word_count
+from repro.sql import ast
+from repro.sql.parser import parse_sql
+
+_WORD_RE = re.compile(r"[A-Za-z0-9']+")
+
+
+def tokens(text: str) -> List[str]:
+    """Lower-cased word tokens of a narrative."""
+    return [match.group(0).lower() for match in _WORD_RE.finditer(text)]
+
+
+def redundancy_ratio(text: str) -> float:
+    """1 - (distinct tokens / total tokens); 0.0 for an empty text."""
+    words = tokens(text)
+    if not words:
+        return 0.0
+    return 1.0 - len(set(words)) / len(words)
+
+
+def compression_ratio(shorter: str, longer: str) -> float:
+    """Word-count ratio of two narratives (< 1 means the first is shorter)."""
+    longer_words = word_count(longer)
+    if longer_words == 0:
+        return 1.0
+    return word_count(shorter) / longer_words
+
+
+@dataclass
+class TextMetrics:
+    """Size/shape metrics of one narrative."""
+
+    words: int
+    sentences: int
+    redundancy: float
+
+    @classmethod
+    def of(cls, text: str) -> "TextMetrics":
+        return cls(
+            words=word_count(text),
+            sentences=sentence_count(text),
+            redundancy=redundancy_ratio(text),
+        )
+
+
+def query_elements(schema: Schema, sql: str, lexicon: Lexicon = None) -> List[str]:
+    """The query elements a faithful narrative should mention.
+
+    Constants from selection predicates, the concepts of non-bridge
+    relations in FROM, and the captions of projected attributes.
+    """
+    lexicon = lexicon or default_lexicon(schema)
+    statement = parse_sql(sql)
+    if not isinstance(statement, ast.SelectStatement):
+        return []
+    elements: List[str] = []
+
+    def visit(select: ast.SelectStatement) -> None:
+        for table in select.from_tables:
+            relation = schema.relation(table.name)
+            if not relation.bridge:
+                elements.append(lexicon.concept(relation.name))
+        for item in select.select_items:
+            expression = item.expression
+            if isinstance(expression, ast.ColumnRef):
+                elements.append(expression.column)
+        for node in select.walk():
+            if isinstance(node, ast.Literal) and isinstance(node.value, str):
+                elements.append(node.value)
+            if isinstance(node, ast.SelectStatement) and node is not select:
+                continue
+
+    visit(statement)
+    for subquery in statement.subqueries():
+        visit(subquery)
+    # Deduplicate, preserving order.
+    seen = set()
+    unique = []
+    for element in elements:
+        key = element.lower()
+        if key not in seen:
+            seen.add(key)
+            unique.append(element)
+    return unique
+
+
+def coverage(text: str, elements: Sequence[str]) -> float:
+    """Fraction of ``elements`` whose tokens all appear in ``text``.
+
+    Matching is token-based and forgiving about morphology (an element
+    "movie" is covered by "movies").
+    """
+    if not elements:
+        return 1.0
+    text_tokens = set(tokens(text))
+    covered = 0
+    for element in elements:
+        element_tokens = tokens(element)
+        if not element_tokens:
+            covered += 1
+            continue
+        if all(_token_covered(token, text_tokens) for token in element_tokens):
+            covered += 1
+    return covered / len(elements)
+
+
+def _token_covered(token: str, text_tokens: Iterable[str]) -> bool:
+    for candidate in text_tokens:
+        if candidate == token:
+            return True
+        if candidate.startswith(token) and len(candidate) - len(token) <= 2:
+            return True
+        if token.startswith(candidate) and len(token) - len(candidate) <= 2:
+            return True
+    return False
+
+
+def query_coverage(schema: Schema, sql: str, narrative: str, lexicon: Lexicon = None) -> float:
+    """Coverage of a query's elements by its narrative (expressiveness proxy)."""
+    return coverage(narrative, query_elements(schema, sql, lexicon))

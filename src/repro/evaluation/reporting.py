@@ -1,0 +1,62 @@
+"""Formatting of experiment results for EXPERIMENTS.md and benchmark output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.evaluation.experiments import ExperimentResult, run_all_experiments
+
+
+def format_result(result: ExperimentResult) -> str:
+    """A readable multi-line block for one experiment."""
+    return "\n".join(result.summary_lines())
+
+
+def format_report(results: Sequence[ExperimentResult]) -> str:
+    """A full report covering every experiment."""
+    blocks = [format_result(result) for result in results]
+    return "\n\n".join(blocks)
+
+
+def markdown_table(results: Sequence[ExperimentResult]) -> str:
+    """A Markdown table: experiment id, paper target, generated text, match."""
+    lines = [
+        "| Experiment | Paper target | Generated | Match |",
+        "|---|---|---|---|",
+    ]
+    for result in results:
+        paper = str(result.artifacts.get("paper", result.artifacts.get("paper_shape", "—")))
+        generated = str(result.artifacts.get("generated", result.artifacts.get("summary", "—")))
+        match = result.artifacts.get("exact_match", result.artifacts.get("match", ""))
+        lines.append(
+            f"| {result.experiment_id} | {_cell(paper)} | {_cell(generated)} | {match} |"
+        )
+    return "\n".join(lines)
+
+
+def _cell(text: str, limit: int = 160) -> str:
+    cleaned = " ".join(str(text).split())
+    if len(cleaned) > limit:
+        cleaned = cleaned[: limit - 3] + "..."
+    return cleaned.replace("|", "\\|")
+
+
+def full_report() -> str:
+    """Run every registered experiment and format the report."""
+    return format_report(run_all_experiments())
+
+
+def summary_rows() -> List[str]:
+    """One-line summaries, used by the benchmark harness's console output."""
+    rows = []
+    for result in run_all_experiments():
+        generated = result.artifacts.get("generated")
+        match = result.artifacts.get("exact_match", result.artifacts.get("match"))
+        suffix = ""
+        if match is not None and match != "":
+            suffix = " [exact]" if match else " [shape]"
+        if generated:
+            rows.append(f"{result.experiment_id}: {generated}{suffix}")
+        else:
+            rows.append(f"{result.experiment_id}: {result.description}")
+    return rows

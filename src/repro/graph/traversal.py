@@ -1,0 +1,200 @@
+"""Traversal of the schema graph and detection of structural patterns.
+
+Section 2.2: "During this traversal, three possible structural patterns on
+the graph can be found: the unary pattern (Ri - Rj), the join pattern
+(Ri1, Ri2 > Rj), and the split pattern (Ri < Rj1, Rj2)."  The content
+narrator composes sentences per pattern, so the traversal layer reports
+both the visit order and the patterns found along the way.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.schema_graph import SchemaGraph
+
+
+class PatternKind(enum.Enum):
+    """The three structural patterns of Section 2.2."""
+
+    UNARY = "unary"
+    JOIN = "join"
+    SPLIT = "split"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class StructuralPattern:
+    """One occurrence of a structural pattern in a traversal.
+
+    ``center`` is Ri; ``partners`` are the Rj relations: exactly one for a
+    unary pattern, the two (or more) children for a split pattern, and the
+    two (or more) co-parents for a join pattern.
+    """
+
+    kind: PatternKind
+    center: str
+    partners: Tuple[str, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        partners = ", ".join(self.partners)
+        return f"{self.kind.value}({self.center}; {partners})"
+
+
+@dataclass
+class TraversalStep:
+    """One step of the DFS traversal: an edge from ``parent`` to ``relation``."""
+
+    relation: str
+    parent: Optional[str]
+    depth: int
+
+
+@dataclass
+class TraversalResult:
+    """The spanning tree produced by a DFS traversal plus detected patterns."""
+
+    start: str
+    steps: List[TraversalStep] = field(default_factory=list)
+    patterns: List[StructuralPattern] = field(default_factory=list)
+
+    @property
+    def order(self) -> Tuple[str, ...]:
+        return tuple(step.relation for step in self.steps)
+
+    def children_of(self, relation: str) -> Tuple[str, ...]:
+        return tuple(step.relation for step in self.steps if step.parent == relation)
+
+    def parent_of(self, relation: str) -> Optional[str]:
+        for step in self.steps:
+            if step.relation == relation:
+                return step.parent
+        return None
+
+
+def dfs_traversal(
+    graph: SchemaGraph,
+    start: Optional[str] = None,
+    restrict_to: Optional[Sequence[str]] = None,
+) -> TraversalResult:
+    """DFS over the join edges of ``graph`` starting from ``start``.
+
+    ``restrict_to`` limits the traversal to a subset of relations (the
+    "database part concerned" in the paper's wording).  Neighbours are
+    visited most-interesting-first (descending relation weight, then name)
+    so the resulting narrative leads with the important relations.
+    """
+    if start is None:
+        start = graph.central_relation().name
+    else:
+        start = graph.schema.relation(start).name
+    allowed = (
+        {graph.schema.relation(name).name for name in restrict_to}
+        if restrict_to is not None
+        else {r.name for r in graph.schema.relations}
+    )
+    if start not in allowed:
+        allowed = allowed | {start}
+
+    result = TraversalResult(start=start)
+    visited: List[str] = []
+
+    def visit(relation: str, parent: Optional[str], depth: int) -> None:
+        visited.append(relation)
+        result.steps.append(TraversalStep(relation=relation, parent=parent, depth=depth))
+        neighbours = [
+            n
+            for n in graph.neighbours(relation)
+            if n in allowed and n not in visited
+        ]
+        neighbours.sort(
+            key=lambda name: (-graph.relation_node(name).weight, name)
+        )
+        for neighbour in neighbours:
+            if neighbour in visited:
+                continue
+            visit(neighbour, relation, depth + 1)
+
+    visit(start, None, 0)
+
+    # Relations reachable only through relations outside ``allowed`` (or in a
+    # different connected component) are appended as additional roots so the
+    # traversal always covers the requested subset.
+    for name in sorted(allowed, key=lambda n: (-graph.relation_node(n).weight, n)):
+        if name not in visited:
+            visit(name, None, 0)
+
+    result.patterns.extend(detect_patterns(result))
+    return result
+
+
+def detect_patterns(result: TraversalResult) -> List[StructuralPattern]:
+    """Detect unary/split patterns from the spanning tree and join patterns
+    from relations with more than one already-visited neighbour."""
+    patterns: List[StructuralPattern] = []
+    children: Dict[str, List[str]] = {}
+    for step in result.steps:
+        if step.parent is not None:
+            children.setdefault(step.parent, []).append(step.relation)
+
+    for relation in result.order:
+        kids = children.get(relation, [])
+        if len(kids) == 1:
+            patterns.append(
+                StructuralPattern(
+                    kind=PatternKind.UNARY, center=relation, partners=(kids[0],)
+                )
+            )
+        elif len(kids) >= 2:
+            patterns.append(
+                StructuralPattern(
+                    kind=PatternKind.SPLIT, center=relation, partners=tuple(kids)
+                )
+            )
+
+    # Join patterns: a relation whose parents-in-graph (not tree) are >= 2,
+    # i.e. two already-visited relations both join into it.
+    order = list(result.order)
+    for index, relation in enumerate(order):
+        earlier = set(order[:index])
+        parents = [p for p in earlier if relation in _tree_children(children, p)]
+        if len(parents) >= 2:  # pragma: no cover - requires non-tree DAG input
+            patterns.append(
+                StructuralPattern(
+                    kind=PatternKind.JOIN, center=relation, partners=tuple(sorted(parents))
+                )
+            )
+    return patterns
+
+
+def detect_join_patterns(graph: SchemaGraph, relations: Sequence[str]) -> List[StructuralPattern]:
+    """Join patterns over a relation subset: Rj receiving edges from >= 2 others.
+
+    Unlike :func:`detect_patterns`, which works on a spanning tree, this
+    inspects the actual join edges among ``relations`` — the join pattern
+    (Ri1, Ri2 > Rj) only materialises when two chosen relations both join
+    into a third one.
+    """
+    canonical = [graph.schema.relation(r).name for r in relations]
+    patterns: List[StructuralPattern] = []
+    for relation in canonical:
+        partners = [
+            other
+            for other in canonical
+            if other != relation and graph.join_edges_between(relation, other)
+        ]
+        if len(partners) >= 2:
+            patterns.append(
+                StructuralPattern(
+                    kind=PatternKind.JOIN, center=relation, partners=tuple(sorted(partners))
+                )
+            )
+    return patterns
+
+
+def _tree_children(children: Dict[str, List[str]], parent: str) -> List[str]:
+    return children.get(parent, [])

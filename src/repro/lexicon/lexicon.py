@@ -1,0 +1,127 @@
+"""The lexicon: how schema elements are referred to in natural language.
+
+The translators need three kinds of lexical knowledge, all of which the
+paper assumes are available ("Without loss of generality we may assume
+that the names of relations and attributes are meaningful"):
+
+* the *concept noun* of a relation (MOVIES → "movie"),
+* the *caption* of an attribute (bdate → "birth date"),
+* the *verb phrase* of a relationship (CAST joining ACTOR → "plays in").
+
+Defaults are derived from catalog metadata; entries can be overridden so
+different installations (or personalised profiles) phrase things their own
+way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.catalog.schema import Schema
+from repro.lexicon.morphology import pluralize
+
+
+@dataclass
+class Lexicon:
+    """Lexical choices for one schema."""
+
+    schema: Schema
+    concept_overrides: Dict[str, str] = field(default_factory=dict)
+    plural_overrides: Dict[str, str] = field(default_factory=dict)
+    caption_overrides: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    verb_overrides: Dict[Tuple[str, str], str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+
+    def concept(self, relation: str) -> str:
+        """The singular concept noun for ``relation`` ("movie", "actor")."""
+        rel = self.schema.relation(relation)
+        return self.concept_overrides.get(rel.name, rel.concept)
+
+    def concept_plural(self, relation: str) -> str:
+        """The plural concept noun ("movies", "actors")."""
+        rel = self.schema.relation(relation)
+        if rel.name in self.plural_overrides:
+            return self.plural_overrides[rel.name]
+        return pluralize(self.concept(relation))
+
+    def set_concept(self, relation: str, singular: str, plural: Optional[str] = None) -> None:
+        rel = self.schema.relation(relation)
+        self.concept_overrides[rel.name] = singular
+        if plural is not None:
+            self.plural_overrides[rel.name] = plural
+
+    # ------------------------------------------------------------------
+    # Attributes
+    # ------------------------------------------------------------------
+
+    def caption(self, relation: str, attribute: str) -> str:
+        """The phrase used for an attribute ("release year", "birth date")."""
+        rel = self.schema.relation(relation)
+        attr = rel.attribute(attribute)
+        return self.caption_overrides.get((rel.name, attr.name), attr.display_caption)
+
+    def caption_plural(self, relation: str, attribute: str) -> str:
+        return pluralize(self.caption(relation, attribute))
+
+    def set_caption(self, relation: str, attribute: str, caption: str) -> None:
+        rel = self.schema.relation(relation)
+        attr = rel.attribute(attribute)
+        self.caption_overrides[(rel.name, attr.name)] = caption
+
+    def heading_caption(self, relation: str) -> str:
+        """The caption of the relation's heading attribute."""
+        rel = self.schema.relation(relation)
+        return self.caption(relation, rel.heading_attribute.name)
+
+    # ------------------------------------------------------------------
+    # Relationships
+    # ------------------------------------------------------------------
+
+    def relationship_verb(self, source: str, target: str) -> Optional[str]:
+        """The verb phrase describing the FK relationship source → target.
+
+        Looks at FKs in both directions; an override keyed by the pair
+        wins.  Returns ``None`` when the relations are unrelated.
+        """
+        src = self.schema.relation(source).name
+        dst = self.schema.relation(target).name
+        if (src, dst) in self.verb_overrides:
+            return self.verb_overrides[(src, dst)]
+        if (dst, src) in self.verb_overrides:
+            return self.verb_overrides[(dst, src)]
+        for fk in self.schema.foreign_keys_between(src, dst):
+            if fk.verb_phrase:
+                return fk.verb_phrase
+        return None
+
+    def set_relationship_verb(self, source: str, target: str, verb: str) -> None:
+        src = self.schema.relation(source).name
+        dst = self.schema.relation(target).name
+        self.verb_overrides[(src, dst)] = verb
+
+    # ------------------------------------------------------------------
+
+    def describe_value(self, relation: str, attribute: str, value) -> str:
+        """Phrase a constant the way the narratives do: "the actor Brad Pitt".
+
+        When the attribute is the relation's heading attribute the value is
+        apposed to the concept noun; otherwise the attribute caption is
+        used ("the release year 2005").
+        """
+        from repro.catalog.types import render_value
+
+        rel = self.schema.relation(relation)
+        attr = rel.attribute(attribute)
+        rendered = render_value(value)
+        if attr.name == rel.heading_attribute.name:
+            return f"the {self.concept(relation)} {rendered}"
+        return f"the {self.caption(relation, attribute)} {rendered}"
+
+
+def default_lexicon(schema: Schema) -> Lexicon:
+    """A lexicon containing only metadata-derived defaults."""
+    return Lexicon(schema=schema)

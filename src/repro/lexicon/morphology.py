@@ -1,0 +1,164 @@
+"""Small English morphology helpers used by surface realisation.
+
+Nothing here aims at linguistic completeness; the rules cover the
+vocabulary that database schemas produce (concept nouns, attribute
+captions) well enough for the paper's narratives.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Sequence
+
+_IRREGULAR_PLURALS = {
+    "person": "people",
+    "child": "children",
+    "man": "men",
+    "woman": "women",
+    "foot": "feet",
+    "tooth": "teeth",
+    "mouse": "mice",
+    "goose": "geese",
+    "datum": "data",
+    "medium": "media",
+    "index": "indexes",  # database usage
+    "schema": "schemas",
+    "criterion": "criteria",
+    "analysis": "analyses",
+}
+
+_UNCOUNTABLE = {"information", "cast", "staff", "metadata", "data", "news", "series"}
+
+_VOWELS = "aeiou"
+
+
+def _match_case(original: str, plural: str) -> str:
+    """Carry the original's initial capitalisation over to the plural form."""
+    if original[:1].isupper():
+        return plural[:1].upper() + plural[1:]
+    return plural
+
+
+def pluralize(noun: str, count: int = 2) -> str:
+    """The plural of ``noun`` (returns it unchanged when ``count == 1``)."""
+    if count == 1 or not noun:
+        return noun
+    lowered = noun.lower()
+    if lowered in _UNCOUNTABLE:
+        return noun
+    if lowered in _IRREGULAR_PLURALS:
+        return _match_case(noun, _IRREGULAR_PLURALS[lowered])
+    if " " in noun:
+        head, _, tail = noun.rpartition(" ")
+        return f"{head} {pluralize(tail, count)}"
+    if re.search(r"(s|x|z|ch|sh)$", lowered):
+        return noun + "es"
+    if lowered.endswith("y") and len(lowered) > 1 and lowered[-2] not in _VOWELS:
+        return noun[:-1] + "ies"
+    if lowered.endswith("f"):
+        return noun[:-1] + "ves"
+    if lowered.endswith("fe"):
+        return noun[:-2] + "ves"
+    return noun + "s"
+
+
+def indefinite_article(noun: str) -> str:
+    """Return "a" or "an" for ``noun`` (simple initial-sound heuristic)."""
+    if not noun:
+        return "a"
+    first = noun.strip().lower()[0]
+    word = noun.strip().lower()
+    if word.startswith(("uni", "use", "eur", "one")):
+        return "a"
+    if word.startswith(("hour", "honest", "honor", "heir")):
+        return "an"
+    return "an" if first in _VOWELS else "a"
+
+
+def with_article(noun: str, definite: bool = False) -> str:
+    """Prefix ``noun`` with the appropriate article."""
+    if definite:
+        return f"the {noun}"
+    return f"{indefinite_article(noun)} {noun}"
+
+
+def capitalize_first(text: str) -> str:
+    """Capitalise the first alphabetic character, leaving the rest intact.
+
+    Sentences that start with a number ("12 more rows are not shown") are
+    left alone: capitalising a word in the middle reads worse than starting
+    with the digit.
+    """
+    for index, ch in enumerate(text):
+        if ch.isdigit():
+            return text
+        if ch.isalpha():
+            return text[:index] + ch.upper() + text[index + 1 :]
+    return text
+
+
+def join_list(items: Sequence[str], conjunction: str = "and", oxford: bool = True) -> str:
+    """Join items as English prose: "a", "a and b", "a, b, and c"."""
+    items = [item for item in items if item]
+    if not items:
+        return ""
+    if len(items) == 1:
+        return items[0]
+    if len(items) == 2:
+        return f"{items[0]} {conjunction} {items[1]}"
+    comma = "," if oxford else ""
+    return ", ".join(items[:-1]) + f"{comma} {conjunction} {items[-1]}"
+
+
+def possessive(noun: str) -> str:
+    """The possessive form of a noun/name ("Woody Allen's", "actors'")."""
+    if not noun:
+        return noun
+    if noun.endswith("s"):
+        return noun + "'"
+    return noun + "'s"
+
+
+def number_word(value: int) -> str:
+    """Spell out small integers ("more than one genre"), else use digits."""
+    words = {
+        0: "zero", 1: "one", 2: "two", 3: "three", 4: "four", 5: "five",
+        6: "six", 7: "seven", 8: "eight", 9: "nine", 10: "ten",
+        11: "eleven", 12: "twelve",
+    }
+    return words.get(value, str(value))
+
+
+def ordinal_word(value: int) -> str:
+    """Spell out small ordinals ("first", "second"), else "3rd"-style."""
+    words = {
+        1: "first", 2: "second", 3: "third", 4: "fourth", 5: "fifth",
+        6: "sixth", 7: "seventh", 8: "eighth", 9: "ninth", 10: "tenth",
+    }
+    if value in words:
+        return words[value]
+    suffix = "th"
+    if value % 100 not in (11, 12, 13):
+        suffix = {1: "st", 2: "nd", 3: "rd"}.get(value % 10, "th")
+    return f"{value}{suffix}"
+
+
+def strip_extra_spaces(text: str) -> str:
+    """Collapse repeated spaces and trim space before punctuation."""
+    collapsed = re.sub(r"\s+", " ", text).strip()
+    collapsed = re.sub(r"\s+([,.;:!?])", r"\1", collapsed)
+    return collapsed
+
+
+def sentence_case(sentences: Iterable[str]) -> List[str]:
+    """Capitalise and terminate each sentence with a period when needed."""
+    out: List[str] = []
+    for sentence in sentences:
+        cleaned = strip_extra_spaces(sentence)
+        if not cleaned:
+            continue
+        cleaned = capitalize_first(cleaned)
+        if cleaned[-1] not in ".!?":
+            cleaned += "."
+        out.append(cleaned)
+    return out

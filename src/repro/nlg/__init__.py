@@ -1,0 +1,46 @@
+"""Natural-language generation core: clauses, aggregation, realisation, planning."""
+
+from repro.nlg.aggregation import (
+    common_prefix_length,
+    merge_clauses,
+    merge_same_subject,
+    merge_templates,
+    split_prefix,
+)
+from repro.nlg.clause import Clause, ClauseGroup, EntityPhrase, clause_from_text
+from repro.nlg.document import DocumentPlan, LengthBudget, PlannedSentence
+from repro.nlg.realize import (
+    attach_relative,
+    coordinate,
+    realize_paragraph,
+    realize_sentence,
+    realize_sentences,
+    relative_clause,
+    render,
+    sentence_count,
+    word_count,
+)
+
+__all__ = [
+    "Clause",
+    "ClauseGroup",
+    "DocumentPlan",
+    "EntityPhrase",
+    "LengthBudget",
+    "PlannedSentence",
+    "attach_relative",
+    "clause_from_text",
+    "common_prefix_length",
+    "coordinate",
+    "merge_clauses",
+    "merge_same_subject",
+    "merge_templates",
+    "realize_paragraph",
+    "realize_sentence",
+    "realize_sentences",
+    "relative_clause",
+    "render",
+    "sentence_count",
+    "split_prefix",
+    "word_count",
+]

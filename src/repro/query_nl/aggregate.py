@@ -1,0 +1,226 @@
+"""Translation of aggregate (GROUP BY / HAVING) queries — Section 3.3.4, Q7.
+
+The target narrative for Q7 is "Find the number of actors in movies of
+more than one genre": the count over the join of MOVIES and CAST grouped
+by movie counts *cast members*, i.e. actors; the correlated HAVING
+subquery against GENRE reads as "of more than one genre".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.catalog.schema import Schema
+from repro.lexicon.lexicon import Lexicon
+from repro.lexicon.morphology import join_list, number_word, pluralize
+from repro.query_nl.phrases import comparison_phrase, projection_caption
+from repro.query_nl.procedural import procedural_translation
+from repro.querygraph.model import QueryGraph
+from repro.rewrite.patterns import detect_count_comparison
+from repro.sql import ast
+
+
+@dataclass
+class AggregateTranslation:
+    text: str
+    concise: str
+    notes: List[str] = field(default_factory=list)
+
+
+class AggregateTranslator:
+    """Translate grouping/aggregation queries declaratively when possible."""
+
+    def __init__(self, schema: Schema, lexicon: Lexicon) -> None:
+        self.schema = schema
+        self.lexicon = lexicon
+
+    # ------------------------------------------------------------------
+
+    def translate(self, graph: QueryGraph) -> AggregateTranslation:
+        statement = graph.statement
+        notes: List[str] = []
+
+        counted = self._counted_concept(graph)
+        group_binding = self._group_binding(graph)
+        if counted is None or group_binding is None:
+            text = procedural_translation(
+                self.schema, self.lexicon, graph, intro="The query aggregates its results"
+            )
+            return AggregateTranslation(
+                text=text, concise=text,
+                notes=["no declarative aggregate pattern matched; procedural narrative used"],
+            )
+
+        group_class = graph.classes[group_binding]
+        group_concept = self.lexicon.concept_plural(group_class.relation_name)
+
+        phrases: List[str] = [f"the number of {counted}"]
+        phrases.append(f"in {group_concept}")
+
+        having_phrase = self._having_phrase(graph, notes)
+        if having_phrase:
+            phrases.append(having_phrase)
+
+        where_phrases = self._where_phrases(graph, group_binding)
+        phrases.extend(where_phrases)
+
+        extra_projections = self._non_aggregate_projections(graph, group_binding)
+        text = "Find " + " ".join(phrases)
+        if extra_projections:
+            notes.append(
+                "the grouped query also reports "
+                + join_list(extra_projections)
+                + " for each group"
+            )
+        notes.append(
+            f"count(*) over the grouped join counts {counted}, not rows of the"
+            f" group relation"
+        )
+        return AggregateTranslation(text=text, concise=text, notes=notes)
+
+    # ------------------------------------------------------------------
+
+    def _counted_concept(self, graph: QueryGraph) -> Optional[str]:
+        """What the aggregate counts, as a plural concept noun.
+
+        ``count(*)`` over a join counts the rows of the non-grouped FROM
+        relation; when that relation is a bridge (CAST) the entity it
+        bridges to (ACTOR) is what a human would say is being counted.
+        ``count(x)`` / ``sum(x)`` use the caption of ``x``.
+        """
+        aggregates = list(graph.global_aggregates)
+        for query_class in graph.classes.values():
+            aggregates.extend(query_class.aggregate_entries)
+        if not aggregates:
+            return None
+
+        explicit = self._explicit_aggregate_argument(graph)
+        if explicit is not None:
+            return explicit
+
+        group_binding = self._group_binding(graph)
+        non_group = [
+            binding
+            for binding in graph.bindings
+            if binding != group_binding
+        ]
+        for binding in non_group:
+            relation = self.schema.relation(graph.classes[binding].relation_name)
+            if not relation.bridge:
+                return self.lexicon.concept_plural(relation.name)
+        for binding in non_group:
+            relation = self.schema.relation(graph.classes[binding].relation_name)
+            if relation.bridge:
+                endpoint = self._bridge_endpoint(relation.name, graph, group_binding)
+                if endpoint is not None:
+                    return self.lexicon.concept_plural(endpoint)
+                return self.lexicon.concept_plural(relation.name)
+        group_class = graph.classes[group_binding] if group_binding else None
+        if group_class is not None:
+            return self.lexicon.concept_plural(group_class.relation_name)
+        return None
+
+    def _explicit_aggregate_argument(self, graph: QueryGraph) -> Optional[str]:
+        for item in graph.statement.select_items:
+            expression = item.expression
+            if (
+                isinstance(expression, ast.FunctionCall)
+                and expression.is_aggregate
+                and expression.args
+                and isinstance(expression.args[0], ast.ColumnRef)
+            ):
+                column = expression.args[0]
+                binding = column.table
+                if binding is None:
+                    continue
+                try:
+                    query_class = graph.query_class(binding)
+                except KeyError:
+                    continue
+                name = expression.name.upper()
+                caption = projection_caption(
+                    self.schema, self.lexicon, query_class.relation_name, column.column
+                )
+                if name == "COUNT":
+                    return caption
+                words = {"SUM": "total", "AVG": "average", "MIN": "minimum", "MAX": "maximum"}
+                return f"{words.get(name, name.lower())} {caption}"
+        return None
+
+    def _bridge_endpoint(
+        self, bridge_name: str, graph: QueryGraph, group_binding: Optional[str]
+    ) -> Optional[str]:
+        group_relation = (
+            graph.classes[group_binding].relation_name if group_binding else None
+        )
+        for fk in self.schema.foreign_keys_from(bridge_name):
+            if fk.target_relation != group_relation:
+                return fk.target_relation
+        return None
+
+    def _group_binding(self, graph: QueryGraph) -> Optional[str]:
+        grouped = [b for b, qc in graph.classes.items() if qc.group_by]
+        if grouped:
+            return grouped[0]
+        if graph.statement.group_by:
+            # GROUP BY expressions that did not land on a class: pick the first
+            # binding that a grouped column references.
+            for expression in graph.statement.group_by:
+                for column in ast.column_refs(expression):
+                    if column.table and column.table in graph.classes:
+                        return column.table
+        if len(graph.classes) == 1:
+            return next(iter(graph.classes))
+        return None
+
+    def _having_phrase(self, graph: QueryGraph, notes: List[str]) -> Optional[str]:
+        idiom = detect_count_comparison(graph.statement)
+        if idiom is None:
+            return None
+        if idiom.direction == "more":
+            quantity = f"more than {number_word(idiom.threshold)}"
+        elif idiom.direction == "fewer":
+            quantity = f"fewer than {number_word(idiom.threshold)}"
+        else:
+            quantity = f"exactly {number_word(idiom.threshold)}"
+        if idiom.counted_relation is not None:
+            noun = self.lexicon.concept(idiom.counted_relation)
+            if idiom.threshold != 1 or idiom.direction == "fewer":
+                noun = pluralize(noun)
+            notes.append(
+                "the correlated HAVING subquery compares a per-group count against"
+                f" a constant and reads as 'of {quantity} {noun}'"
+            )
+            return f"of {quantity} {noun}"
+        counted = self._counted_concept(graph) or "results"
+        return f"with {quantity} {counted}"
+
+    def _where_phrases(self, graph: QueryGraph, group_binding: str) -> List[str]:
+        phrases: List[str] = []
+        for binding, query_class in graph.classes.items():
+            for constraint in query_class.where_constraints:
+                if isinstance(constraint.expression, ast.BinaryOp):
+                    prefix = "" if binding == group_binding else (
+                        "whose " + self.lexicon.concept(query_class.relation_name) + " "
+                    )
+                    phrases.append(
+                        prefix
+                        + comparison_phrase(
+                            self.schema,
+                            self.lexicon,
+                            query_class.relation_name,
+                            constraint.expression,
+                        )
+                    )
+        return phrases
+
+    def _non_aggregate_projections(self, graph: QueryGraph, group_binding: str) -> List[str]:
+        projections = []
+        for binding, query_class in graph.classes.items():
+            for entry in query_class.select_entries:
+                projections.append(
+                    f"the {self.lexicon.caption(entry.relation_name, entry.attribute)}"
+                    f" of the {self.lexicon.concept(entry.relation_name)}"
+                )
+        return projections

@@ -1,0 +1,102 @@
+"""Verbalisation of integrity constraints (Section 3.1).
+
+"Likewise for view definitions and integrity constraints, which borrow
+most of their syntax from queries."  Schema-level constraints — primary
+keys, foreign keys, NOT NULL columns — are the integrity constraints our
+catalog records; this module narrates them so a designer (or a novice
+user filling in a form) can read what the schema enforces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.catalog.relation import Relation
+from repro.catalog.schema import Schema
+from repro.lexicon.lexicon import Lexicon, default_lexicon
+from repro.lexicon.morphology import join_list
+from repro.nlg.realize import realize_paragraph, realize_sentence
+
+
+class ConstraintTranslator:
+    """Narrate the integrity constraints of a schema."""
+
+    def __init__(self, schema: Schema, lexicon: Optional[Lexicon] = None) -> None:
+        self.schema = schema
+        self.lexicon = lexicon or default_lexicon(schema)
+
+    # ------------------------------------------------------------------
+
+    def describe_primary_key(self, relation_name: str) -> Optional[str]:
+        """"Every movie is identified by its id." (None when keyless)."""
+        relation = self.schema.relation(relation_name)
+        key = relation.primary_key_names
+        if not key:
+            return None
+        captions = [self.lexicon.caption(relation.name, column) for column in key]
+        concept = self.lexicon.concept(relation.name)
+        if len(captions) == 1:
+            return realize_sentence(f"every {concept} is identified by its {captions[0]}")
+        return realize_sentence(
+            f"every {concept} is identified by the combination of {join_list(captions)}"
+        )
+
+    def describe_not_null(self, relation_name: str) -> List[str]:
+        """One sentence per mandatory (NOT NULL, non-key) attribute."""
+        relation = self.schema.relation(relation_name)
+        concept = self.lexicon.concept(relation.name)
+        sentences = []
+        for attribute in relation.attributes:
+            if attribute.nullable or attribute.primary_key:
+                continue
+            caption = self.lexicon.caption(relation.name, attribute.name)
+            sentences.append(
+                realize_sentence(f"every {concept} must have a {caption}")
+            )
+        return sentences
+
+    def describe_foreign_keys(self, relation_name: str) -> List[str]:
+        """"Every CAST row must refer to an existing movie and an existing actor."."""
+        relation = self.schema.relation(relation_name)
+        concept = self.lexicon.concept(relation.name)
+        sentences = []
+        for fk in self.schema.foreign_keys_from(relation.name):
+            target_concept = self.lexicon.concept(fk.target_relation)
+            columns = join_list(
+                [self.lexicon.caption(relation.name, column) for column in fk.source_attributes]
+            )
+            sentences.append(
+                realize_sentence(
+                    f"the {columns} of a {concept} must refer to an existing {target_concept}"
+                )
+            )
+        return sentences
+
+    def describe_relation(self, relation_name: str) -> str:
+        """All constraints of one relation as a paragraph."""
+        parts: List[str] = []
+        primary = self.describe_primary_key(relation_name)
+        if primary:
+            parts.append(primary)
+        parts.extend(self.describe_not_null(relation_name))
+        parts.extend(self.describe_foreign_keys(relation_name))
+        if not parts:
+            relation = self.schema.relation(relation_name)
+            return realize_sentence(
+                f"the {self.lexicon.concept(relation.name)} relation has no declared constraints"
+            )
+        return " ".join(parts)
+
+    def describe_schema(self, include_bridges: bool = True) -> str:
+        """Every constraint in the schema, relation by relation."""
+        paragraphs = []
+        for relation in self.schema.relations:
+            if not include_bridges and relation.bridge:
+                continue
+            paragraphs.append(self.describe_relation(relation.name))
+        return realize_paragraph(paragraphs)
+
+
+def describe_constraints(schema: Schema, lexicon: Optional[Lexicon] = None) -> str:
+    """Convenience: narrate every integrity constraint of ``schema``."""
+    return ConstraintTranslator(schema, lexicon).describe_schema()

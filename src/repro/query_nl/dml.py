@@ -1,0 +1,130 @@
+"""Verbalisation of data-manipulation statements and view definitions.
+
+Section 3.1: "the same can be said about all other commands a user may
+give to a database system.  Insertions, deletions, and updates, especially
+those with complicated qualifications or nested constructs, will benefit
+from a translation into natural language.  Likewise for view definitions
+and integrity constraints."
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.catalog.schema import Schema
+from repro.catalog.types import render_value
+from repro.engine.evaluator import ExpressionEvaluator
+from repro.errors import EvaluationError
+from repro.lexicon.lexicon import Lexicon, default_lexicon
+from repro.lexicon.morphology import join_list
+from repro.nlg.realize import realize_sentence
+from repro.query_nl.phrases import comparison_phrase
+from repro.sql import ast
+from repro.sql.printer import expression_to_sql
+from repro.storage.row import Row
+
+
+class DmlTranslator:
+    """Translate INSERT / UPDATE / DELETE / CREATE VIEW statements."""
+
+    def __init__(self, schema: Schema, lexicon: Optional[Lexicon] = None) -> None:
+        self.schema = schema
+        self.lexicon = lexicon or default_lexicon(schema)
+        self._evaluator = ExpressionEvaluator()
+
+    # ------------------------------------------------------------------
+
+    def translate(self, statement: ast.Statement) -> str:
+        if isinstance(statement, ast.InsertStatement):
+            return self._translate_insert(statement)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._translate_update(statement)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._translate_delete(statement)
+        if isinstance(statement, ast.CreateViewStatement):
+            return self._translate_view(statement)
+        raise TypeError(f"unsupported statement type {type(statement).__name__}")
+
+    # ------------------------------------------------------------------
+
+    def _translate_insert(self, statement: ast.InsertStatement) -> str:
+        relation = self.schema.relation(statement.table)
+        concept = self.lexicon.concept(relation.name)
+        columns = statement.columns or relation.attribute_names
+        sentences: List[str] = []
+        for row in statement.rows:
+            parts = []
+            for column, expression in zip(columns, row):
+                caption = self.lexicon.caption(relation.name, column)
+                parts.append(f"{caption} {self._value_text(expression)}")
+            sentences.append(f"Insert a new {concept} with {join_list(parts)}")
+        return " ".join(realize_sentence(s) for s in sentences)
+
+    def _translate_update(self, statement: ast.UpdateStatement) -> str:
+        relation = self.schema.relation(statement.table)
+        concept = self.lexicon.concept(relation.name)
+        changes = [
+            f"set the {self.lexicon.caption(relation.name, column)}"
+            f" to {self._value_text(expression)}"
+            for column, expression in statement.assignments
+        ]
+        scope = self._scope_phrase(relation.name, statement.where, plural=True)
+        return realize_sentence(f"For {scope}, {join_list(changes)}")
+
+    def _translate_delete(self, statement: ast.DeleteStatement) -> str:
+        relation = self.schema.relation(statement.table)
+        scope = self._scope_phrase(relation.name, statement.where, plural=True)
+        return realize_sentence(f"Delete {scope}")
+
+    def _translate_view(self, statement: ast.CreateViewStatement) -> str:
+        # Imported lazily: the query translator itself imports this module.
+        from repro.query_nl.translator import QueryTranslator
+
+        translator = QueryTranslator(self.schema, lexicon=self.lexicon)
+        inner = translator.translate(statement.query)
+        inner_text = inner.text
+        if inner_text.startswith("Find "):
+            inner_text = inner_text[len("Find "):]
+        return realize_sentence(
+            f"Define the view {statement.name} as {inner_text}"
+        )
+
+    # ------------------------------------------------------------------
+
+    def _scope_phrase(
+        self, relation_name: str, where: Optional[ast.Expression], plural: bool
+    ) -> str:
+        noun = (
+            self.lexicon.concept_plural(relation_name)
+            if plural
+            else self.lexicon.concept(relation_name)
+        )
+        if where is None:
+            return f"every {self.lexicon.concept(relation_name)}"
+        qualifiers = []
+        for conjunct in ast.conjuncts(where):
+            if isinstance(conjunct, ast.BinaryOp):
+                qualifiers.append(
+                    comparison_phrase(self.schema, self.lexicon, relation_name, conjunct)
+                )
+            else:
+                qualifiers.append(expression_to_sql(conjunct, top_level=True))
+        cleaned = [q for q in qualifiers if q]
+        if not cleaned:
+            return f"every {self.lexicon.concept(relation_name)}"
+        # Heading-equality phrases come back as bare values ("Troy"); prefix
+        # them so the sentence stays grammatical.
+        phrased = []
+        for qualifier in cleaned:
+            if qualifier.startswith(("whose ", "named ")):
+                phrased.append(qualifier)
+            else:
+                phrased.append(f"named {qualifier}")
+        return f"the {noun} {join_list(phrased)}"
+
+    def _value_text(self, expression: ast.Expression) -> str:
+        try:
+            value = self._evaluator.evaluate(expression, Row({}))
+        except EvaluationError:
+            return expression_to_sql(expression, top_level=True)
+        return render_value(value)

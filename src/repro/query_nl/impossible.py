@@ -1,0 +1,152 @@
+"""Translation of the paper's "impossible" queries (Section 3.3.5, Q8/Q9).
+
+These queries are syntactically ordinary but their meaning hides behind an
+idiom the query graph cannot express; the paper's point is that a system
+must *recognise* the idiom to produce the short narrative a human would.
+The idiom detectors live in :mod:`repro.rewrite`; this module turns their
+findings into text:
+
+* Q8 — ``HAVING count(distinct m.year) = 1`` grouped by actor →
+  "Find actors whose movies are all in the same year";
+* Q9 — ``year <= ALL (self-join on title with different ids)`` →
+  "Find the actors who have played in the earliest versions of movies that
+  have been repeated".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.catalog.schema import Schema
+from repro.lexicon.lexicon import Lexicon
+from repro.lexicon.morphology import pluralize
+from repro.query_nl.phrases import verb_past_participle
+from repro.query_nl.procedural import procedural_translation
+from repro.querygraph.model import QueryGraph
+from repro.rewrite.all_any import detect_superlative
+from repro.rewrite.patterns import detect_same_value_idiom
+
+
+@dataclass
+class ImpossibleTranslation:
+    text: str
+    concise: str
+    notes: List[str] = field(default_factory=list)
+    idiom: Optional[str] = None
+
+
+class ImpossibleTranslator:
+    """Translate idiom-dominated queries."""
+
+    def __init__(self, schema: Schema, lexicon: Lexicon) -> None:
+        self.schema = schema
+        self.lexicon = lexicon
+
+    # ------------------------------------------------------------------
+
+    def translate(self, graph: QueryGraph) -> ImpossibleTranslation:
+        same_value = self._translate_same_value(graph)
+        if same_value is not None:
+            return same_value
+        superlative = self._translate_superlative(graph)
+        if superlative is not None:
+            return superlative
+        text = procedural_translation(
+            self.schema,
+            self.lexicon,
+            graph,
+            intro="The query's meaning is dominated by an aggregate idiom",
+        )
+        return ImpossibleTranslation(
+            text=text,
+            concise=text,
+            notes=["no higher-order idiom matched; the procedural narrative is used"],
+        )
+
+    # ------------------------------------------------------------------
+
+    def _translate_same_value(self, graph: QueryGraph) -> Optional[ImpossibleTranslation]:
+        idiom = detect_same_value_idiom(graph.statement)
+        if idiom is None:
+            return None
+        group_binding = self._group_binding(graph)
+        if group_binding is None:
+            return None
+        group_relation = graph.classes[group_binding].relation_name
+        group_concept = self.lexicon.concept_plural(group_relation)
+
+        attribute_binding = idiom.attribute.table
+        related_concept = None
+        attribute_name = idiom.attribute.column.lower()
+        if attribute_binding is not None and attribute_binding in graph.classes:
+            related_relation = graph.classes[attribute_binding].relation_name
+            if related_relation != group_relation:
+                related_concept = self.lexicon.concept_plural(related_relation)
+        if related_concept is None:
+            related_concept = f"{self.lexicon.concept_plural(group_relation)}"
+
+        text = (
+            f"Find {group_concept} whose {related_concept} are all in the same"
+            f" {attribute_name}"
+        )
+        notes = [
+            "count(distinct ...) = 1 in the HAVING clause means every value in the"
+            " group is the same; the count aggregate dominates the query's meaning"
+        ]
+        return ImpossibleTranslation(
+            text=text, concise=text, notes=notes, idiom="same-value"
+        )
+
+    def _translate_superlative(self, graph: QueryGraph) -> Optional[ImpossibleTranslation]:
+        idiom = detect_superlative(graph.statement)
+        if idiom is None:
+            return None
+        projected = graph.projected_bindings()
+        if not projected:
+            return None
+        projected_relation = graph.classes[projected[0]].relation_name
+        projected_concept = self.lexicon.concept_plural(projected_relation)
+
+        operand_binding = idiom.operand.table
+        center_relation = (
+            graph.classes[operand_binding].relation_name
+            if operand_binding in graph.classes
+            else projected_relation
+        )
+        center_concept = self.lexicon.concept_plural(center_relation)
+
+        verb = self.lexicon.relationship_verb(projected_relation, center_relation)
+        if verb:
+            action = f"who have {verb_past_participle(verb)}"
+        else:
+            action = "related to"
+
+        if idiom.repeated_relation is not None:
+            tail = f" versions of {center_concept} that have been repeated"
+        else:
+            tail = f" {center_concept}"
+        text = f"Find the {projected_concept} {action} the {idiom.superlative}{tail}"
+        notes = [
+            f"the quantified '{idiom.op} ALL' comparison is read as the superlative"
+            f" '{idiom.superlative}'",
+        ]
+        if idiom.repeated_relation is not None:
+            notes.append(
+                "the subquery's self-join on equal "
+                f"{idiom.repeated_attribute} values with different keys means the"
+                f" {self.lexicon.concept(idiom.repeated_relation)} has been repeated"
+            )
+        return ImpossibleTranslation(
+            text=text, concise=text, notes=notes, idiom="superlative"
+        )
+
+    def _group_binding(self, graph: QueryGraph) -> Optional[str]:
+        grouped = [b for b, qc in graph.classes.items() if qc.group_by]
+        if grouped:
+            return grouped[0]
+        if graph.classes:
+            projected = graph.projected_bindings()
+            if projected:
+                return projected[0]
+        return None

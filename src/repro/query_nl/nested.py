@@ -1,0 +1,143 @@
+"""Translation of nested queries (Section 3.3.4, queries Q5 and Q6).
+
+Strategy, in order:
+
+1. try to flatten IN-nestings into an SPJ query (Q5) and translate the
+   flat equivalent declaratively;
+2. recognise relational division (double NOT EXISTS, Q6) and verbalise it
+   as universal quantification ("movies that have all genres");
+3. verbalise single NOT EXISTS / NOT IN nestings as negation ("that have
+   no ...");
+4. fall back to the procedural narrative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.catalog.schema import Schema
+from repro.lexicon.lexicon import Lexicon
+from repro.lexicon.morphology import join_list, pluralize
+from repro.query_nl.phrases import comparison_phrase
+from repro.query_nl.procedural import procedural_translation
+from repro.query_nl.spj import SpjTranslator
+from repro.querygraph.builder import QueryGraphBuilder
+from repro.querygraph.model import QueryGraph
+from repro.rewrite.division import detect_division
+from repro.rewrite.unnest import flatten_in_subqueries
+from repro.sql import ast
+from repro.sql.printer import to_sql
+
+
+@dataclass
+class NestedTranslation:
+    text: str
+    concise: str
+    notes: List[str] = field(default_factory=list)
+    rewritten_sql: Optional[str] = None
+
+
+class NestedTranslator:
+    """Translate nested queries."""
+
+    def __init__(self, schema: Schema, lexicon: Lexicon) -> None:
+        self.schema = schema
+        self.lexicon = lexicon
+        self.builder = QueryGraphBuilder(schema)
+        self.spj = SpjTranslator(schema, lexicon)
+
+    # ------------------------------------------------------------------
+
+    def translate(self, graph: QueryGraph) -> NestedTranslation:
+        statement = graph.statement
+
+        flattened = flatten_in_subqueries(statement)
+        if flattened.changed:
+            flat_graph = self.builder.build(flattened.statement)
+            if not flat_graph.is_nested() and not flat_graph.has_aggregates():
+                result = self.spj.translate(flat_graph)
+                notes = [
+                    "the nested IN predicates have a flat select-project-join"
+                    " equivalent; the translation is produced from the flat form",
+                    *result.notes,
+                ]
+                return NestedTranslation(
+                    text=result.text,
+                    concise=result.concise,
+                    notes=notes,
+                    rewritten_sql=to_sql(flattened.statement),
+                )
+
+        division = detect_division(statement)
+        if division is not None:
+            return self._translate_division(graph, division)
+
+        negation = self._translate_simple_negation(graph)
+        if negation is not None:
+            return negation
+
+        text = procedural_translation(
+            self.schema,
+            self.lexicon,
+            graph,
+            intro="The query nests subqueries that have no flat equivalent",
+        )
+        return NestedTranslation(
+            text=text,
+            concise=text,
+            notes=["no declarative pattern matched; the procedural narrative is used"],
+        )
+
+    # ------------------------------------------------------------------
+
+    def _translate_division(self, graph: QueryGraph, division) -> NestedTranslation:
+        outer_class = graph.query_class(division.outer_binding)
+        outer_concept = self.lexicon.concept_plural(outer_class.relation_name)
+        divisor_concept = self.lexicon.concept_plural(division.divisor_relation)
+        if division.is_total:
+            text = f"Find {outer_concept} that have all {divisor_concept}"
+        else:
+            conditions = join_list(division.divisor_conditions)
+            text = (
+                f"Find {outer_concept} that have all {divisor_concept}"
+                f" satisfying {conditions}"
+            )
+        notes = [
+            "the double NOT EXISTS nesting is relational division (universal"
+            " quantification over the divisor relation)"
+        ]
+        return NestedTranslation(text=text, concise=text, notes=notes)
+
+    def _translate_simple_negation(self, graph: QueryGraph) -> Optional[NestedTranslation]:
+        """NOT EXISTS / NOT IN with a single simple subquery → "that have no ..."."""
+        if len(graph.nesting_edges) != 1:
+            return None
+        nesting = graph.nesting_edges[0]
+        if nesting.connector not in ("NOT EXISTS", "NOT IN"):
+            return None
+        subgraph = nesting.subgraph
+        if len(subgraph.classes) != 1 or subgraph.is_nested():
+            return None
+        inner_binding = next(iter(subgraph.classes))
+        inner_class = subgraph.classes[inner_binding]
+        inner_relation = self.schema.relation(inner_class.relation_name)
+        outer_projected = graph.projected_bindings()
+        if not outer_projected:
+            return None
+        outer_class = graph.classes[outer_projected[0]]
+        outer_concept = self.lexicon.concept_plural(outer_class.relation_name)
+
+        qualifiers = []
+        for constraint in inner_class.where_constraints:
+            if isinstance(constraint.expression, ast.BinaryOp):
+                qualifiers.append(
+                    comparison_phrase(
+                        self.schema, self.lexicon, inner_relation.name, constraint.expression
+                    )
+                )
+        qualifier_text = f" {join_list(qualifiers)}" if qualifiers else ""
+        inner_noun = self.lexicon.concept(inner_relation.name)
+        text = f"Find {outer_concept} that have no {inner_noun}{qualifier_text}"
+        notes = ["a single negated nesting is verbalised as 'that have no ...'"]
+        return NestedTranslation(text=text, concise=text, notes=notes)

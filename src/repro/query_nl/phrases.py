@@ -1,0 +1,147 @@
+"""Shared phrase-building helpers for the query translators."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.catalog.schema import Schema
+from repro.catalog.types import render_value
+from repro.lexicon.lexicon import Lexicon
+from repro.sql import ast
+from repro.sql.printer import expression_to_sql
+
+#: Comparison operators spelled out for constraint phrases.
+OPERATOR_WORDS = {
+    "=": "is",
+    "<>": "is not",
+    "<": "is less than",
+    "<=": "is at most",
+    ">": "is greater than",
+    ">=": "is at least",
+    "LIKE": "matches",
+    "NOT LIKE": "does not match",
+}
+
+
+def verb_without_preposition(verb: str) -> str:
+    """Drop a trailing preposition ("plays in" → "plays") for where-clauses."""
+    words = verb.split()
+    if len(words) > 1 and words[-1].lower() in ("in", "of", "to", "at", "on", "for"):
+        return " ".join(words[:-1])
+    return verb
+
+
+def verb_plural(verb: str) -> str:
+    """Third-person-singular verb to plural ("plays in" → "play in")."""
+    words = verb.split()
+    if not words:
+        return verb
+    first = words[0]
+    if first.endswith("ies"):
+        first = first[:-3] + "y"
+    elif first.endswith("es") and first[:-2].endswith(("sh", "ch", "ss", "x")):
+        first = first[:-2]
+    elif first.endswith("s") and not first.endswith("ss"):
+        first = first[:-1]
+    return " ".join([first, *words[1:]])
+
+
+def verb_past_participle(verb: str) -> str:
+    """A rough past participle ("plays in" → "played in")."""
+    irregular = {"is": "been", "has": "had", "makes": "made", "writes": "written"}
+    words = verb.split()
+    if not words:
+        return verb
+    first = words[0].lower()
+    if first in irregular:
+        past = irregular[first]
+    else:
+        base = verb_plural(first)
+        if base.endswith("e"):
+            past = base + "d"
+        elif base.endswith("y") and len(base) > 1 and base[-2] not in "aeiou":
+            past = base[:-1] + "ied"
+        else:
+            past = base + "ed"
+    return " ".join([past, *words[1:]])
+
+
+def is_participle_verb(verb: str) -> bool:
+    """True for verbs that already read as participles ("directed by")."""
+    words = verb.lower().split()
+    if not words:
+        return False
+    return words[0].endswith("ed") or words[-1] == "by"
+
+
+def ensure_by(verb: str) -> str:
+    """Append "by" to a participle verb when missing ("directed" → "directed by")."""
+    if verb.lower().endswith("by"):
+        return verb
+    return f"{verb} by"
+
+
+def comparison_phrase(
+    schema: Schema,
+    lexicon: Lexicon,
+    relation_name: str,
+    condition: ast.BinaryOp,
+    concise: bool = False,
+) -> str:
+    """Phrase a local selection constraint ("whose release year is at least 2000")."""
+    column, literal, op = _normalise_comparison(condition)
+    if column is None or literal is None:
+        return expression_to_sql(condition, top_level=True)
+    relation = schema.relation(relation_name)
+    attribute = relation.attribute(column.column)
+    caption = lexicon.caption(relation_name, attribute.name)
+    value = render_value(literal.value)
+    words = OPERATOR_WORDS.get(op, op)
+    if attribute.name == relation.heading_attribute.name and op == "=":
+        if concise:
+            return value
+        return f"named {value}" if "name" in caption else f"{value}"
+    return f"whose {caption} {words} {value}"
+
+
+def heading_constraint_value(
+    schema: Schema, relation_name: str, conditions: List[ast.Expression]
+) -> Optional[str]:
+    """The constant a relation's heading attribute is compared (=) to, if any."""
+    relation = schema.relation(relation_name)
+    heading = relation.heading_attribute.name
+    for condition in conditions:
+        column, literal, op = _normalise_comparison(condition)
+        if column is None or literal is None or op != "=":
+            continue
+        if relation.attribute(column.column).name == heading:
+            return render_value(literal.value)
+    return None
+
+
+def _normalise_comparison(
+    condition: ast.Expression,
+) -> Tuple[Optional[ast.ColumnRef], Optional[ast.Literal], str]:
+    """Return (column, literal, operator) with the column on the left."""
+    if not isinstance(condition, ast.BinaryOp):
+        return None, None, ""
+    op = condition.op
+    left, right = condition.left, condition.right
+    if isinstance(left, ast.ColumnRef) and isinstance(right, ast.Literal):
+        return left, right, op
+    if isinstance(left, ast.Literal) and isinstance(right, ast.ColumnRef):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        return right, left, flipped.get(op, op)
+    return None, None, op
+
+
+def projection_caption(
+    schema: Schema, lexicon: Lexicon, relation_name: str, attribute_name: str, plural: bool = True
+) -> str:
+    """The noun used for a projected attribute ("titles", "release years")."""
+    caption = lexicon.caption(relation_name, attribute_name)
+    if plural:
+        from repro.lexicon.morphology import pluralize
+
+        return pluralize(caption)
+    return caption

@@ -1,0 +1,95 @@
+"""Procedural (clause-by-clause) query translation.
+
+The paper distinguishes declarative narratives ("what the query answer
+should satisfy") from procedural ones ("the actions that need to be
+performed for the answer to be generated") and notes that "for complicated
+queries, the latter may be the only reasonable approach".  The procedural
+translator is therefore both the universal fallback — it can verbalise any
+supported statement — and the baseline against which the declarative
+translators are compared in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.catalog.schema import Schema
+from repro.lexicon.lexicon import Lexicon
+from repro.lexicon.morphology import join_list
+from repro.nlg.realize import realize_paragraph
+from repro.querygraph.model import QueryGraph
+from repro.sql.printer import expression_to_sql
+
+
+def procedural_translation(
+    schema: Schema, lexicon: Lexicon, graph: QueryGraph, intro: Optional[str] = None
+) -> str:
+    """A systematic, always-applicable narrative of the query graph."""
+    sentences: List[str] = []
+    if intro:
+        sentences.append(intro)
+
+    considered = [
+        f"each {lexicon.concept(qc.relation_name)} {binding}"
+        for binding, qc in graph.classes.items()
+    ]
+    if considered:
+        sentences.append("Consider " + join_list(considered))
+
+    for edge in graph.join_edges:
+        sentences.append(f"keep combinations where {edge.text}")
+    for binding, query_class in graph.classes.items():
+        for constraint in query_class.where_constraints:
+            sentences.append(f"keep only {binding} where {constraint.text}")
+    for constraint in graph.other_constraints:
+        sentences.append(f"keep results where {constraint.text}")
+
+    for nesting in graph.nesting_edges:
+        inner = procedural_translation(schema, lexicon, nesting.subgraph)
+        clause = "HAVING" if nesting.in_having else "WHERE"
+        sentences.append(
+            f"for the {clause} condition, evaluate a nested query connected via"
+            f" {nesting.connector}: {inner}"
+        )
+
+    group_notes = [
+        f"{binding}.{column}"
+        for binding, query_class in graph.classes.items()
+        for column in query_class.group_by
+    ]
+    if group_notes or graph.statement.group_by:
+        grouped = group_notes or [
+            expression_to_sql(g, top_level=True) for g in graph.statement.group_by
+        ]
+        sentences.append("group the results by " + join_list(grouped))
+    for binding, query_class in graph.classes.items():
+        for constraint in query_class.having_constraints:
+            sentences.append(f"keep groups where {constraint.text}")
+
+    outputs = []
+    for binding, query_class in graph.classes.items():
+        for entry in query_class.select_entries:
+            outputs.append(
+                f"the {lexicon.caption(entry.relation_name, entry.attribute)}"
+                f" of {binding}"
+            )
+        for aggregate in query_class.aggregate_entries:
+            outputs.append(f"the value of {aggregate}")
+    for aggregate in graph.global_aggregates:
+        outputs.append(f"the value of {aggregate}")
+    if outputs:
+        sentences.append("finally report " + join_list(outputs))
+
+    if graph.statement.order_by:
+        ordered = [
+            expression_to_sql(o.expression, top_level=True)
+            + (" in descending order" if o.descending else "")
+            for o in graph.statement.order_by
+        ]
+        sentences.append("sort the results by " + join_list(ordered))
+    if graph.statement.distinct:
+        sentences.append("remove duplicate results")
+    if graph.statement.limit is not None:
+        sentences.append(f"keep only the first {graph.statement.limit} results")
+
+    return realize_paragraph(sentences)

@@ -1,0 +1,466 @@
+"""Translation of select-project-join queries (path, subgraph and graph).
+
+The composition follows the paper's examples:
+
+* Q1 (path): "Find the titles of movies where the actor Brad Pitt plays"
+  and, with the heading attribute replaced by the relation's conceptual
+  meaning, the more natural "Find movies where Brad Pitt plays";
+* Q2 (subgraph): "Find the actors and titles of action movies directed by
+  G. Loucas";
+* Q3/Q4 and the Section 3.1 manager query (graph): require non-local
+  phrases — pair symmetry, attribute-against-attribute cycles, and
+  comparisons against a related instance of the same relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import Schema
+from repro.lexicon.lexicon import Lexicon
+from repro.lexicon.morphology import join_list, pluralize
+from repro.query_nl.phrases import (
+    comparison_phrase,
+    ensure_by,
+    heading_constraint_value,
+    is_participle_verb,
+    projection_caption,
+    verb_past_participle,
+    verb_plural,
+    verb_without_preposition,
+)
+from repro.querygraph.model import QueryGraph, QueryJoinEdge
+from repro.sql import ast
+
+
+@dataclass
+class SpjTranslation:
+    """Both renderings of an SPJ query (Section 3.3.1's two alternatives)."""
+
+    text: str
+    concise: str
+    notes: List[str]
+
+
+class SpjTranslator:
+    """Translate path/subgraph/graph queries from their query graph."""
+
+    def __init__(self, schema: Schema, lexicon: Lexicon) -> None:
+        self.schema = schema
+        self.lexicon = lexicon
+
+    # ------------------------------------------------------------------
+
+    def translate(self, graph: QueryGraph) -> SpjTranslation:
+        notes: List[str] = []
+        special = (
+            self._translate_pair_pattern(graph, notes)
+            or self._translate_related_instance_comparison(graph, notes)
+            or self._translate_attribute_cycle(graph, notes)
+        )
+        if special is not None:
+            return SpjTranslation(text=special, concise=special, notes=notes)
+
+        verbose = self._compose(graph, concise=False)
+        concise = self._compose(graph, concise=True)
+        return SpjTranslation(text=verbose, concise=concise, notes=notes)
+
+    # ------------------------------------------------------------------
+    # Special graph-query patterns (non-local template labels)
+    # ------------------------------------------------------------------
+
+    def _translate_pair_pattern(self, graph: QueryGraph, notes: List[str]) -> Optional[str]:
+        """Q3: two instances of a relation sharing a neighbour → "pairs of ..."."""
+        projected = graph.projected_bindings()
+        if len(projected) != 2:
+            return None
+        first, second = projected
+        relation_first = graph.classes[first].relation_name
+        relation_second = graph.classes[second].relation_name
+        if relation_first != relation_second:
+            return None
+        inequality = self._edge_between(graph, first, second)
+        if inequality is None or inequality.is_foreign_key:
+            return None
+        shared = self._shared_neighbour(graph, first, second)
+        if shared is None:
+            return None
+        shared_relation = graph.classes[shared].relation_name
+        verb = self.lexicon.relationship_verb(relation_first, shared_relation)
+        verb_phrase = (
+            f"that {verb_plural(verb)}" if verb else "that appear in"
+        )
+        notes.append(
+            "two tuple variables over the same relation joined symmetrically to a"
+            " shared relation were folded into a 'pairs of' phrase"
+        )
+        return (
+            f"Find pairs of {self.lexicon.concept_plural(relation_first)}"
+            f" {verb_phrase} the same {self.lexicon.concept(shared_relation)}"
+        )
+
+    def _translate_related_instance_comparison(
+        self, graph: QueryGraph, notes: List[str]
+    ) -> Optional[str]:
+        """The Section 3.1 query: compare an attribute against a related instance."""
+        duplicated = self._duplicated_relation(graph)
+        if duplicated is None:
+            return None
+        relation_name, bindings = duplicated
+        projected = [b for b in bindings if graph.classes[b].select_entries]
+        others = [b for b in bindings if b not in projected]
+        if len(projected) != 1 or len(others) != 1:
+            return None
+        subject_binding, other_binding = projected[0], others[0]
+        comparison = self._edge_between(graph, subject_binding, other_binding)
+        if comparison is None or not isinstance(comparison.condition, ast.BinaryOp):
+            return None
+        condition = comparison.condition
+        if condition.op not in ("<", "<=", ">", ">="):
+            return None
+        if not (
+            isinstance(condition.left, ast.ColumnRef)
+            and isinstance(condition.right, ast.ColumnRef)
+        ):
+            return None
+        attribute = self.schema.relation(relation_name).attribute(condition.left.column)
+        role = self._role_noun(graph, subject_binding, other_binding, relation_name)
+        comparison_word = (
+            "greater" if self._op_towards(condition, subject_binding) in (">", ">=") else "less"
+        )
+        relation = self.schema.relation(relation_name)
+        projections = [
+            projection_caption(self.schema, self.lexicon, relation_name, e.attribute)
+            for e in graph.classes[subject_binding].select_entries
+        ]
+        caption = self.lexicon.caption(relation_name, attribute.name)
+        notes.append(
+            "the second instance of the relation was verbalised as a role noun"
+            f" ({role}) instead of a separate tuple variable"
+        )
+        return (
+            f"Find the {join_list(projections)} of {self.lexicon.concept_plural(relation.name)}"
+            f" whose {caption} is {comparison_word} than the {caption} of their {role}"
+        )
+
+    def _translate_attribute_cycle(self, graph: QueryGraph, notes: List[str]) -> Optional[str]:
+        """Q4: a non-FK equality between attributes of FK-joined relations."""
+        non_fk = [e for e in graph.non_fk_join_edges() if e.is_equality]
+        if not non_fk:
+            return None
+        edge = non_fk[0]
+        condition = edge.condition
+        if not (
+            isinstance(condition, ast.BinaryOp)
+            and isinstance(condition.left, ast.ColumnRef)
+            and isinstance(condition.right, ast.ColumnRef)
+        ):
+            return None
+        fk_edge = next(
+            (
+                e
+                for e in graph.join_edges
+                if e.is_foreign_key and set((e.left_binding, e.right_binding))
+                == {edge.left_binding, edge.right_binding}
+            ),
+            None,
+        )
+        if fk_edge is None:
+            return None
+        projected = graph.projected_bindings()
+        if len(projected) != 1:
+            return None
+        center_binding = projected[0]
+        other_binding = edge.other(center_binding)
+        center_relation = graph.classes[center_binding].relation_name
+        other_relation = graph.classes[other_binding].relation_name
+        center_column, other_column = self._orient_columns(condition, graph, center_binding)
+        if center_column is None:
+            return None
+        center_caption = self.lexicon.caption(center_relation, center_column)
+        other_caption = self.lexicon.caption(other_relation, other_column)
+        notes.append(
+            "the non-FK equality between attributes of joined relations was"
+            " verbalised as a 'whose ... is one of their ...' phrase"
+        )
+        return (
+            f"Find {self.lexicon.concept_plural(center_relation)}"
+            f" whose {center_caption} is one of their {pluralize(other_caption)}"
+        )
+
+    # ------------------------------------------------------------------
+    # General SPJ composition (Q1, Q2 and everything default)
+    # ------------------------------------------------------------------
+
+    def _compose(self, graph: QueryGraph, concise: bool) -> str:
+        center = self._center_binding(graph)
+        center_class = graph.classes[center]
+        center_relation = self.schema.relation(center_class.relation_name)
+
+        adjectives, consumed = self._adjectives(graph, center)
+        postmodifiers = self._postmodifiers(graph, center, consumed, concise)
+        center_np = " ".join(
+            adjectives + [self.lexicon.concept_plural(center_relation.name)]
+        )
+        center_np_full = " ".join([center_np, *postmodifiers]).strip()
+
+        nouns: List[str] = []
+        center_captions: List[str] = []
+        center_heading_projected = False
+        for binding in graph.classes:
+            query_class = graph.classes[binding]
+            for entry in query_class.select_entries:
+                relation = self.schema.relation(entry.relation_name)
+                is_heading = entry.attribute == relation.heading_attribute.name
+                if binding == center:
+                    if is_heading:
+                        center_heading_projected = True
+                        if not concise:
+                            center_captions.append(
+                                projection_caption(
+                                    self.schema, self.lexicon, entry.relation_name, entry.attribute
+                                )
+                            )
+                    else:
+                        center_captions.append(
+                            projection_caption(
+                                self.schema, self.lexicon, entry.relation_name, entry.attribute
+                            )
+                        )
+                else:
+                    if is_heading:
+                        nouns.append(self.lexicon.concept_plural(entry.relation_name))
+                    else:
+                        nouns.append(
+                            projection_caption(
+                                self.schema, self.lexicon, entry.relation_name, entry.attribute
+                            )
+                            + f" of {self.lexicon.concept_plural(entry.relation_name)}"
+                        )
+
+        if center_captions:
+            nouns.append(f"{join_list(center_captions)} of {center_np_full}")
+            subject = "the " + join_list(nouns)
+        elif center_heading_projected and concise:
+            if nouns:
+                subject = "the " + join_list(nouns) + f" of {center_np_full}"
+            else:
+                subject = center_np_full
+        elif center_heading_projected:
+            nouns.append(f"of {center_np_full}")
+            subject = "the " + join_list(nouns[:-1]) + f" {nouns[-1]}" if len(nouns) > 1 else (
+                "the " + center_np_full
+            )
+        elif nouns:
+            subject = "the " + join_list(nouns) + f" of {center_np_full}"
+        else:
+            subject = center_np_full
+        return f"Find {subject}".strip()
+
+    def _adjectives(self, graph: QueryGraph, center: str) -> Tuple[List[str], List[str]]:
+        """Prenominal adjectives from heading constraints on "category" relations.
+
+        A relation such as GENRE, whose concept noun equals its heading
+        attribute's caption, constrained to a one-word value ("action")
+        reads best as an adjective on the center noun ("action movies").
+        """
+        adjectives: List[str] = []
+        consumed: List[str] = []
+        for binding, query_class in graph.classes.items():
+            if binding == center or query_class.select_entries:
+                continue
+            relation = self.schema.relation(query_class.relation_name)
+            concept = self.lexicon.concept(relation.name)
+            heading_caption = self.lexicon.caption(relation.name, relation.heading_attribute.name)
+            if concept.lower() != heading_caption.lower():
+                continue
+            value = heading_constraint_value(
+                self.schema, relation.name, [c.expression for c in query_class.where_constraints]
+            )
+            if value is not None and len(value.split()) == 1:
+                adjectives.append(value)
+                consumed.append(binding)
+        return adjectives, consumed
+
+    def _postmodifiers(
+        self, graph: QueryGraph, center: str, consumed: Sequence[str], concise: bool
+    ) -> List[str]:
+        participles: List[str] = []
+        where_clauses: List[str] = []
+        whose_clauses: List[str] = []
+
+        center_relation = graph.classes[center].relation_name
+        for binding, query_class in graph.classes.items():
+            if binding == center or binding in consumed:
+                continue
+            relation = self.schema.relation(query_class.relation_name)
+            if relation.bridge and not query_class.where_constraints and not query_class.select_entries:
+                continue
+            constraints = [c.expression for c in query_class.where_constraints]
+            value = heading_constraint_value(self.schema, relation.name, constraints)
+            verb = self.lexicon.relationship_verb(relation.name, center_relation)
+            if value is not None:
+                if verb and is_participle_verb(verb):
+                    participles.append(f"{ensure_by(verb)} {value}")
+                elif verb:
+                    subject = value if concise else f"the {self.lexicon.concept(relation.name)} {value}"
+                    where_clauses.append(
+                        f"where {subject} {verb_without_preposition(verb)}"
+                    )
+                else:
+                    whose_clauses.append(
+                        f"related to the {self.lexicon.concept(relation.name)} {value}"
+                    )
+                remaining = [
+                    c
+                    for c in constraints
+                    if heading_constraint_value(self.schema, relation.name, [c]) is None
+                ]
+            else:
+                remaining = constraints
+            for condition in remaining:
+                if isinstance(condition, ast.BinaryOp):
+                    whose_clauses.append(
+                        "with "
+                        + self.lexicon.concept(relation.name)
+                        + " "
+                        + comparison_phrase(
+                            self.schema, self.lexicon, relation.name, condition, concise
+                        )
+                    )
+
+        for condition in graph.classes[center].where_constraints:
+            if not isinstance(condition.expression, ast.BinaryOp):
+                continue
+            heading_value = heading_constraint_value(
+                self.schema, center_relation, [condition.expression]
+            )
+            if heading_value is not None:
+                # An equality on the center's own heading attribute reads as
+                # "whose title is X" rather than a bare apposition.
+                caption = self.lexicon.heading_caption(center_relation)
+                whose_clauses.append(f"whose {caption} is {heading_value}")
+                continue
+            whose_clauses.append(
+                comparison_phrase(
+                    self.schema, self.lexicon, center_relation, condition.expression, concise
+                )
+            )
+        for constraint in graph.other_constraints:
+            whose_clauses.append(f"such that {constraint.text}")
+        # Several attribute conditions on the same noun read better coordinated
+        # ("whose release year is greater than 2004 and whose title is ...").
+        if len(whose_clauses) > 1:
+            whose_clauses = [" and ".join(whose_clauses)]
+        return participles + where_clauses + whose_clauses
+
+    # ------------------------------------------------------------------
+    # Structural helpers
+    # ------------------------------------------------------------------
+
+    def _center_binding(self, graph: QueryGraph) -> str:
+        projected = graph.projected_bindings()
+        candidates = projected or list(graph.bindings)
+        if not candidates:
+            raise ValueError("query graph has no relation classes")
+        return max(
+            candidates,
+            key=lambda b: (
+                graph.degree(b),
+                self.schema.relation(graph.classes[b].relation_name).weight,
+                b,
+            ),
+        )
+
+    def _edge_between(self, graph: QueryGraph, first: str, second: str) -> Optional[QueryJoinEdge]:
+        for edge in graph.join_edges:
+            if {edge.left_binding, edge.right_binding} == {first, second}:
+                return edge
+        return None
+
+    def _shared_neighbour(self, graph: QueryGraph, first: str, second: str) -> Optional[str]:
+        """A binding both instances reach through FK edges (possibly via bridges)."""
+        first_reach = self._fk_reach(graph, first)
+        second_reach = self._fk_reach(graph, second)
+        shared = [
+            binding
+            for binding in graph.bindings
+            if binding in first_reach and binding in second_reach
+            and binding not in (first, second)
+            and not self.schema.relation(graph.classes[binding].relation_name).bridge
+        ]
+        if shared:
+            return shared[0]
+        return None
+
+    def _fk_reach(self, graph: QueryGraph, start: str, max_hops: int = 2) -> set:
+        reached = {start}
+        frontier = [start]
+        for _ in range(max_hops):
+            next_frontier = []
+            for binding in frontier:
+                for edge in graph.join_edges_of(binding):
+                    if not edge.is_foreign_key:
+                        continue
+                    other = edge.other(binding)
+                    if other not in reached:
+                        reached.add(other)
+                        next_frontier.append(other)
+            frontier = next_frontier
+        return reached
+
+    def _duplicated_relation(self, graph: QueryGraph) -> Optional[Tuple[str, List[str]]]:
+        by_relation: Dict[str, List[str]] = {}
+        for binding, query_class in graph.classes.items():
+            by_relation.setdefault(query_class.relation_name, []).append(binding)
+        for relation_name, bindings in by_relation.items():
+            if len(bindings) == 2:
+                return relation_name, bindings
+        return None
+
+    def _role_noun(
+        self, graph: QueryGraph, subject_binding: str, other_binding: str, relation_name: str
+    ) -> str:
+        """A noun for the second instance ("manager") derived from the linking FK.
+
+        The intermediate relation's attribute that references the second
+        instance usually names the role (DEPT.mgr, captioned "manager");
+        when nothing better is found the relation concept is used.
+        """
+        for binding, query_class in graph.classes.items():
+            if binding in (subject_binding, other_binding):
+                continue
+            relation = self.schema.relation(query_class.relation_name)
+            for fk in self.schema.foreign_keys_from(relation.name):
+                if fk.target_relation != relation_name:
+                    continue
+                for edge in graph.join_edges_of(binding):
+                    if edge.other(binding) != other_binding:
+                        continue
+                    attribute = relation.attribute(fk.source_attributes[0])
+                    caption = self.lexicon.caption(relation.name, attribute.name)
+                    if caption.lower() not in ("id", "identifier"):
+                        return caption
+        return self.lexicon.concept(relation_name)
+
+    def _op_towards(self, condition: ast.BinaryOp, subject_binding: str) -> str:
+        """The comparison operator as seen from the subject instance's side."""
+        left = condition.left
+        if isinstance(left, ast.ColumnRef) and left.table == subject_binding:
+            return condition.op
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        return flipped.get(condition.op, condition.op)
+
+    def _orient_columns(
+        self, condition: ast.BinaryOp, graph: QueryGraph, center_binding: str
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """Columns of a non-FK equality, ordered (center column, other column)."""
+        left, right = condition.left, condition.right
+        if not (isinstance(left, ast.ColumnRef) and isinstance(right, ast.ColumnRef)):
+            return None, None
+        if left.table == center_binding:
+            return left.column, right.column
+        if right.table == center_binding:
+            return right.column, left.column
+        return None, None

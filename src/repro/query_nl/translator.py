@@ -1,0 +1,154 @@
+"""The query translator facade: SQL in, natural language out.
+
+This is the public entry point for Section 3 of the paper.  It parses the
+query, builds and classifies its query graph, dispatches to the
+category-specific translator, and returns a :class:`QueryTranslation`
+carrying the narrative, the category, the notes explaining how the
+narrative was obtained and, when a rewrite was involved (Q5), the
+rewritten SQL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.catalog.schema import Schema
+from repro.content.presets import NarrationSpec
+from repro.lexicon.lexicon import Lexicon, default_lexicon
+from repro.query_nl.aggregate import AggregateTranslator
+from repro.query_nl.dml import DmlTranslator
+from repro.query_nl.impossible import ImpossibleTranslator
+from repro.query_nl.nested import NestedTranslator
+from repro.query_nl.procedural import procedural_translation
+from repro.query_nl.spj import SpjTranslator
+from repro.querygraph.builder import QueryGraphBuilder
+from repro.querygraph.classify import Classification, QueryCategory, classify_graph
+from repro.querygraph.model import QueryGraph
+from repro.sql import ast
+from repro.sql.parser import parse_sql
+
+
+@dataclass
+class QueryTranslation:
+    """The result of translating one statement."""
+
+    sql: str
+    text: str
+    category: Optional[QueryCategory] = None
+    concise: Optional[str] = None
+    notes: List[str] = field(default_factory=list)
+    rewritten_sql: Optional[str] = None
+    classification: Optional[Classification] = None
+    graph: Optional[QueryGraph] = None
+
+    @property
+    def variants(self) -> Dict[str, str]:
+        """All produced renderings keyed by name."""
+        variants = {"default": self.text}
+        if self.concise and self.concise != self.text:
+            variants["concise"] = self.concise
+        return variants
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.text
+
+
+class QueryTranslator:
+    """Translate SQL statements into natural language over one schema."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        spec: Optional[NarrationSpec] = None,
+        lexicon: Optional[Lexicon] = None,
+    ) -> None:
+        self.schema = schema
+        if lexicon is not None:
+            self.lexicon = lexicon
+        elif spec is not None:
+            self.lexicon = spec.lexicon
+        else:
+            self.lexicon = default_lexicon(schema)
+        self.builder = QueryGraphBuilder(schema)
+        self._spj = SpjTranslator(schema, self.lexicon)
+        self._nested = NestedTranslator(schema, self.lexicon)
+        self._aggregate = AggregateTranslator(schema, self.lexicon)
+        self._impossible = ImpossibleTranslator(schema, self.lexicon)
+        self._dml = DmlTranslator(schema, self.lexicon)
+
+    # ------------------------------------------------------------------
+
+    def translate(self, sql_or_statement: Union[str, ast.Statement]) -> QueryTranslation:
+        """Translate SQL text or a parsed statement."""
+        if isinstance(sql_or_statement, str):
+            sql = sql_or_statement
+            statement = parse_sql(sql_or_statement)
+        else:
+            statement = sql_or_statement
+            sql = str(statement) if isinstance(statement, ast.SelectStatement) else ""
+
+        if not isinstance(statement, ast.SelectStatement):
+            text = self._dml.translate(statement)
+            return QueryTranslation(sql=sql, text=text, notes=["data-manipulation statement"])
+        return self._translate_select(sql, statement)
+
+    def translate_procedurally(
+        self, sql_or_statement: Union[str, ast.SelectStatement]
+    ) -> QueryTranslation:
+        """The procedural (clause-by-clause) narrative, regardless of category."""
+        statement = (
+            parse_sql(sql_or_statement)
+            if isinstance(sql_or_statement, str)
+            else sql_or_statement
+        )
+        assert isinstance(statement, ast.SelectStatement)
+        graph = self.builder.build(statement)
+        text = procedural_translation(self.schema, self.lexicon, graph)
+        return QueryTranslation(
+            sql=sql_or_statement if isinstance(sql_or_statement, str) else str(statement),
+            text=text,
+            category=classify_graph(graph).category,
+            notes=["procedural narrative requested explicitly"],
+            graph=graph,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _translate_select(self, sql: str, statement: ast.SelectStatement) -> QueryTranslation:
+        graph = self.builder.build(statement)
+        classification = classify_graph(graph)
+        category = classification.category
+
+        rewritten_sql: Optional[str] = None
+        if category in (QueryCategory.PATH, QueryCategory.SUBGRAPH, QueryCategory.GRAPH):
+            result = self._spj.translate(graph)
+            text, concise, notes = result.text, result.concise, result.notes
+        elif category is QueryCategory.NESTED:
+            nested = self._nested.translate(graph)
+            text, concise, notes = nested.text, nested.concise, nested.notes
+            rewritten_sql = nested.rewritten_sql
+        elif category is QueryCategory.AGGREGATE:
+            aggregate = self._aggregate.translate(graph)
+            text, concise, notes = aggregate.text, aggregate.concise, aggregate.notes
+        else:
+            impossible = self._impossible.translate(graph)
+            text, concise, notes = impossible.text, impossible.concise, impossible.notes
+
+        return QueryTranslation(
+            sql=sql,
+            text=text,
+            concise=concise,
+            category=category,
+            notes=[*classification.reasons, *notes],
+            rewritten_sql=rewritten_sql,
+            classification=classification,
+            graph=graph,
+        )
+
+
+def translate_query(
+    schema: Schema, sql: str, spec: Optional[NarrationSpec] = None
+) -> QueryTranslation:
+    """Convenience one-shot translation."""
+    return QueryTranslator(schema, spec=spec).translate(sql)

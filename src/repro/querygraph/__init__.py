@@ -1,0 +1,32 @@
+"""Query-graph model, builder and classifier (Section 3 of the paper)."""
+
+from repro.querygraph.builder import QueryGraphBuilder, build_query_graph
+from repro.querygraph.classify import (
+    Classification,
+    QueryCategory,
+    classify_graph,
+    classify_query,
+)
+from repro.querygraph.model import (
+    Constraint,
+    NestingEdge,
+    QueryClass,
+    QueryGraph,
+    QueryJoinEdge,
+    SelectEntry,
+)
+
+__all__ = [
+    "Classification",
+    "Constraint",
+    "NestingEdge",
+    "QueryCategory",
+    "QueryClass",
+    "QueryGraph",
+    "QueryGraphBuilder",
+    "QueryJoinEdge",
+    "SelectEntry",
+    "build_query_graph",
+    "classify_graph",
+    "classify_query",
+]

@@ -1,0 +1,347 @@
+"""Build a :class:`QueryGraph` from a parsed (and validated) SELECT statement."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.catalog.schema import Schema
+from repro.errors import SqlValidationError
+from repro.sql import ast
+from repro.sql.parser import parse_select
+from repro.sql.printer import expression_to_sql
+from repro.sql.validator import Validator
+from repro.querygraph.model import (
+    Constraint,
+    NestingEdge,
+    QueryClass,
+    QueryGraph,
+    QueryJoinEdge,
+    SelectEntry,
+)
+
+
+class QueryGraphBuilder:
+    """Translate SELECT ASTs into the UML-style query graph of Section 3.2."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self.validator = Validator(schema)
+
+    # ------------------------------------------------------------------
+
+    def build_from_sql(self, sql: str) -> QueryGraph:
+        return self.build(parse_select(sql))
+
+    def build(self, statement: ast.SelectStatement, depth: int = 0,
+              outer_bindings: Optional[Dict[str, str]] = None) -> QueryGraph:
+        """Build the query graph; nested queries become nested graphs."""
+        self.validator.validate_select(statement, outer_bindings=self._outer_relations(outer_bindings))
+        graph = QueryGraph(statement=statement, depth=depth)
+
+        binding_relations: Dict[str, str] = {}
+        for table in statement.from_tables:
+            relation = self.schema.relation(table.name)
+            binding = table.binding
+            binding_relations[binding] = relation.name
+            graph.classes[binding] = QueryClass(binding=binding, relation_name=relation.name)
+
+        self._distribute_select(statement, graph, binding_relations)
+        self._distribute_where(statement, graph, binding_relations, outer_bindings)
+        self._distribute_group_order(statement, graph, binding_relations)
+        self._distribute_having(statement, graph, binding_relations, outer_bindings)
+        return graph
+
+    # ------------------------------------------------------------------
+    # SELECT list
+    # ------------------------------------------------------------------
+
+    def _distribute_select(
+        self,
+        statement: ast.SelectStatement,
+        graph: QueryGraph,
+        binding_relations: Dict[str, str],
+    ) -> None:
+        for item in statement.select_items:
+            expression = item.expression
+            if isinstance(expression, ast.ColumnRef):
+                binding = self._binding_of(expression, binding_relations)
+                if binding is None:
+                    graph.other_constraints.append(Constraint.from_expression(expression))
+                    continue
+                relation_name = binding_relations[binding]
+                attribute = self.schema.relation(relation_name).attribute(expression.column).name
+                graph.classes[binding].select_entries.append(
+                    SelectEntry(
+                        binding=binding,
+                        relation_name=relation_name,
+                        attribute=attribute,
+                        output_alias=item.alias,
+                    )
+                )
+            elif isinstance(expression, ast.FunctionCall) and expression.is_aggregate:
+                rendered = str(expression)
+                target = self._aggregate_binding(expression, binding_relations)
+                if target is not None:
+                    graph.classes[target].aggregate_entries.append(rendered)
+                else:
+                    graph.global_aggregates.append(rendered)
+            elif isinstance(expression, ast.Star):
+                star = expression
+                for binding, relation_name in binding_relations.items():
+                    if star.table is not None and binding.lower() != star.table.lower():
+                        continue
+                    relation = self.schema.relation(relation_name)
+                    for attribute in relation.attributes:
+                        graph.classes[binding].select_entries.append(
+                            SelectEntry(
+                                binding=binding,
+                                relation_name=relation_name,
+                                attribute=attribute.name,
+                            )
+                        )
+            else:
+                graph.other_constraints.append(Constraint.from_expression(expression))
+
+    def _aggregate_binding(
+        self, aggregate: ast.FunctionCall, binding_relations: Dict[str, str]
+    ) -> Optional[str]:
+        """The class an aggregate belongs to: the single binding it references.
+
+        ``count(*)`` references no binding and stays global, matching
+        Figure 7 where ``count(*)`` is drawn inside the class it counts
+        only when the argument names it.
+        """
+        referenced = {
+            column.table
+            for column in ast.column_refs(aggregate)
+            if column.table is not None
+        }
+        matches = [b for b in binding_relations if b.lower() in {r.lower() for r in referenced}]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    # ------------------------------------------------------------------
+    # WHERE clause
+    # ------------------------------------------------------------------
+
+    def _distribute_where(
+        self,
+        statement: ast.SelectStatement,
+        graph: QueryGraph,
+        binding_relations: Dict[str, str],
+        outer_bindings: Optional[Dict[str, str]],
+    ) -> None:
+        for conjunct in ast.conjuncts(statement.where):
+            self._place_conjunct(conjunct, graph, binding_relations, outer_bindings, in_having=False)
+
+    def _distribute_having(
+        self,
+        statement: ast.SelectStatement,
+        graph: QueryGraph,
+        binding_relations: Dict[str, str],
+        outer_bindings: Optional[Dict[str, str]],
+    ) -> None:
+        for conjunct in ast.conjuncts(statement.having):
+            self._place_conjunct(conjunct, graph, binding_relations, outer_bindings, in_having=True)
+
+    def _place_conjunct(
+        self,
+        conjunct: ast.Expression,
+        graph: QueryGraph,
+        binding_relations: Dict[str, str],
+        outer_bindings: Optional[Dict[str, str]],
+        in_having: bool,
+    ) -> None:
+        nested = self._nesting_edge(conjunct, graph, binding_relations, outer_bindings, in_having)
+        if nested is not None:
+            graph.nesting_edges.append(nested)
+            return
+
+        referenced = self._referenced_bindings(conjunct, binding_relations)
+        constraint = Constraint.from_expression(conjunct)
+
+        if len(referenced) == 2 and isinstance(conjunct, ast.BinaryOp) and not in_having:
+            left, right = sorted(referenced)
+            graph.join_edges.append(
+                QueryJoinEdge(
+                    left_binding=left,
+                    right_binding=right,
+                    condition=conjunct,
+                    is_foreign_key=self._is_fk_join(conjunct, binding_relations),
+                    is_equality=conjunct.op == "=",
+                )
+            )
+            return
+        if len(referenced) == 1:
+            binding = next(iter(referenced))
+            target = graph.classes[binding]
+            if in_having:
+                target.having_constraints.append(constraint)
+            else:
+                target.where_constraints.append(constraint)
+            return
+        graph.other_constraints.append(constraint)
+
+    def _nesting_edge(
+        self,
+        conjunct: ast.Expression,
+        graph: QueryGraph,
+        binding_relations: Dict[str, str],
+        outer_bindings: Optional[Dict[str, str]],
+        in_having: bool,
+    ) -> Optional[NestingEdge]:
+        """Build a nesting edge when the conjunct contains a subquery connector."""
+        connector: Optional[str] = None
+        subquery: Optional[ast.SelectStatement] = None
+        outer_binding: Optional[str] = None
+
+        if isinstance(conjunct, ast.InSubquery):
+            connector = "NOT IN" if conjunct.negated else "IN"
+            subquery = conjunct.subquery
+            outer_binding = self._first_binding(conjunct.operand, binding_relations)
+        elif isinstance(conjunct, ast.Exists):
+            connector = "NOT EXISTS" if conjunct.negated else "EXISTS"
+            subquery = conjunct.subquery
+        elif isinstance(conjunct, ast.QuantifiedComparison):
+            connector = f"{conjunct.op} {conjunct.quantifier}"
+            subquery = conjunct.subquery
+            outer_binding = self._first_binding(conjunct.operand, binding_relations)
+        elif isinstance(conjunct, ast.BinaryOp):
+            for side in (conjunct.left, conjunct.right):
+                if isinstance(side, ast.ScalarSubquery):
+                    connector = f"SCALAR {conjunct.op}"
+                    subquery = side.subquery
+                    other_side = conjunct.left if side is conjunct.right else conjunct.right
+                    outer_binding = self._first_binding(other_side, binding_relations)
+                    break
+
+        if connector is None or subquery is None:
+            return None
+
+        visible = dict(outer_bindings or {})
+        visible.update(binding_relations)
+        subgraph = self.build(subquery, depth=graph.depth + 1, outer_bindings=visible)
+        return NestingEdge(
+            connector=connector,
+            subgraph=subgraph,
+            outer_binding=outer_binding,
+            in_having=in_having,
+            condition_text=expression_to_sql(conjunct, top_level=True),
+        )
+
+    # ------------------------------------------------------------------
+    # GROUP BY / ORDER BY notes
+    # ------------------------------------------------------------------
+
+    def _distribute_group_order(
+        self,
+        statement: ast.SelectStatement,
+        graph: QueryGraph,
+        binding_relations: Dict[str, str],
+    ) -> None:
+        for expression in statement.group_by:
+            binding = self._first_binding(expression, binding_relations)
+            rendered = expression_to_sql(expression, top_level=True)
+            if binding is not None:
+                graph.classes[binding].group_by.append(rendered)
+            else:
+                graph.other_constraints.append(Constraint.from_expression(expression))
+        for order in statement.order_by:
+            binding = self._first_binding(order.expression, binding_relations)
+            rendered = expression_to_sql(order.expression, top_level=True)
+            if order.descending:
+                rendered += " DESC"
+            if binding is not None:
+                graph.classes[binding].order_by.append(rendered)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _outer_relations(self, outer_bindings: Optional[Dict[str, str]]):
+        if not outer_bindings:
+            return None
+        return {
+            binding: self.schema.relation(relation)
+            for binding, relation in outer_bindings.items()
+        }
+
+    def _referenced_bindings(
+        self, expression: ast.Expression, binding_relations: Dict[str, str]
+    ) -> set:
+        lowered = {b.lower(): b for b in binding_relations}
+        found = set()
+        for column in ast.column_refs(expression):
+            if column.table is not None and column.table.lower() in lowered:
+                found.add(lowered[column.table.lower()])
+            elif column.table is None:
+                owners = [
+                    binding
+                    for binding, relation in binding_relations.items()
+                    if self.schema.relation(relation).has_attribute(column.column)
+                ]
+                if len(owners) == 1:
+                    found.add(owners[0])
+        return found
+
+    def _binding_of(
+        self, column: ast.ColumnRef, binding_relations: Dict[str, str]
+    ) -> Optional[str]:
+        if column.table is not None:
+            lowered = column.table.lower()
+            for binding in binding_relations:
+                if binding.lower() == lowered:
+                    return binding
+            return None
+        owners = [
+            binding
+            for binding, relation in binding_relations.items()
+            if self.schema.relation(relation).has_attribute(column.column)
+        ]
+        if len(owners) == 1:
+            return owners[0]
+        if not owners:
+            return None
+        raise SqlValidationError(f"ambiguous column {column.column!r}")
+
+    def _first_binding(
+        self, expression: ast.Expression, binding_relations: Dict[str, str]
+    ) -> Optional[str]:
+        for column in ast.column_refs(expression):
+            binding = self._binding_of(column, binding_relations)
+            if binding is not None:
+                return binding
+        return None
+
+    def _is_fk_join(
+        self, condition: ast.BinaryOp, binding_relations: Dict[str, str]
+    ) -> bool:
+        """True when the equality matches a declared FK column pair."""
+        if not ast.is_join_condition(condition):
+            return False
+        left = condition.left
+        right = condition.right
+        assert isinstance(left, ast.ColumnRef) and isinstance(right, ast.ColumnRef)
+        left_binding = self._binding_of(left, binding_relations)
+        right_binding = self._binding_of(right, binding_relations)
+        if left_binding is None or right_binding is None:
+            return False
+        left_relation = binding_relations[left_binding]
+        right_relation = binding_relations[right_binding]
+        for fk in self.schema.foreign_keys_between(left_relation, right_relation):
+            pairs = set(fk.column_pairs())
+            candidate_a = (left.column.lower(), right.column.lower())
+            candidate_b = (right.column.lower(), left.column.lower())
+            lowered_pairs = {(a.lower(), b.lower()) for a, b in pairs}
+            if candidate_a in lowered_pairs or candidate_b in lowered_pairs:
+                return True
+        return False
+
+
+def build_query_graph(schema: Schema, sql_or_statement) -> QueryGraph:
+    """Convenience: build the query graph for SQL text or a parsed SELECT."""
+    builder = QueryGraphBuilder(schema)
+    if isinstance(sql_or_statement, str):
+        return builder.build_from_sql(sql_or_statement)
+    return builder.build(sql_or_statement)

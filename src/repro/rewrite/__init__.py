@@ -1,0 +1,25 @@
+"""Query rewriting and idiom detection supporting translation (Section 3.3)."""
+
+from repro.rewrite.all_any import SuperlativeIdiom, detect_superlative
+from repro.rewrite.division import DivisionPattern, detect_division
+from repro.rewrite.patterns import (
+    CountComparisonIdiom,
+    SameValueIdiom,
+    detect_count_comparison,
+    detect_same_value_idiom,
+)
+from repro.rewrite.unnest import UnnestResult, can_flatten_subquery, flatten_in_subqueries
+
+__all__ = [
+    "CountComparisonIdiom",
+    "DivisionPattern",
+    "SameValueIdiom",
+    "SuperlativeIdiom",
+    "UnnestResult",
+    "can_flatten_subquery",
+    "detect_count_comparison",
+    "detect_division",
+    "detect_same_value_idiom",
+    "detect_superlative",
+    "flatten_in_subqueries",
+]

@@ -1,0 +1,107 @@
+"""Interpretation of quantified comparisons as superlatives.
+
+Section 3.3.5, query Q9: "the expression '= all' will have to be
+interpreted as 'earliest' in this case, which is very difficult to
+obtain."  The detector recognises ``<op> ALL (subquery)`` predicates and
+maps them to superlative words; it additionally recognises the
+"repeated" idiom of Q9's subquery (a self-join of the outer relation on
+some attribute with a key inequality, i.e. the attribute value occurs more
+than once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sql import ast
+
+
+@dataclass(frozen=True)
+class SuperlativeIdiom:
+    """A quantified-ALL comparison read as a superlative."""
+
+    operand: ast.ColumnRef
+    op: str
+    superlative: str
+    subquery: ast.SelectStatement
+    #: set when the subquery restricts to values occurring more than once
+    #: (Q9's "movies that have been repeated")
+    repeated_relation: Optional[str] = None
+    repeated_attribute: Optional[str] = None
+
+
+_TIME_WORDS = {"year", "date", "bdate", "time", "birthday", "day", "month"}
+
+
+def _superlative_word(op: str, attribute: str) -> Optional[str]:
+    temporal = any(word in attribute.lower() for word in _TIME_WORDS)
+    if op in ("<=", "<"):
+        return "earliest" if temporal else "smallest"
+    if op in (">=", ">"):
+        return "latest" if temporal else "largest"
+    if op == "=":
+        return "only"
+    return None
+
+
+def detect_superlative(statement: ast.SelectStatement) -> Optional[SuperlativeIdiom]:
+    """Return the superlative idiom of the first ALL-quantified conjunct."""
+    for conjunct in ast.conjuncts(statement.where):
+        if not isinstance(conjunct, ast.QuantifiedComparison):
+            continue
+        if conjunct.quantifier.upper() != "ALL":
+            continue
+        if not isinstance(conjunct.operand, ast.ColumnRef):
+            continue
+        word = _superlative_word(conjunct.op, conjunct.operand.column)
+        if word is None:
+            continue
+        repeated_relation, repeated_attribute = _detect_repetition(conjunct.subquery)
+        return SuperlativeIdiom(
+            operand=conjunct.operand,
+            op=conjunct.op,
+            superlative=word,
+            subquery=conjunct.subquery,
+            repeated_relation=repeated_relation,
+            repeated_attribute=repeated_attribute,
+        )
+    return None
+
+
+def _detect_repetition(subquery: ast.SelectStatement):
+    """Detect the "value occurs more than once" self-join inside a subquery.
+
+    Q9's subquery joins two instances of MOVIES on equal titles with
+    different ids; that is exactly "movies that have been repeated".
+    """
+    tables = list(subquery.from_tables)
+    by_relation = {}
+    for table in tables:
+        by_relation.setdefault(table.name.lower(), []).append(table.binding)
+    duplicated = {name: bindings for name, bindings in by_relation.items() if len(bindings) >= 2}
+    if not duplicated:
+        return None, None
+    relation_name, bindings = next(iter(duplicated.items()))
+    first, second = bindings[0], bindings[1]
+
+    equal_attribute: Optional[str] = None
+    keys_differ = False
+    for conjunct in ast.conjuncts(subquery.where):
+        if not isinstance(conjunct, ast.BinaryOp):
+            continue
+        left, right = conjunct.left, conjunct.right
+        if not (isinstance(left, ast.ColumnRef) and isinstance(right, ast.ColumnRef)):
+            continue
+        tables_involved = {left.table, right.table}
+        if conjunct.op == "=" and left.column.lower() == right.column.lower():
+            if tables_involved & {first, second}:
+                equal_attribute = left.column
+        if conjunct.op in ("<>", "!=") and tables_involved == {first, second}:
+            keys_differ = True
+    if equal_attribute and keys_differ:
+        original_name = next(
+            t.name for t in tables if t.name.lower() == relation_name
+        )
+        return original_name, equal_attribute
+    return None, None

@@ -1,0 +1,125 @@
+"""Detection of the relational-division idiom (double NOT EXISTS).
+
+Section 3.3.4, query Q6: the doubly-nested NOT EXISTS query whose ideal
+translation is simply "Find movies that have all genres".  The structure
+the detector recognises is::
+
+    SELECT ... FROM Outer o
+    WHERE NOT EXISTS (
+        SELECT * FROM Divisor d1 [WHERE local conditions]
+        WHERE NOT EXISTS (
+            SELECT * FROM Divisor d2
+            WHERE d2.link = o.key AND d2.value = d1.value))
+
+i.e. "there is no divisor tuple that the outer tuple is not linked to",
+which is universal quantification over the divisor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sql import ast
+from repro.sql.printer import expression_to_sql
+
+
+@dataclass(frozen=True)
+class DivisionPattern:
+    """A detected relational-division idiom."""
+
+    outer_binding: str
+    divisor_relation: str
+    divisor_binding: str
+    inner_binding: str
+    #: the attribute of the divisor that must be matched for every value
+    divided_attribute: Optional[str]
+    #: local conditions restricting the divisor set (empty = "all")
+    divisor_conditions: List[str]
+
+    @property
+    def is_total(self) -> bool:
+        """True when the divisor set is unrestricted ("all genres")."""
+        return not self.divisor_conditions
+
+
+def detect_division(statement: ast.SelectStatement) -> Optional[DivisionPattern]:
+    """Return the division pattern of ``statement``, or ``None``."""
+    outer_bindings = {t.binding for t in statement.from_tables}
+    for conjunct in ast.conjuncts(statement.where):
+        if not isinstance(conjunct, ast.Exists) or not conjunct.negated:
+            continue
+        middle = conjunct.subquery
+        if len(middle.from_tables) != 1:
+            continue
+        divisor_table = middle.from_tables[0]
+        inner_exists = _find_not_exists(middle.where)
+        if inner_exists is None:
+            continue
+        inner = inner_exists.subquery
+        if len(inner.from_tables) != 1:
+            continue
+        inner_table = inner.from_tables[0]
+        if inner_table.name.lower() != divisor_table.name.lower():
+            continue
+
+        links = _correlations(inner, inner_table.binding, outer_bindings, divisor_table.binding)
+        if links is None:
+            continue
+        outer_binding, divided_attribute = links
+
+        divisor_conditions = [
+            expression_to_sql(c, top_level=True)
+            for c in ast.conjuncts(middle.where)
+            if not isinstance(c, ast.Exists)
+        ]
+        return DivisionPattern(
+            outer_binding=outer_binding,
+            divisor_relation=divisor_table.name,
+            divisor_binding=divisor_table.binding,
+            inner_binding=inner_table.binding,
+            divided_attribute=divided_attribute,
+            divisor_conditions=divisor_conditions,
+        )
+    return None
+
+
+def _find_not_exists(where: Optional[ast.Expression]) -> Optional[ast.Exists]:
+    for conjunct in ast.conjuncts(where):
+        if isinstance(conjunct, ast.Exists) and conjunct.negated:
+            return conjunct
+    return None
+
+
+def _correlations(
+    inner: ast.SelectStatement,
+    inner_binding: str,
+    outer_bindings: set,
+    divisor_binding: str,
+):
+    """Check the inner block correlates to both the outer query and the divisor.
+
+    Returns ``(outer binding, attribute linking inner to divisor)`` when the
+    inner WHERE contains an equality to an outer column and (optionally) an
+    equality to the middle divisor block; returns ``None`` otherwise.
+    """
+    outer_link: Optional[str] = None
+    divisor_attribute: Optional[str] = None
+    for conjunct in ast.conjuncts(inner.where):
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+            continue
+        left, right = conjunct.left, conjunct.right
+        if not (isinstance(left, ast.ColumnRef) and isinstance(right, ast.ColumnRef)):
+            continue
+        tables = {left.table, right.table}
+        if any(t in outer_bindings for t in tables) and inner_binding in tables:
+            for column in (left, right):
+                if column.table in outer_bindings:
+                    outer_link = column.table
+        if divisor_binding in tables and inner_binding in tables:
+            for column in (left, right):
+                if column.table == divisor_binding:
+                    divisor_attribute = column.column
+    if outer_link is None:
+        return None
+    return outer_link, divisor_attribute

@@ -1,0 +1,148 @@
+"""Aggregate idioms: HAVING patterns whose meaning is not compositional.
+
+Two idioms from Section 3.3 are recognised:
+
+* ``HAVING count(distinct X) = 1`` (query Q8) — "all the X values are the
+  same"; the paper calls the query "impossible" because syntactically it
+  is a standard aggregate query while "in reality, it is the count
+  aggregate that implies all and dominates the query".
+* ``HAVING n < (SELECT count(*) FROM R WHERE R.fk = outer.key)`` or
+  ``HAVING count(*) > n`` (query Q7) — "more than n R-concepts".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sql import ast
+
+
+@dataclass(frozen=True)
+class SameValueIdiom:
+    """``count(distinct X) = 1``: all X values within a group are equal."""
+
+    attribute: ast.ColumnRef
+    group_by: tuple
+
+
+@dataclass(frozen=True)
+class CountComparisonIdiom:
+    """A count compared against a constant (possibly via a correlated subquery)."""
+
+    threshold: int
+    #: "more" when the count must exceed the threshold, "fewer" when it must
+    #: stay below it, "exactly" for equality.
+    direction: str
+    #: the relation whose rows are counted (None for count(*) over the FROM join)
+    counted_relation: Optional[str]
+    #: true when the count comes from a correlated scalar subquery in HAVING
+    correlated: bool
+
+
+def detect_same_value_idiom(statement: ast.SelectStatement) -> Optional[SameValueIdiom]:
+    """Detect ``HAVING count(distinct X) op 1`` with op in (=, <=)."""
+    for conjunct in ast.conjuncts(statement.having):
+        if not isinstance(conjunct, ast.BinaryOp) or conjunct.op not in ("=", "<="):
+            continue
+        sides = [conjunct.left, conjunct.right]
+        count_call = next(
+            (
+                s
+                for s in sides
+                if isinstance(s, ast.FunctionCall)
+                and s.name.upper() == "COUNT"
+                and s.distinct
+                and s.args
+                and isinstance(s.args[0], ast.ColumnRef)
+            ),
+            None,
+        )
+        literal = next(
+            (s for s in sides if isinstance(s, ast.Literal) and s.value == 1), None
+        )
+        if count_call is None or literal is None:
+            continue
+        attribute = count_call.args[0]
+        assert isinstance(attribute, ast.ColumnRef)
+        return SameValueIdiom(attribute=attribute, group_by=statement.group_by)
+    return None
+
+
+def detect_count_comparison(statement: ast.SelectStatement) -> Optional[CountComparisonIdiom]:
+    """Detect "more/fewer than n" HAVING comparisons (plain or correlated)."""
+    for conjunct in ast.conjuncts(statement.having):
+        if not isinstance(conjunct, ast.BinaryOp):
+            continue
+        idiom = _plain_count_comparison(conjunct) or _correlated_count_comparison(conjunct)
+        if idiom is not None:
+            return idiom
+    return None
+
+
+def _plain_count_comparison(conjunct: ast.BinaryOp) -> Optional[CountComparisonIdiom]:
+    sides = [conjunct.left, conjunct.right]
+    count_call = next(
+        (
+            s
+            for s in sides
+            if isinstance(s, ast.FunctionCall) and s.name.upper() == "COUNT" and not s.distinct
+        ),
+        None,
+    )
+    literal = next((s for s in sides if isinstance(s, ast.Literal)), None)
+    if count_call is None or literal is None or not isinstance(literal.value, int):
+        return None
+    count_on_left = conjunct.left is count_call
+    direction = _direction(conjunct.op, count_on_left)
+    if direction is None:
+        return None
+    return CountComparisonIdiom(
+        threshold=int(literal.value),
+        direction=direction,
+        counted_relation=None,
+        correlated=False,
+    )
+
+
+def _correlated_count_comparison(conjunct: ast.BinaryOp) -> Optional[CountComparisonIdiom]:
+    sides = [conjunct.left, conjunct.right]
+    scalar = next((s for s in sides if isinstance(s, ast.ScalarSubquery)), None)
+    literal = next((s for s in sides if isinstance(s, ast.Literal)), None)
+    if scalar is None or literal is None or not isinstance(literal.value, int):
+        return None
+    subquery = scalar.subquery
+    if len(subquery.select_items) != 1:
+        return None
+    only = subquery.select_items[0].expression
+    if not (isinstance(only, ast.FunctionCall) and only.name.upper() == "COUNT"):
+        return None
+    counted_relation = subquery.from_tables[0].name if subquery.from_tables else None
+    count_on_left = conjunct.left is scalar
+    direction = _direction(conjunct.op, count_on_left)
+    if direction is None:
+        return None
+    return CountComparisonIdiom(
+        threshold=int(literal.value),
+        direction=direction,
+        counted_relation=counted_relation,
+        correlated=True,
+    )
+
+
+def _direction(op: str, count_on_left: bool) -> Optional[str]:
+    """Map (operator, which side the count is on) to more/fewer/exactly."""
+    if op == "=":
+        return "exactly"
+    if count_on_left:
+        if op in (">", ">="):
+            return "more"
+        if op in ("<", "<="):
+            return "fewer"
+    else:
+        # literal op count: "1 < count" means the count is larger.
+        if op in ("<", "<="):
+            return "more"
+        if op in (">", ">="):
+            return "fewer"
+    return None

@@ -1,0 +1,214 @@
+"""Unnesting of IN-subqueries into flat SPJ queries.
+
+Section 3.3.4, query Q5: "Clearly, query Q5 has a flat equivalent
+described in query Q1 ... the translation desired ... is almost impossible
+to obtain from the original form, while it is straightforward to obtain
+from the flat form of the query.  Hence, identifying equivalent query
+forms is important and receives new life as a problem when motivated by
+translatability principles."
+
+The rewriter flattens (possibly recursively) nested, non-negated,
+non-correlated ``IN (SELECT single-column ...)`` predicates whose
+subqueries are plain SPJ blocks: the subquery's FROM entries are hoisted
+into the outer FROM (renaming aliases on collision), its WHERE conjuncts
+are added to the outer WHERE, and the IN predicate becomes an equality
+join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sql import ast
+
+
+@dataclass
+class UnnestResult:
+    """The outcome of an unnesting attempt."""
+
+    statement: ast.SelectStatement
+    changed: bool
+    flattened_predicates: List[str] = field(default_factory=list)
+
+
+def can_flatten_subquery(subquery: ast.SelectStatement) -> bool:
+    """True when the subquery is a plain SPJ block with one output column."""
+    if subquery.group_by or subquery.having is not None or subquery.distinct:
+        return False
+    if subquery.order_by or subquery.limit is not None or subquery.offset is not None:
+        return False
+    if subquery.has_aggregates():
+        return False
+    if len(subquery.select_items) != 1:
+        return False
+    only = subquery.select_items[0].expression
+    if not isinstance(only, ast.ColumnRef):
+        return False
+    # EXISTS/quantified/scalar connectors inside the subquery block its
+    # flattening; nested INs are handled by recursive flattening first.
+    for conjunct in ast.conjuncts(subquery.where):
+        for node in conjunct.walk():
+            if isinstance(node, (ast.Exists, ast.QuantifiedComparison, ast.ScalarSubquery)):
+                return False
+    return True
+
+
+def flatten_in_subqueries(statement: ast.SelectStatement) -> UnnestResult:
+    """Flatten every flattenable IN-subquery of ``statement`` (recursively)."""
+    flattener = _Flattener()
+    rewritten = flattener.flatten(statement)
+    return UnnestResult(
+        statement=rewritten,
+        changed=flattener.changed,
+        flattened_predicates=flattener.flattened,
+    )
+
+
+class _Flattener:
+    def __init__(self) -> None:
+        self.changed = False
+        self.flattened: List[str] = []
+
+    # ------------------------------------------------------------------
+
+    def flatten(self, statement: ast.SelectStatement) -> ast.SelectStatement:
+        used_bindings = {t.binding.lower() for t in statement.from_tables}
+        new_tables: List[ast.TableRef] = list(statement.from_tables)
+        new_conjuncts: List[ast.Expression] = []
+
+        # When the outer block has a single tuple variable, its unqualified
+        # column references are unambiguous *before* flattening but may become
+        # ambiguous once the subquery's tables are hoisted ("id" in Q5);
+        # qualify them up front.
+        sole_binding = (
+            statement.from_tables[0].binding if len(statement.from_tables) == 1 else None
+        )
+
+        for conjunct in ast.conjuncts(statement.where):
+            if sole_binding is not None:
+                conjunct = _qualify_columns(conjunct, sole_binding)
+            replacement = self._flatten_conjunct(conjunct, new_tables, used_bindings)
+            new_conjuncts.extend(replacement)
+
+        if not self.changed:
+            return statement
+        return ast.SelectStatement(
+            select_items=statement.select_items,
+            from_tables=tuple(new_tables),
+            where=ast.conjoin(new_conjuncts),
+            group_by=statement.group_by,
+            having=statement.having,
+            order_by=statement.order_by,
+            distinct=statement.distinct,
+            limit=statement.limit,
+            offset=statement.offset,
+        )
+
+    def _flatten_conjunct(
+        self,
+        conjunct: ast.Expression,
+        new_tables: List[ast.TableRef],
+        used_bindings: set,
+    ) -> List[ast.Expression]:
+        if not isinstance(conjunct, ast.InSubquery) or conjunct.negated:
+            return [conjunct]
+        # Flatten the subquery's own nested INs first so chains like Q5's
+        # MOVIES -> CAST -> ACTOR collapse in one pass.
+        inner = _Flattener()
+        subquery = inner.flatten(conjunct.subquery)
+        if not can_flatten_subquery(subquery):
+            return [conjunct]
+
+        self.changed = True
+        self.flattened.append(str(conjunct.operand))
+
+        renames: Dict[str, str] = {}
+        for table in subquery.from_tables:
+            binding = table.binding
+            new_binding = binding
+            suffix = 1
+            while new_binding.lower() in used_bindings:
+                suffix += 1
+                new_binding = f"{binding}{suffix}"
+            if new_binding != binding:
+                renames[binding.lower()] = new_binding
+            used_bindings.add(new_binding.lower())
+            new_tables.append(ast.TableRef(name=table.name, alias=new_binding))
+
+        conjuncts: List[ast.Expression] = []
+        output_column = subquery.select_items[0].expression
+        assert isinstance(output_column, ast.ColumnRef)
+        join = ast.BinaryOp(
+            "=", conjunct.operand, _rename_columns(output_column, renames)
+        )
+        conjuncts.append(join)
+        for sub_conjunct in ast.conjuncts(subquery.where):
+            conjuncts.append(_rename_columns(sub_conjunct, renames))
+        return conjuncts
+
+
+def _qualify_columns(expression: ast.Expression, binding: str) -> ast.Expression:
+    """Attach ``binding`` to unqualified column references at the top level.
+
+    Only binary comparisons and IN-subquery operands are rewritten; the
+    subquery bodies keep their own scoping.
+    """
+    if isinstance(expression, ast.ColumnRef) and expression.table is None:
+        return ast.ColumnRef(column=expression.column, table=binding)
+    if isinstance(expression, ast.BinaryOp):
+        return ast.BinaryOp(
+            expression.op,
+            _qualify_columns(expression.left, binding),
+            _qualify_columns(expression.right, binding),
+        )
+    if isinstance(expression, ast.InSubquery):
+        return ast.InSubquery(
+            operand=_qualify_columns(expression.operand, binding),
+            subquery=expression.subquery,
+            negated=expression.negated,
+        )
+    return expression
+
+
+def _rename_columns(expression: ast.Expression, renames: Dict[str, str]) -> ast.Expression:
+    """Rewrite column references according to the alias rename map."""
+    if not renames:
+        return expression
+    if isinstance(expression, ast.ColumnRef):
+        if expression.table is not None and expression.table.lower() in renames:
+            return ast.ColumnRef(column=expression.column, table=renames[expression.table.lower()])
+        return expression
+    if isinstance(expression, ast.BinaryOp):
+        return ast.BinaryOp(
+            expression.op,
+            _rename_columns(expression.left, renames),
+            _rename_columns(expression.right, renames),
+        )
+    if isinstance(expression, ast.UnaryOp):
+        return ast.UnaryOp(expression.op, _rename_columns(expression.operand, renames))
+    if isinstance(expression, ast.InList):
+        return ast.InList(
+            operand=_rename_columns(expression.operand, renames),
+            values=tuple(_rename_columns(v, renames) for v in expression.values),
+            negated=expression.negated,
+        )
+    if isinstance(expression, ast.Between):
+        return ast.Between(
+            operand=_rename_columns(expression.operand, renames),
+            low=_rename_columns(expression.low, renames),
+            high=_rename_columns(expression.high, renames),
+            negated=expression.negated,
+        )
+    if isinstance(expression, ast.IsNull):
+        return ast.IsNull(
+            operand=_rename_columns(expression.operand, renames), negated=expression.negated
+        )
+    if isinstance(expression, ast.FunctionCall):
+        return ast.FunctionCall(
+            name=expression.name,
+            args=tuple(_rename_columns(a, renames) for a in expression.args),
+            distinct=expression.distinct,
+        )
+    # Subquery connectors keep their (already non-flattenable) structure.
+    return expression

@@ -1,0 +1,21 @@
+"""SQL front-end: lexer, parser, AST, printer and semantic validator."""
+
+from repro.sql import ast
+from repro.sql.lexer import Lexer, tokenize
+from repro.sql.parser import Parser, parse_select, parse_sql
+from repro.sql.printer import expression_to_sql, to_sql
+from repro.sql.validator import ValidationResult, Validator, validate
+
+__all__ = [
+    "Lexer",
+    "Parser",
+    "ValidationResult",
+    "Validator",
+    "ast",
+    "expression_to_sql",
+    "parse_select",
+    "parse_sql",
+    "to_sql",
+    "tokenize",
+    "validate",
+]

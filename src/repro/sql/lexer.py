@@ -1,0 +1,167 @@
+"""Hand-written lexer for the SQL dialect used throughout the paper."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SqlLexError
+from repro.sql.tokens import (
+    KEYWORDS,
+    MULTI_CHAR_OPERATORS,
+    PUNCTUATION,
+    SINGLE_CHAR_OPERATORS,
+    Token,
+    TokenType,
+)
+
+
+class Lexer:
+    """Convert SQL text into a list of :class:`Token` objects.
+
+    The dialect covers everything the paper's queries Q1-Q9 need: quoted
+    string literals (single quotes, doubled-quote escaping), integer and
+    float literals, identifiers (optionally double-quoted), the keyword set
+    in :mod:`repro.sql.tokens`, comparison/arithmetic operators, and
+    ``--``/``/* */`` comments.
+    """
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # ------------------------------------------------------------------
+
+    def tokenize(self) -> List[Token]:
+        """Produce the full token list, ending with an EOF token."""
+        tokens: List[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.text):
+                tokens.append(Token(TokenType.EOF, "", self.line, self.column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.text):
+            return self.text[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> str:
+        consumed = self.text[self.pos : self.pos + count]
+        for ch in consumed:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return consumed
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch.isspace():
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.text):
+                    raise SqlLexError("unterminated block comment", self.line, self.column)
+                self._advance(2)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, column = self.line, self.column
+        ch = self._peek()
+
+        if ch == "'":
+            return self._string_literal(line, column)
+        if ch == '"':
+            return self._quoted_identifier(line, column)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._word(line, column)
+
+        for operator in MULTI_CHAR_OPERATORS:
+            if self.text.startswith(operator, self.pos):
+                self._advance(len(operator))
+                return Token(TokenType.OPERATOR, operator, line, column)
+        if ch in SINGLE_CHAR_OPERATORS:
+            self._advance()
+            return Token(TokenType.OPERATOR, ch, line, column)
+        if ch in PUNCTUATION:
+            self._advance()
+            return Token(TokenType.PUNCTUATION, ch, line, column)
+
+        raise SqlLexError(f"unexpected character {ch!r}", line, column)
+
+    def _string_literal(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        parts: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise SqlLexError("unterminated string literal", line, column)
+            ch = self._advance()
+            if ch == "'":
+                if self._peek() == "'":
+                    parts.append("'")
+                    self._advance()
+                    continue
+                break
+            parts.append(ch)
+        return Token(TokenType.STRING, "".join(parts), line, column)
+
+    def _quoted_identifier(self, line: int, column: int) -> Token:
+        self._advance()  # opening quote
+        parts: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise SqlLexError("unterminated quoted identifier", line, column)
+            ch = self._advance()
+            if ch == '"':
+                break
+            parts.append(ch)
+        return Token(TokenType.IDENTIFIER, "".join(parts), line, column)
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.pos
+        seen_dot = False
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not seen_dot and self._peek(1).isdigit():
+                seen_dot = True
+                self._advance()
+            else:
+                break
+        text = self.text[start : self.pos]
+        value = float(text) if seen_dot else int(text)
+        return Token(TokenType.NUMBER, value, line, column)
+
+    def _word(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.text) and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self.text[start : self.pos]
+        if text.upper() in KEYWORDS:
+            return Token(TokenType.KEYWORD, text.upper(), line, column)
+        return Token(TokenType.IDENTIFIER, text, line, column)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Convenience wrapper: lex ``text`` into tokens."""
+    return Lexer(text).tokenize()

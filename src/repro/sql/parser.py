@@ -1,0 +1,557 @@
+"""Recursive-descent parser for the SQL dialect of the paper's examples.
+
+The grammar covers SELECT (with DISTINCT, joins expressed in the FROM/WHERE
+style used by the paper, explicit ``JOIN ... ON``, GROUP BY, HAVING,
+ORDER BY, LIMIT/OFFSET), nested subqueries via ``IN``, ``EXISTS`` and
+quantified comparisons (``= ALL``, ``<= ALL``, ``> ANY`` ...), scalar
+subqueries, aggregates (``count(*)``, ``count(distinct x)``, ``sum``,
+``avg``, ``min``, ``max``), CASE expressions, plus INSERT / UPDATE /
+DELETE / CREATE VIEW statements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SqlParseError
+from repro.sql import ast
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import Token, TokenType
+
+_COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class Parser:
+    """Parse a token stream into an AST :class:`repro.sql.ast.Statement`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _check_keyword(self, *words: str) -> bool:
+        return self._peek().is_keyword(*words)
+
+    def _accept_keyword(self, *words: str) -> bool:
+        if self._check_keyword(*words):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(word):
+            raise SqlParseError(
+                f"expected keyword {word}, found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _accept_punct(self, symbol: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCTUATION and token.value == symbol:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, symbol: str) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.PUNCTUATION or token.value != symbol:
+            raise SqlParseError(
+                f"expected {symbol!r}, found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _expect_identifier(self) -> str:
+        token = self._peek()
+        if token.type is TokenType.IDENTIFIER:
+            self._advance()
+            return str(token.value)
+        # Allow non-reserved-sounding keywords (e.g. aggregate names) as identifiers.
+        if token.type is TokenType.KEYWORD and token.upper in (
+            "COUNT",
+            "SUM",
+            "AVG",
+            "MIN",
+            "MAX",
+            "VIEW",
+        ):
+            self._advance()
+            return str(token.value)
+        raise SqlParseError(
+            f"expected identifier, found {token.value!r}", token.line, token.column
+        )
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.is_keyword("SELECT"):
+            statement: ast.Statement = self.parse_select()
+        elif token.is_keyword("INSERT"):
+            statement = self._parse_insert()
+        elif token.is_keyword("UPDATE"):
+            statement = self._parse_update()
+        elif token.is_keyword("DELETE"):
+            statement = self._parse_delete()
+        elif token.is_keyword("CREATE"):
+            statement = self._parse_create_view()
+        else:
+            raise SqlParseError(
+                f"expected a statement, found {token.value!r}", token.line, token.column
+            )
+        self._accept_punct(";")
+        tail = self._peek()
+        if tail.type is not TokenType.EOF:
+            raise SqlParseError(
+                f"unexpected trailing input {tail.value!r}", tail.line, tail.column
+            )
+        return statement
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    def parse_select(self) -> ast.SelectStatement:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        if self._accept_keyword("ALL"):
+            distinct = False
+
+        select_items = self._parse_select_list()
+
+        from_tables: Tuple[ast.TableRef, ...] = ()
+        where: Optional[ast.Expression] = None
+        join_conditions: List[ast.Expression] = []
+        if self._accept_keyword("FROM"):
+            from_tables, join_conditions = self._parse_from_clause()
+
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expression()
+        if join_conditions:
+            where = ast.conjoin(list(join_conditions) + ([where] if where else []))
+
+        group_by: Tuple[ast.Expression, ...] = ()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by = tuple(self._parse_expression_list())
+
+        having: Optional[ast.Expression] = None
+        if self._accept_keyword("HAVING"):
+            having = self._parse_expression()
+
+        order_by: Tuple[ast.OrderItem, ...] = ()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = tuple(self._parse_order_list())
+
+        limit: Optional[int] = None
+        offset: Optional[int] = None
+        if self._accept_keyword("LIMIT"):
+            limit = self._parse_int_literal("LIMIT")
+        if self._accept_keyword("OFFSET"):
+            offset = self._parse_int_literal("OFFSET")
+
+        return ast.SelectStatement(
+            select_items=tuple(select_items),
+            from_tables=from_tables,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            distinct=distinct,
+            limit=limit,
+            offset=offset,
+        )
+
+    def _parse_int_literal(self, clause: str) -> int:
+        token = self._peek()
+        if token.type is not TokenType.NUMBER or not isinstance(token.value, int):
+            raise SqlParseError(
+                f"{clause} expects an integer, found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        self._advance()
+        return int(token.value)
+
+    def _parse_select_list(self) -> List[ast.SelectItem]:
+        items = [self._parse_select_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        expression = self._parse_expression()
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return ast.SelectItem(expression=expression, alias=alias)
+
+    def _parse_from_clause(self) -> Tuple[Tuple[ast.TableRef, ...], List[ast.Expression]]:
+        """Parse the FROM clause, returning table refs and any ON conditions."""
+        tables: List[ast.TableRef] = [self._parse_table_ref()]
+        conditions: List[ast.Expression] = []
+        while True:
+            if self._accept_punct(","):
+                tables.append(self._parse_table_ref())
+                continue
+            if self._check_keyword("JOIN", "INNER", "LEFT", "RIGHT"):
+                # Normalise explicit joins into the comma + WHERE style the
+                # rest of the pipeline (and the paper's examples) use.
+                self._accept_keyword("INNER")
+                self._accept_keyword("LEFT")
+                self._accept_keyword("RIGHT")
+                self._accept_keyword("OUTER")
+                self._expect_keyword("JOIN")
+                tables.append(self._parse_table_ref())
+                if self._accept_keyword("ON"):
+                    conditions.append(self._parse_expression())
+                continue
+            break
+        return tuple(tables), conditions
+
+    def _parse_table_ref(self) -> ast.TableRef:
+        name = self._expect_identifier()
+        alias: Optional[str] = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier()
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        return ast.TableRef(name=name, alias=alias)
+
+    def _parse_order_list(self) -> List[ast.OrderItem]:
+        items = [self._parse_order_item()]
+        while self._accept_punct(","):
+            items.append(self._parse_order_item())
+        return items
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expression = self._parse_expression()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        elif self._accept_keyword("ASC"):
+            descending = False
+        return ast.OrderItem(expression=expression, descending=descending)
+
+    def _parse_expression_list(self) -> List[ast.Expression]:
+        expressions = [self._parse_expression()]
+        while self._accept_punct(","):
+            expressions.append(self._parse_expression())
+        return expressions
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing: OR < AND < NOT < predicate < add < mul < unary)
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            right = self._parse_and()
+            left = ast.BinaryOp("OR", left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            right = self._parse_not()
+            left = ast.BinaryOp("AND", left, right)
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self._check_keyword("NOT") and not self._peek(1).is_keyword("EXISTS", "IN", "BETWEEN", "LIKE"):
+            self._advance()
+            operand = self._parse_not()
+            return ast.UnaryOp("NOT", operand)
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expression:
+        if self._check_keyword("EXISTS") or (
+            self._check_keyword("NOT") and self._peek(1).is_keyword("EXISTS")
+        ):
+            negated = self._accept_keyword("NOT")
+            self._expect_keyword("EXISTS")
+            self._expect_punct("(")
+            subquery = self.parse_select()
+            self._expect_punct(")")
+            return ast.Exists(subquery=subquery, negated=negated)
+
+        left = self._parse_additive()
+
+        negated = False
+        if self._check_keyword("NOT") and self._peek(1).is_keyword("IN", "BETWEEN", "LIKE"):
+            self._advance()
+            negated = True
+
+        if self._accept_keyword("IN"):
+            return self._parse_in_tail(left, negated)
+        if self._accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return ast.Between(operand=left, low=low, high=high, negated=negated)
+        if self._accept_keyword("LIKE"):
+            pattern = self._parse_additive()
+            op = "NOT LIKE" if negated else "LIKE"
+            return ast.BinaryOp(op, left, pattern)
+        if self._accept_keyword("IS"):
+            is_negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return ast.IsNull(operand=left, negated=is_negated)
+
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in _COMPARISON_OPS:
+            op = str(self._advance().value)
+            if op == "!=":
+                op = "<>"
+            if self._check_keyword("ALL", "ANY", "SOME"):
+                quantifier = "ANY" if self._advance().upper in ("ANY", "SOME") else "ALL"
+                self._expect_punct("(")
+                subquery = self.parse_select()
+                self._expect_punct(")")
+                return ast.QuantifiedComparison(
+                    operand=left, op=op, quantifier=quantifier, subquery=subquery
+                )
+            right = self._parse_additive()
+            return ast.BinaryOp(op, left, right)
+
+        return left
+
+    def _parse_in_tail(self, operand: ast.Expression, negated: bool) -> ast.Expression:
+        self._expect_punct("(")
+        if self._check_keyword("SELECT"):
+            subquery = self.parse_select()
+            self._expect_punct(")")
+            return ast.InSubquery(operand=operand, subquery=subquery, negated=negated)
+        values = [self._parse_additive()]
+        while self._accept_punct(","):
+            values.append(self._parse_additive())
+        self._expect_punct(")")
+        return ast.InList(operand=operand, values=tuple(values), negated=negated)
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-", "||"):
+                op = str(self._advance().value)
+                right = self._parse_multiplicative()
+                left = ast.BinaryOp(op, left, right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("*", "/", "%"):
+                op = str(self._advance().value)
+                right = self._parse_unary()
+                left = ast.BinaryOp(op, left, right)
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            operand = self._parse_unary()
+            if isinstance(operand, ast.Literal) and isinstance(operand.value, (int, float)):
+                return ast.Literal(-operand.value)
+            return ast.UnaryOp("-", operand)
+        if token.type is TokenType.OPERATOR and token.value == "+":
+            self._advance()
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expression:
+        token = self._peek()
+
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return ast.Literal(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.Literal(str(token.value))
+        if token.is_keyword("NULL"):
+            self._advance()
+            return ast.Literal(None)
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return ast.Literal(False)
+        if token.is_keyword("CASE"):
+            return self._parse_case()
+        if token.is_keyword("COUNT", "SUM", "AVG", "MIN", "MAX"):
+            return self._parse_function_call(str(self._advance().value))
+
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._advance()
+            return ast.Star()
+
+        if token.type is TokenType.PUNCTUATION and token.value == "(":
+            self._advance()
+            if self._check_keyword("SELECT"):
+                subquery = self.parse_select()
+                self._expect_punct(")")
+                return ast.ScalarSubquery(subquery=subquery)
+            expression = self._parse_expression()
+            self._expect_punct(")")
+            return expression
+
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_identifier_expression()
+
+        raise SqlParseError(
+            f"unexpected token {token.value!r} in expression", token.line, token.column
+        )
+
+    def _parse_identifier_expression(self) -> ast.Expression:
+        first = self._expect_identifier()
+        # Function call: identifier immediately followed by "(".
+        if self._peek().type is TokenType.PUNCTUATION and self._peek().value == "(":
+            return self._parse_function_call(first)
+        if self._accept_punct("."):
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value == "*":
+                self._advance()
+                return ast.Star(table=first)
+            column = self._expect_identifier()
+            return ast.ColumnRef(column=column, table=first)
+        return ast.ColumnRef(column=first)
+
+    def _parse_function_call(self, name: str) -> ast.Expression:
+        self._expect_punct("(")
+        distinct = self._accept_keyword("DISTINCT")
+        args: List[ast.Expression] = []
+        if not (self._peek().type is TokenType.PUNCTUATION and self._peek().value == ")"):
+            args.append(self._parse_expression())
+            while self._accept_punct(","):
+                args.append(self._parse_expression())
+        self._expect_punct(")")
+        return ast.FunctionCall(name=name.upper(), args=tuple(args), distinct=distinct)
+
+    def _parse_case(self) -> ast.Expression:
+        self._expect_keyword("CASE")
+        whens: List[Tuple[ast.Expression, ast.Expression]] = []
+        while self._accept_keyword("WHEN"):
+            condition = self._parse_expression()
+            self._expect_keyword("THEN")
+            value = self._parse_expression()
+            whens.append((condition, value))
+        else_value: Optional[ast.Expression] = None
+        if self._accept_keyword("ELSE"):
+            else_value = self._parse_expression()
+        self._expect_keyword("END")
+        if not whens:
+            token = self._peek()
+            raise SqlParseError("CASE requires at least one WHEN", token.line, token.column)
+        return ast.CaseExpression(whens=tuple(whens), else_value=else_value)
+
+    # ------------------------------------------------------------------
+    # INSERT / UPDATE / DELETE / CREATE VIEW
+    # ------------------------------------------------------------------
+
+    def _parse_insert(self) -> ast.InsertStatement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_identifier()
+        columns: List[str] = []
+        if self._accept_punct("("):
+            columns.append(self._expect_identifier())
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier())
+            self._expect_punct(")")
+        self._expect_keyword("VALUES")
+        rows: List[Tuple[ast.Expression, ...]] = []
+        while True:
+            self._expect_punct("(")
+            values = [self._parse_expression()]
+            while self._accept_punct(","):
+                values.append(self._parse_expression())
+            self._expect_punct(")")
+            rows.append(tuple(values))
+            if not self._accept_punct(","):
+                break
+        return ast.InsertStatement(table=table, columns=tuple(columns), rows=tuple(rows))
+
+    def _parse_update(self) -> ast.UpdateStatement:
+        self._expect_keyword("UPDATE")
+        table = self._expect_identifier()
+        alias: Optional[str] = None
+        if self._peek().type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        self._expect_keyword("SET")
+        assignments: List[Tuple[str, ast.Expression]] = []
+        while True:
+            column = self._expect_identifier()
+            if self._accept_punct("."):
+                column = self._expect_identifier()
+            token = self._peek()
+            if token.type is not TokenType.OPERATOR or token.value != "=":
+                raise SqlParseError("expected '=' in SET clause", token.line, token.column)
+            self._advance()
+            assignments.append((column, self._parse_expression()))
+            if not self._accept_punct(","):
+                break
+        where: Optional[ast.Expression] = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expression()
+        return ast.UpdateStatement(
+            table=table, assignments=tuple(assignments), where=where, alias=alias
+        )
+
+    def _parse_delete(self) -> ast.DeleteStatement:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_identifier()
+        alias: Optional[str] = None
+        if self._peek().type is TokenType.IDENTIFIER:
+            alias = self._expect_identifier()
+        where: Optional[ast.Expression] = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_expression()
+        return ast.DeleteStatement(table=table, where=where, alias=alias)
+
+    def _parse_create_view(self) -> ast.CreateViewStatement:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("VIEW")
+        name = self._expect_identifier()
+        self._expect_keyword("AS")
+        query = self.parse_select()
+        return ast.CreateViewStatement(name=name, query=query)
+
+
+def parse_sql(text: str) -> ast.Statement:
+    """Parse SQL ``text`` into a statement AST."""
+    return Parser(tokenize(text)).parse_statement()
+
+
+def parse_select(text: str) -> ast.SelectStatement:
+    """Parse SQL ``text``, requiring it to be a SELECT statement."""
+    statement = parse_sql(text)
+    if not isinstance(statement, ast.SelectStatement):
+        raise SqlParseError("expected a SELECT statement")
+    return statement

@@ -1,0 +1,175 @@
+"""Render AST statements back to SQL text.
+
+The printer produces canonical, deterministic SQL which is used for
+round-trip tests (parse → print → parse yields an equal AST) and for
+displaying rewritten queries (e.g. the flattened form of a nested query)
+next to their natural-language translation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sql import ast
+
+
+def to_sql(node: ast.Node) -> str:
+    """Render a statement or expression as SQL text."""
+    if isinstance(node, ast.SelectStatement):
+        return _select_to_sql(node)
+    if isinstance(node, ast.InsertStatement):
+        return _insert_to_sql(node)
+    if isinstance(node, ast.UpdateStatement):
+        return _update_to_sql(node)
+    if isinstance(node, ast.DeleteStatement):
+        return _delete_to_sql(node)
+    if isinstance(node, ast.CreateViewStatement):
+        return f"CREATE VIEW {node.name} AS {_select_to_sql(node.query)}"
+    if isinstance(node, ast.Expression):
+        return expression_to_sql(node)
+    raise TypeError(f"cannot render {type(node).__name__} as SQL")  # pragma: no cover
+
+
+def _select_to_sql(query: ast.SelectStatement) -> str:
+    parts: List[str] = ["SELECT"]
+    if query.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_select_item_to_sql(item) for item in query.select_items))
+    if query.from_tables:
+        parts.append("FROM")
+        parts.append(", ".join(_table_ref_to_sql(t) for t in query.from_tables))
+    if query.where is not None:
+        parts.append("WHERE")
+        parts.append(expression_to_sql(query.where, top_level=True))
+    if query.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(expression_to_sql(e) for e in query.group_by))
+    if query.having is not None:
+        parts.append("HAVING")
+        parts.append(expression_to_sql(query.having, top_level=True))
+    if query.order_by:
+        parts.append("ORDER BY")
+        parts.append(", ".join(_order_item_to_sql(o) for o in query.order_by))
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    if query.offset is not None:
+        parts.append(f"OFFSET {query.offset}")
+    return " ".join(parts)
+
+
+def _select_item_to_sql(item: ast.SelectItem) -> str:
+    text = expression_to_sql(item.expression)
+    if item.alias:
+        return f"{text} AS {item.alias}"
+    return text
+
+
+def _table_ref_to_sql(table: ast.TableRef) -> str:
+    if table.alias:
+        return f"{table.name} {table.alias}"
+    return table.name
+
+
+def _order_item_to_sql(item: ast.OrderItem) -> str:
+    text = expression_to_sql(item.expression)
+    return f"{text} DESC" if item.descending else text
+
+
+def _insert_to_sql(statement: ast.InsertStatement) -> str:
+    columns = f" ({', '.join(statement.columns)})" if statement.columns else ""
+    rows = ", ".join(
+        "(" + ", ".join(expression_to_sql(v) for v in row) + ")" for row in statement.rows
+    )
+    return f"INSERT INTO {statement.table}{columns} VALUES {rows}"
+
+
+def _update_to_sql(statement: ast.UpdateStatement) -> str:
+    alias = f" {statement.alias}" if statement.alias else ""
+    sets = ", ".join(
+        f"{column} = {expression_to_sql(value)}" for column, value in statement.assignments
+    )
+    text = f"UPDATE {statement.table}{alias} SET {sets}"
+    if statement.where is not None:
+        text += f" WHERE {expression_to_sql(statement.where, top_level=True)}"
+    return text
+
+
+def _delete_to_sql(statement: ast.DeleteStatement) -> str:
+    alias = f" {statement.alias}" if statement.alias else ""
+    text = f"DELETE FROM {statement.table}{alias}"
+    if statement.where is not None:
+        text += f" WHERE {expression_to_sql(statement.where, top_level=True)}"
+    return text
+
+
+def expression_to_sql(expression: ast.Expression, top_level: bool = False) -> str:
+    """Render an expression; ``top_level`` drops the outermost parentheses."""
+    text = _expr(expression)
+    if top_level and text.startswith("(") and text.endswith(")") and _balanced(text[1:-1]):
+        return text[1:-1]
+    return text
+
+
+def _balanced(text: str) -> bool:
+    depth = 0
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0
+
+
+def _expr(expression: ast.Expression) -> str:
+    if isinstance(expression, ast.Literal):
+        return str(expression)
+    if isinstance(expression, ast.ColumnRef):
+        return expression.qualified
+    if isinstance(expression, ast.Star):
+        return str(expression)
+    if isinstance(expression, ast.BinaryOp):
+        return f"({_expr(expression.left)} {expression.op} {_expr(expression.right)})"
+    if isinstance(expression, ast.UnaryOp):
+        return f"({expression.op} {_expr(expression.operand)})"
+    if isinstance(expression, ast.FunctionCall):
+        inner = ", ".join(_expr(a) for a in expression.args)
+        if expression.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expression.name.lower()}({inner})"
+    if isinstance(expression, ast.IsNull):
+        suffix = "IS NOT NULL" if expression.negated else "IS NULL"
+        return f"({_expr(expression.operand)} {suffix})"
+    if isinstance(expression, ast.Between):
+        word = "NOT BETWEEN" if expression.negated else "BETWEEN"
+        return (
+            f"({_expr(expression.operand)} {word} {_expr(expression.low)}"
+            f" AND {_expr(expression.high)})"
+        )
+    if isinstance(expression, ast.InList):
+        word = "NOT IN" if expression.negated else "IN"
+        inner = ", ".join(_expr(v) for v in expression.values)
+        return f"({_expr(expression.operand)} {word} ({inner}))"
+    if isinstance(expression, ast.InSubquery):
+        word = "NOT IN" if expression.negated else "IN"
+        return f"({_expr(expression.operand)} {word} ({_select_to_sql(expression.subquery)}))"
+    if isinstance(expression, ast.Exists):
+        word = "NOT EXISTS" if expression.negated else "EXISTS"
+        return f"({word} ({_select_to_sql(expression.subquery)}))"
+    if isinstance(expression, ast.QuantifiedComparison):
+        return (
+            f"({_expr(expression.operand)} {expression.op} {expression.quantifier}"
+            f" ({_select_to_sql(expression.subquery)}))"
+        )
+    if isinstance(expression, ast.ScalarSubquery):
+        return f"({_select_to_sql(expression.subquery)})"
+    if isinstance(expression, ast.CaseExpression):
+        parts = ["CASE"]
+        for cond, value in expression.whens:
+            parts.append(f"WHEN {_expr(cond)} THEN {_expr(value)}")
+        if expression.else_value is not None:
+            parts.append(f"ELSE {_expr(expression.else_value)}")
+        parts.append("END")
+        return " ".join(parts)
+    raise TypeError(f"cannot render expression {type(expression).__name__}")  # pragma: no cover

@@ -1,0 +1,110 @@
+"""Token definitions for the SQL lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :class:`repro.sql.lexer.Lexer`."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+#: Reserved words recognised as keywords (upper-cased).  Identifiers equal
+#: to one of these (case-insensitively) become KEYWORD tokens.
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "OFFSET",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "EXISTS",
+        "BETWEEN",
+        "LIKE",
+        "IS",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "AS",
+        "ALL",
+        "ANY",
+        "SOME",
+        "UNION",
+        "INTERSECT",
+        "EXCEPT",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "UPDATE",
+        "SET",
+        "DELETE",
+        "CREATE",
+        "VIEW",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "RIGHT",
+        "OUTER",
+        "ON",
+        "COUNT",
+        "SUM",
+        "AVG",
+        "MIN",
+        "MAX",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer matches greedily.
+MULTI_CHAR_OPERATORS = ("<>", "!=", "<=", ">=", "||")
+
+SINGLE_CHAR_OPERATORS = frozenset("=<>+-*/%")
+
+PUNCTUATION = frozenset("(),.;")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: Any
+    line: int = 1
+    column: int = 1
+
+    @property
+    def upper(self) -> str:
+        """The token text upper-cased (useful for keyword comparison)."""
+        return str(self.value).upper()
+
+    def is_keyword(self, *words: str) -> bool:
+        """True when this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.upper in {w.upper() for w in words}
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.type.value}({self.value!r})"

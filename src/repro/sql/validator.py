@@ -1,0 +1,243 @@
+"""Semantic validation of parsed statements against a catalog schema.
+
+Validation resolves every table reference and column reference, checks
+alias uniqueness, and reports ambiguous unqualified columns.  The
+query-graph builder relies on a validated statement so it can attach each
+constraint to the right relation class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.catalog.relation import Relation
+from repro.catalog.schema import Schema
+from repro.errors import SqlValidationError
+from repro.sql import ast
+
+
+@dataclass
+class ResolvedColumn:
+    """A column reference resolved to its binding (alias) and relation."""
+
+    binding: str
+    relation: Relation
+    attribute_name: str
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.binding}.{self.attribute_name}"
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating a SELECT statement against a schema."""
+
+    statement: ast.SelectStatement
+    bindings: Dict[str, Relation] = field(default_factory=dict)
+    resolved_columns: List[ResolvedColumn] = field(default_factory=list)
+    subquery_results: List["ValidationResult"] = field(default_factory=list)
+
+    def relation_for(self, binding: str) -> Relation:
+        try:
+            return self.bindings[binding]
+        except KeyError as exc:
+            raise SqlValidationError(f"unknown table binding {binding!r}") from exc
+
+
+class Validator:
+    """Validate statements against a :class:`Schema`."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+
+    # ------------------------------------------------------------------
+
+    def validate(self, statement: ast.Statement) -> ValidationResult:
+        """Validate any supported statement, returning the resolution result."""
+        if isinstance(statement, ast.SelectStatement):
+            return self.validate_select(statement)
+        if isinstance(statement, ast.InsertStatement):
+            return self._validate_insert(statement)
+        if isinstance(statement, ast.UpdateStatement):
+            return self._validate_update(statement)
+        if isinstance(statement, ast.DeleteStatement):
+            return self._validate_delete(statement)
+        if isinstance(statement, ast.CreateViewStatement):
+            return self.validate_select(statement.query)
+        raise SqlValidationError(f"unsupported statement type {type(statement).__name__}")
+
+    def validate_select(
+        self,
+        statement: ast.SelectStatement,
+        outer_bindings: Optional[Dict[str, Relation]] = None,
+    ) -> ValidationResult:
+        """Validate a SELECT, resolving columns against FROM and outer bindings."""
+        bindings = self._collect_bindings(statement)
+        visible = dict(outer_bindings or {})
+        visible.update(bindings)
+
+        result = ValidationResult(statement=statement, bindings=bindings)
+
+        for item in statement.select_items:
+            self._validate_expression(item.expression, visible, result)
+        if statement.where is not None:
+            self._validate_expression(statement.where, visible, result)
+        for expression in statement.group_by:
+            self._validate_expression(expression, visible, result)
+        if statement.having is not None:
+            self._validate_expression(statement.having, visible, result)
+        for order in statement.order_by:
+            self._validate_expression(order.expression, visible, result)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _collect_bindings(self, statement: ast.SelectStatement) -> Dict[str, Relation]:
+        bindings: Dict[str, Relation] = {}
+        for table in statement.from_tables:
+            if not self.schema.has_relation(table.name):
+                raise SqlValidationError(
+                    f"unknown relation {table.name!r} in FROM clause"
+                )
+            relation = self.schema.relation(table.name)
+            binding = table.binding
+            if binding.lower() in {b.lower() for b in bindings}:
+                raise SqlValidationError(
+                    f"duplicate table alias {binding!r} in FROM clause"
+                )
+            bindings[binding] = relation
+        return bindings
+
+    def _validate_expression(
+        self,
+        expression: ast.Expression,
+        visible: Dict[str, Relation],
+        result: ValidationResult,
+    ) -> None:
+        if isinstance(expression, ast.ColumnRef):
+            result.resolved_columns.append(self._resolve_column(expression, visible))
+            return
+        if isinstance(expression, (ast.InSubquery, ast.Exists, ast.QuantifiedComparison, ast.ScalarSubquery)):
+            if isinstance(expression, (ast.InSubquery, ast.QuantifiedComparison)):
+                self._validate_expression(expression.operand, visible, result)
+            sub_result = self.validate_select(expression.subquery, outer_bindings=visible)
+            result.subquery_results.append(sub_result)
+            return
+        if isinstance(expression, ast.SelectStatement):  # pragma: no cover - defensive
+            result.subquery_results.append(
+                self.validate_select(expression, outer_bindings=visible)
+            )
+            return
+        for child in expression.children():
+            if isinstance(child, ast.Expression):
+                self._validate_expression(child, visible, result)
+
+    def _resolve_column(
+        self, column: ast.ColumnRef, visible: Dict[str, Relation]
+    ) -> ResolvedColumn:
+        if column.table is not None:
+            relation = self._binding_relation(column.table, visible)
+            if not relation.has_attribute(column.column):
+                raise SqlValidationError(
+                    f"relation {relation.name!r} (alias {column.table!r}) has no"
+                    f" attribute {column.column!r}"
+                )
+            return ResolvedColumn(
+                binding=self._canonical_binding(column.table, visible),
+                relation=relation,
+                attribute_name=relation.attribute(column.column).name,
+            )
+
+        matches = [
+            (binding, relation)
+            for binding, relation in visible.items()
+            if relation.has_attribute(column.column)
+        ]
+        if not matches:
+            raise SqlValidationError(
+                f"column {column.column!r} does not exist in any table of the query"
+            )
+        if len(matches) > 1:
+            candidates = ", ".join(f"{b}.{column.column}" for b, _ in matches)
+            raise SqlValidationError(
+                f"column reference {column.column!r} is ambiguous ({candidates})"
+            )
+        binding, relation = matches[0]
+        return ResolvedColumn(
+            binding=binding,
+            relation=relation,
+            attribute_name=relation.attribute(column.column).name,
+        )
+
+    def _binding_relation(self, binding: str, visible: Dict[str, Relation]) -> Relation:
+        lowered = binding.lower()
+        for candidate, relation in visible.items():
+            if candidate.lower() == lowered:
+                return relation
+        raise SqlValidationError(f"unknown table alias {binding!r}")
+
+    def _canonical_binding(self, binding: str, visible: Dict[str, Relation]) -> str:
+        lowered = binding.lower()
+        for candidate in visible:
+            if candidate.lower() == lowered:
+                return candidate
+        return binding
+
+    # ------------------------------------------------------------------
+    # DML statements
+    # ------------------------------------------------------------------
+
+    def _validate_insert(self, statement: ast.InsertStatement) -> ValidationResult:
+        relation = self._require_relation(statement.table)
+        columns = statement.columns or relation.attribute_names
+        for column in columns:
+            if not relation.has_attribute(column):
+                raise SqlValidationError(
+                    f"relation {relation.name!r} has no attribute {column!r}"
+                )
+        for row in statement.rows:
+            if len(row) != len(columns):
+                raise SqlValidationError(
+                    f"INSERT supplies {len(row)} values for {len(columns)} columns"
+                )
+        select = ast.SelectStatement(select_items=(ast.SelectItem(ast.Star()),))
+        return ValidationResult(statement=select, bindings={relation.name: relation})
+
+    def _validate_update(self, statement: ast.UpdateStatement) -> ValidationResult:
+        relation = self._require_relation(statement.table)
+        binding = statement.alias or statement.table
+        for column, _ in statement.assignments:
+            if not relation.has_attribute(column):
+                raise SqlValidationError(
+                    f"relation {relation.name!r} has no attribute {column!r}"
+                )
+        result = ValidationResult(
+            statement=ast.SelectStatement(select_items=(ast.SelectItem(ast.Star()),)),
+            bindings={binding: relation},
+        )
+        if statement.where is not None:
+            self._validate_expression(statement.where, {binding: relation}, result)
+        return result
+
+    def _validate_delete(self, statement: ast.DeleteStatement) -> ValidationResult:
+        relation = self._require_relation(statement.table)
+        binding = statement.alias or statement.table
+        result = ValidationResult(
+            statement=ast.SelectStatement(select_items=(ast.SelectItem(ast.Star()),)),
+            bindings={binding: relation},
+        )
+        if statement.where is not None:
+            self._validate_expression(statement.where, {binding: relation}, result)
+        return result
+
+    def _require_relation(self, name: str) -> Relation:
+        if not self.schema.has_relation(name):
+            raise SqlValidationError(f"unknown relation {name!r}")
+        return self.schema.relation(name)
+
+
+def validate(schema: Schema, statement: ast.Statement) -> ValidationResult:
+    """Validate ``statement`` against ``schema``."""
+    return Validator(schema).validate(statement)

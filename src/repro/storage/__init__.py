@@ -1,0 +1,19 @@
+"""In-memory storage engine: rows, tables, indexes, databases, loaders."""
+
+from repro.storage.database import Database
+from repro.storage.index import HashIndex, build_index
+from repro.storage.loader import dump_records, load_csv_file, load_csv_text, load_records
+from repro.storage.row import Row
+from repro.storage.table import Table
+
+__all__ = [
+    "Database",
+    "HashIndex",
+    "Row",
+    "Table",
+    "build_index",
+    "dump_records",
+    "load_csv_file",
+    "load_csv_text",
+    "load_records",
+]

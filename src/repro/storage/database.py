@@ -1,0 +1,177 @@
+"""The in-memory database: a schema plus one table per relation."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.catalog.schema import Schema
+from repro.errors import ForeignKeyViolationError, UnknownTableError
+from repro.storage.row import Row
+from repro.storage.table import Table
+
+
+class Database:
+    """An in-memory relational database instance.
+
+    The database owns one :class:`Table` per relation of its
+    :class:`Schema` and enforces foreign-key constraints on insert and
+    delete when ``enforce_foreign_keys`` is enabled (the default).  It is
+    the substrate both for content translation (Section 2 of the paper:
+    narrating what is *in* the database) and for query execution (used to
+    verify query translations and to explain empty answers).
+    """
+
+    def __init__(self, schema: Schema, enforce_foreign_keys: bool = True) -> None:
+        self.schema = schema
+        self.enforce_foreign_keys = enforce_foreign_keys
+        self._tables: Dict[str, Table] = {
+            relation.name: Table(relation) for relation in schema.relations
+        }
+
+    # ------------------------------------------------------------------
+    # Table access
+    # ------------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        """Look up a table by (case-insensitive) relation name."""
+        if name in self._tables:
+            return self._tables[name]
+        lowered = name.lower()
+        for candidate, table in self._tables.items():
+            if candidate.lower() == lowered:
+                return table
+        raise UnknownTableError(
+            f"database has no table {name!r}"
+            f" (available: {', '.join(sorted(self._tables))})"
+        )
+
+    def has_table(self, name: str) -> bool:
+        try:
+            self.table(name)
+            return True
+        except UnknownTableError:
+            return False
+
+    @property
+    def tables(self) -> Tuple[Table, ...]:
+        return tuple(self._tables[name] for name in self.schema.relation_names)
+
+    def row_counts(self) -> Dict[str, int]:
+        return {table.name: len(table) for table in self.tables}
+
+    @property
+    def total_rows(self) -> int:
+        return sum(len(table) for table in self.tables)
+
+    # ------------------------------------------------------------------
+    # Mutation with FK enforcement
+    # ------------------------------------------------------------------
+
+    def insert(self, table_name: str, values: Mapping[str, Any], coerce: bool = False) -> int:
+        """Insert one row, enforcing foreign keys against parent tables."""
+        table = self.table(table_name)
+        if self.enforce_foreign_keys:
+            self._check_foreign_keys(table.name, values)
+        return table.insert(values, coerce=coerce)
+
+    def insert_many(
+        self, table_name: str, rows: Iterable[Mapping[str, Any]], coerce: bool = False
+    ) -> List[int]:
+        return [self.insert(table_name, row, coerce=coerce) for row in rows]
+
+    def load(self, data: Mapping[str, Sequence[Mapping[str, Any]]], coerce: bool = False) -> None:
+        """Bulk-load ``{table name: [row dict, ...]}`` respecting FK order.
+
+        Tables are loaded parents-first so that foreign keys validate; the
+        order is derived from the schema's FK graph with a simple
+        topological pass (cycles fall back to declaration order).
+        """
+        for table_name in self._load_order(data.keys()):
+            rows = data.get(table_name, ())
+            self.insert_many(table_name, rows, coerce=coerce)
+
+    def delete_where(self, table_name: str, predicate) -> int:
+        """Delete rows matching ``predicate(row)``; returns the number removed."""
+        table = self.table(table_name)
+        to_delete = [rowid for rowid, row in table.rows_with_ids() if predicate(row)]
+        if self.enforce_foreign_keys:
+            for rowid in to_delete:
+                self._check_no_referencing_children(table.name, table.row_by_id(rowid))
+        return table.delete_rows(to_delete)
+
+    def update_where(self, table_name: str, predicate, changes: Mapping[str, Any]) -> int:
+        """Update rows matching ``predicate(row)`` with ``changes``."""
+        table = self.table(table_name)
+        to_update = [rowid for rowid, row in table.rows_with_ids() if predicate(row)]
+        if self.enforce_foreign_keys:
+            merged_probe = dict(changes)
+            self._check_foreign_keys(table.name, merged_probe, partial=True)
+        return table.update_rows(to_update, changes)
+
+    # ------------------------------------------------------------------
+    # Foreign key checks
+    # ------------------------------------------------------------------
+
+    def _check_foreign_keys(
+        self, table_name: str, values: Mapping[str, Any], partial: bool = False
+    ) -> None:
+        lowered = {k.lower(): v for k, v in values.items()}
+        for fk in self.schema.foreign_keys_from(table_name):
+            child_values = [lowered.get(col.lower()) for col in fk.source_attributes]
+            if partial and all(
+                col.lower() not in lowered for col in fk.source_attributes
+            ):
+                continue
+            if any(v is None for v in child_values):
+                # SQL semantics: NULL FK components never fail the constraint.
+                continue
+            parent = self.table(fk.target_relation)
+            if not parent.has_key(fk.target_attributes, child_values):
+                raise ForeignKeyViolationError(
+                    f"insert into {table_name} violates {fk}: no parent row with"
+                    f" {dict(zip(fk.target_attributes, child_values))!r}"
+                )
+
+    def _check_no_referencing_children(self, table_name: str, row: Row) -> None:
+        for fk in self.schema.foreign_keys_to(table_name):
+            parent_key = [row.get(col) for col in fk.target_attributes]
+            if any(v is None for v in parent_key):
+                continue
+            child = self.table(fk.source_relation)
+            if child.has_key(fk.source_attributes, parent_key):
+                raise ForeignKeyViolationError(
+                    f"cannot delete from {table_name}: rows in {fk.source_relation}"
+                    f" still reference key {parent_key!r} via {fk}"
+                )
+
+    def _load_order(self, table_names: Iterable[str]) -> List[str]:
+        requested = [self.table(name).name for name in table_names]
+        remaining = list(requested)
+        ordered: List[str] = []
+        # Kahn-style topological ordering on the FK graph restricted to the
+        # requested tables: a table can be loaded once all parents it
+        # references are already loaded (or are not part of this batch).
+        for _ in range(len(remaining) + 1):
+            progressed = False
+            for name in list(remaining):
+                parents = {
+                    fk.target_relation
+                    for fk in self.schema.foreign_keys_from(name)
+                    if fk.target_relation != name
+                }
+                if parents & set(remaining) - {name}:
+                    continue
+                ordered.append(name)
+                remaining.remove(name)
+                progressed = True
+            if not remaining:
+                break
+            if not progressed:
+                # FK cycle among the requested tables: fall back to given order.
+                ordered.extend(remaining)
+                remaining.clear()
+                break
+        return ordered
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Database({self.schema.name}: {self.total_rows} rows in {len(self.tables)} tables)"

@@ -1,0 +1,48 @@
+"""Loaders for populating a :class:`Database` from CSV text or dictionaries."""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Sequence, Union
+
+from repro.storage.database import Database
+
+
+def load_csv_text(database: Database, table_name: str, text: str, delimiter: str = ",") -> int:
+    """Load rows from CSV ``text`` (first line is the header) into ``table_name``.
+
+    Values are coerced to the declared column types; empty strings become
+    NULL.  Returns the number of rows inserted.
+    """
+    reader = csv.DictReader(io.StringIO(text), delimiter=delimiter)
+    rows: List[Dict[str, Any]] = [dict(record) for record in reader]
+    database.insert_many(table_name, rows, coerce=True)
+    return len(rows)
+
+
+def load_csv_file(
+    database: Database, table_name: str, path: Union[str, Path], delimiter: str = ","
+) -> int:
+    """Load a CSV file from disk into ``table_name``."""
+    text = Path(path).read_text(encoding="utf-8")
+    return load_csv_text(database, table_name, text, delimiter=delimiter)
+
+
+def load_records(
+    database: Database, data: Mapping[str, Sequence[Mapping[str, Any]]], coerce: bool = True
+) -> Dict[str, int]:
+    """Load ``{table: [record, ...]}`` into the database, parents first.
+
+    Returns a mapping of table name to the number of rows inserted.
+    """
+    database.load(data, coerce=coerce)
+    return {name: len(rows) for name, rows in data.items()}
+
+
+def dump_records(database: Database) -> Dict[str, List[Dict[str, Any]]]:
+    """Export every table's rows as plain dictionaries (insertion order)."""
+    return {
+        table.name: [row.as_dict() for row in table.rows()] for table in database.tables
+    }

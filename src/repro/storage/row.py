@@ -1,0 +1,127 @@
+"""Row representation used by the storage engine and the executor."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+
+class Row(Mapping[str, Any]):
+    """An immutable mapping of qualified/unqualified column names to values.
+
+    Rows flow from the storage engine through the executor to the NLG
+    layer.  During joins the executor needs column references such as
+    ``m.title`` (alias-qualified) as well as plain ``title``; a row
+    therefore resolves keys with the following precedence:
+
+    1. exact key match,
+    2. case-insensitive match,
+    3. unqualified match on the suffix after the last dot (only when the
+       suffix is unambiguous among the row's keys).
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Mapping[str, Any]) -> None:
+        self._values: Dict[str, Any] = dict(values)
+
+    # -- Mapping protocol ------------------------------------------------
+
+    def __getitem__(self, key: str) -> Any:
+        resolved = self.resolve_key(key)
+        if resolved is None:
+            raise KeyError(key)
+        return self._values[resolved]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and self.resolve_key(key) is not None
+
+    # -- Lookup helpers ---------------------------------------------------
+
+    def resolve_key(self, key: str) -> Optional[str]:
+        """Return the stored key that ``key`` refers to, or ``None``."""
+        if key in self._values:
+            return key
+        lowered = key.lower()
+        exact_ci = [k for k in self._values if k.lower() == lowered]
+        if len(exact_ci) == 1:
+            return exact_ci[0]
+        if exact_ci:
+            return exact_ci[0]
+        # Unqualified lookup: match against suffix after the last dot.
+        suffix_matches = [
+            k for k in self._values if k.lower().rsplit(".", 1)[-1] == lowered
+        ]
+        if len(suffix_matches) == 1:
+            return suffix_matches[0]
+        return None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        resolved = self.resolve_key(key)
+        if resolved is None:
+            return default
+        return self._values[resolved]
+
+    def is_ambiguous(self, key: str) -> bool:
+        """True when an unqualified ``key`` matches more than one column."""
+        lowered = key.lower()
+        if any(k.lower() == lowered for k in self._values):
+            return False
+        suffix_matches = [
+            k for k in self._values if k.lower().rsplit(".", 1)[-1] == lowered
+        ]
+        return len(suffix_matches) > 1
+
+    # -- Construction helpers ---------------------------------------------
+
+    def merged(self, other: "Row") -> "Row":
+        """A new row containing this row's columns followed by ``other``'s."""
+        combined = dict(self._values)
+        combined.update(other._values)
+        return Row(combined)
+
+    def prefixed(self, prefix: str) -> "Row":
+        """A new row whose keys are all qualified with ``prefix.``."""
+        return Row({f"{prefix}.{k.rsplit('.', 1)[-1]}": v for k, v in self._values.items()})
+
+    def project(self, keys: Iterable[str]) -> "Row":
+        """A new row restricted to ``keys`` (resolved with the usual rules)."""
+        out: Dict[str, Any] = {}
+        for key in keys:
+            out[key] = self[key]
+        return Row(out)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self._values)
+
+    def values_tuple(self, keys: Iterable[str]) -> Tuple[Any, ...]:
+        return tuple(self[k] for k in keys)
+
+    # -- Equality / representation -----------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return self._values == other._values
+        if isinstance(other, Mapping):
+            return self._values == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((k, _hashable(v)) for k, v in self._values.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"Row({inner})"
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, (list, set)):
+        return tuple(value)
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return value

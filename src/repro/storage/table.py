@@ -1,0 +1,206 @@
+"""In-memory table with constraint checking and hash indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.catalog.relation import Relation
+from repro.catalog.types import check_value, coerce_value
+from repro.errors import (
+    NotNullViolationError,
+    PrimaryKeyViolationError,
+    UnknownAttributeError,
+)
+from repro.storage.index import HashIndex
+from repro.storage.row import Row
+
+
+class Table:
+    """An in-memory table storing rows that conform to a :class:`Relation`.
+
+    Rows are stored in insertion order and identified by a monotonically
+    increasing integer row id.  A unique hash index is maintained over the
+    primary key (when the relation declares one); additional indexes can be
+    created on demand and are kept up to date by inserts/deletes/updates.
+    """
+
+    def __init__(self, relation: Relation) -> None:
+        self.relation = relation
+        self._rows: Dict[int, Dict[str, Any]] = {}
+        self._next_rowid = 1
+        self._indexes: Dict[str, HashIndex] = {}
+        if relation.primary_key_names:
+            self.create_index("pk", relation.primary_key_names, unique=True)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.relation.name
+
+    @property
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over the table's rows in insertion order."""
+        for rowid in sorted(self._rows):
+            yield Row(self._rows[rowid])
+
+    def rows_with_ids(self) -> Iterator[Tuple[int, Row]]:
+        for rowid in sorted(self._rows):
+            yield rowid, Row(self._rows[rowid])
+
+    def row_by_id(self, rowid: int) -> Row:
+        return Row(self._rows[rowid])
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, values: Mapping[str, Any], coerce: bool = False) -> int:
+        """Insert a row given a column/value mapping; returns the new row id.
+
+        Unknown columns raise :class:`UnknownAttributeError`; missing
+        columns default to ``None`` (subject to NOT NULL checks).  With
+        ``coerce=True`` textual values are converted to the declared types,
+        which is what the CSV/dict loaders use.
+        """
+        normalised = self._normalise(values, coerce=coerce)
+        self._check_not_null(normalised)
+        self._check_unique_indexes(normalised)
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = normalised
+        for index in self._indexes.values():
+            index.add(index.key_for(normalised), rowid)
+        return rowid
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]], coerce: bool = False) -> List[int]:
+        return [self.insert(row, coerce=coerce) for row in rows]
+
+    def delete_rows(self, rowids: Iterable[int]) -> int:
+        """Delete the rows with the given ids; returns how many were removed."""
+        removed = 0
+        for rowid in list(rowids):
+            values = self._rows.pop(rowid, None)
+            if values is None:
+                continue
+            for index in self._indexes.values():
+                index.remove(index.key_for(values), rowid)
+            removed += 1
+        return removed
+
+    def update_rows(self, rowids: Iterable[int], changes: Mapping[str, Any]) -> int:
+        """Apply ``changes`` to each of the given rows; returns how many changed."""
+        updated = 0
+        for rowid in list(rowids):
+            current = self._rows.get(rowid)
+            if current is None:
+                continue
+            merged = dict(current)
+            for column, value in changes.items():
+                attribute = self.relation.attribute(column)
+                merged[attribute.name] = check_value(
+                    attribute.dtype, value, context=attribute.qualified_name
+                )
+            self._check_not_null(merged)
+            self._check_unique_indexes(merged, ignore_rowid=rowid)
+            for index in self._indexes.values():
+                index.remove(index.key_for(current), rowid)
+                index.add(index.key_for(merged), rowid)
+            self._rows[rowid] = merged
+            updated += 1
+        return updated
+
+    def truncate(self) -> None:
+        """Remove every row (indexes are rebuilt empty)."""
+        self._rows.clear()
+        for index in self._indexes.values():
+            for key in list(index.keys()):
+                for rowid in list(index.lookup(key)):
+                    index.remove(key, rowid)
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+
+    def create_index(self, name: str, columns: Sequence[str], unique: bool = False) -> HashIndex:
+        """Create (or return an existing) index over ``columns``."""
+        canonical = tuple(self.relation.attribute(c).name for c in columns)
+        key = name.lower()
+        if key in self._indexes:
+            return self._indexes[key]
+        index = HashIndex(name, canonical, unique=unique)
+        for rowid, values in self._rows.items():
+            index.add(index.key_for(values), rowid)
+        self._indexes[key] = index
+        return index
+
+    def index(self, name: str) -> Optional[HashIndex]:
+        return self._indexes.get(name.lower())
+
+    def indexes(self) -> Tuple[HashIndex, ...]:
+        return tuple(self._indexes.values())
+
+    def lookup(self, columns: Sequence[str], values: Sequence[Any]) -> List[Row]:
+        """Fetch rows whose ``columns`` equal ``values``, using an index when possible."""
+        canonical = tuple(self.relation.attribute(c).name for c in columns)
+        for index in self._indexes.values():
+            if index.columns == canonical:
+                return [self.row_by_id(rowid) for rowid in index.lookup(tuple(values))]
+        wanted = dict(zip(canonical, values))
+        return [
+            Row(row)
+            for row in self._rows.values()
+            if all(row.get(col) == val for col, val in wanted.items())
+        ]
+
+    def has_key(self, columns: Sequence[str], values: Sequence[Any]) -> bool:
+        return bool(self.lookup(columns, values))
+
+    # ------------------------------------------------------------------
+    # Constraint helpers
+    # ------------------------------------------------------------------
+
+    def _normalise(self, values: Mapping[str, Any], coerce: bool) -> Dict[str, Any]:
+        known = {a.name.lower(): a for a in self.relation.attributes}
+        normalised: Dict[str, Any] = {a.name: None for a in self.relation.attributes}
+        for column, value in values.items():
+            attribute = known.get(column.lower())
+            if attribute is None:
+                raise UnknownAttributeError(
+                    f"table {self.name!r} has no column {column!r}"
+                )
+            if coerce:
+                value = coerce_value(attribute.dtype, value)
+            normalised[attribute.name] = check_value(
+                attribute.dtype, value, context=attribute.qualified_name
+            )
+        return normalised
+
+    def _check_not_null(self, values: Mapping[str, Any]) -> None:
+        for attribute in self.relation.attributes:
+            if not attribute.nullable and values.get(attribute.name) is None:
+                raise NotNullViolationError(
+                    f"column {attribute.qualified_name} is NOT NULL but received NULL"
+                )
+
+    def _check_unique_indexes(
+        self, values: Mapping[str, Any], ignore_rowid: Optional[int] = None
+    ) -> None:
+        for index in self._indexes.values():
+            key = index.key_for(dict(values))
+            if index.would_violate_unique(key, ignore_rowid=ignore_rowid):
+                raise PrimaryKeyViolationError(
+                    f"duplicate key {key!r} for unique index {index.name!r}"
+                    f" on table {self.name!r}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Table({self.name}, {len(self)} rows)"

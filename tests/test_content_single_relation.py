@@ -1,0 +1,112 @@
+"""Tests for single-relation tuple translation (Section 2.2 alternatives a/b)."""
+
+import pytest
+
+from repro.content import (
+    TupleStyle,
+    UserProfile,
+    attribute_clause,
+    heading_clause,
+    heading_value,
+    movie_spec,
+    tuple_clauses,
+)
+from repro.datasets import movie_database
+from repro.nlg.realize import realize_paragraph
+
+
+@pytest.fixture(scope="module")
+def context():
+    database = movie_database()
+    spec = movie_spec(database.schema)
+    woody = database.table("DIRECTOR").lookup(("name",), ("Woody Allen",))[0]
+    return database, spec, woody
+
+
+class TestHeadingClause:
+    def test_heading_value(self, context):
+        database, spec, woody = context
+        relation = database.schema.relation("DIRECTOR")
+        assert heading_value(relation, woody) == "Woody Allen"
+
+    def test_heading_only_sentence(self, context):
+        database, spec, woody = context
+        relation = database.schema.relation("DIRECTOR")
+        clause = heading_clause(relation, woody, spec.registry)
+        assert clause.render() == "the director's name is Woody Allen"
+
+    def test_profile_heading_override(self, context):
+        database, spec, woody = context
+        relation = database.schema.relation("DIRECTOR")
+        profile = UserProfile(heading_overrides={"DIRECTOR": "blocation"})
+        assert heading_value(relation, woody, profile) == "Brooklyn, New York, USA"
+
+
+class TestAttributeClause:
+    def test_structural_split_with_verb_hint(self, context):
+        database, spec, woody = context
+        relation = database.schema.relation("DIRECTOR")
+        clause = attribute_clause(relation, "blocation", woody, spec.registry)
+        assert clause.subject == "Woody Allen"
+        assert clause.verb == "was born"
+        assert clause.complements == ("in Brooklyn, New York, USA",)
+
+    def test_null_attribute_gives_no_clause(self, context):
+        database, spec, _ = context
+        relation = database.schema.relation("MOVIES")
+        clause = attribute_clause(relation, "year", {"title": "X", "year": None}, spec.registry)
+        assert clause is None
+
+    def test_default_template_clause(self, context):
+        database, spec, _ = context
+        relation = database.schema.relation("MOVIES")
+        from repro.templates.registry import TemplateRegistry
+
+        defaults = TemplateRegistry(database.schema)
+        clause = attribute_clause(relation, "year", {"title": "Troy", "year": 2004}, defaults)
+        assert clause.render() == "Troy has release year 2004"
+
+
+class TestTupleClauses:
+    def test_full_style_merges_birth_clauses(self, context):
+        database, spec, woody = context
+        relation = database.schema.relation("DIRECTOR")
+        clauses = tuple_clauses(
+            relation,
+            woody,
+            spec.registry,
+            style=TupleStyle.FULL,
+            attribute_order=spec.order_for("DIRECTOR"),
+        )
+        assert len(clauses) == 1
+        assert realize_paragraph(clauses) == (
+            "Woody Allen was born in Brooklyn, New York, USA on December 1, 1935."
+        )
+
+    def test_attribute_order_controls_complement_order(self, context):
+        database, spec, woody = context
+        relation = database.schema.relation("DIRECTOR")
+        clauses = tuple_clauses(
+            relation, woody, spec.registry, attribute_order=("bdate", "blocation")
+        )
+        assert clauses[0].complements[0].startswith("on December")
+
+    def test_heading_only_style(self, context):
+        database, spec, woody = context
+        relation = database.schema.relation("DIRECTOR")
+        clauses = tuple_clauses(relation, woody, spec.registry, style=TupleStyle.HEADING_ONLY)
+        assert len(clauses) == 1
+        assert "Woody Allen" in clauses[0].render()
+
+    def test_relation_without_descriptive_attributes_falls_back_to_heading(self, context):
+        database, spec, _ = context
+        relation = database.schema.relation("ACTOR")
+        clauses = tuple_clauses(relation, {"id": 1, "name": "Brad Pitt"}, spec.registry)
+        assert len(clauses) == 1
+        assert "Brad Pitt" in clauses[0].render()
+
+    def test_unmerged_clauses_when_merge_disabled(self, context):
+        database, spec, woody = context
+        relation = database.schema.relation("DIRECTOR")
+        clauses = tuple_clauses(relation, woody, spec.registry, merge=False)
+        assert len(clauses) == 2

@@ -1,0 +1,145 @@
+"""Tests for expression evaluation (three-valued logic, functions, subqueries)."""
+
+import pytest
+
+from repro.engine.evaluator import ExpressionEvaluator
+from repro.errors import EvaluationError
+from repro.sql.parser import Parser
+from repro.sql.lexer import tokenize
+from repro.storage.row import Row
+
+
+def expr(text: str):
+    """Parse a standalone expression by wrapping it in a SELECT."""
+    parser = Parser(tokenize(f"select * from R where {text}"))
+    return parser.parse_select().where
+
+
+@pytest.fixture
+def evaluator() -> ExpressionEvaluator:
+    return ExpressionEvaluator()
+
+
+ROW = Row({"r.a": 5, "r.b": None, "r.name": "Brad Pitt", "r.year": 2004})
+
+
+class TestComparisons:
+    def test_equality(self, evaluator):
+        assert evaluator.evaluate(expr("r.a = 5"), ROW) is True
+        assert evaluator.evaluate(expr("r.a = 6"), ROW) is False
+
+    def test_null_comparison_is_unknown(self, evaluator):
+        assert evaluator.evaluate(expr("r.b = 5"), ROW) is None
+
+    def test_matches_treats_unknown_as_false(self, evaluator):
+        assert evaluator.matches(expr("r.b = 5"), ROW) is False
+        assert evaluator.matches(None, ROW) is True
+
+    def test_ordering_operators(self, evaluator):
+        assert evaluator.evaluate(expr("r.a < 10"), ROW) is True
+        assert evaluator.evaluate(expr("r.a >= 5"), ROW) is True
+        assert evaluator.evaluate(expr("r.a <> 5"), ROW) is False
+
+    def test_incomparable_types_raise(self, evaluator):
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate(expr("r.name > 5"), ROW)
+
+
+class TestBooleanLogic:
+    def test_and_short_circuit_false(self, evaluator):
+        assert evaluator.evaluate(expr("r.a = 6 and r.b = 1"), ROW) is False
+
+    def test_and_with_unknown(self, evaluator):
+        assert evaluator.evaluate(expr("r.a = 5 and r.b = 1"), ROW) is None
+
+    def test_or_true_wins_over_unknown(self, evaluator):
+        assert evaluator.evaluate(expr("r.a = 5 or r.b = 1"), ROW) is True
+
+    def test_or_unknown(self, evaluator):
+        assert evaluator.evaluate(expr("r.a = 6 or r.b = 1"), ROW) is None
+
+    def test_not(self, evaluator):
+        assert evaluator.evaluate(expr("not r.a = 5"), ROW) is False
+        assert evaluator.evaluate(expr("not r.b = 5"), ROW) is None
+
+
+class TestOperatorsAndFunctions:
+    def test_arithmetic(self, evaluator):
+        assert evaluator.evaluate(expr("r.a + 3 = 8"), ROW) is True
+        assert evaluator.evaluate(expr("r.a * 2 = 10"), ROW) is True
+
+    def test_integer_division_exact(self, evaluator):
+        row = Row({"r.a": 10})
+        assert evaluator.evaluate(expr("r.a / 2 = 5"), row) is True
+
+    def test_division_by_zero(self, evaluator):
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate(expr("r.a / 0 = 1"), ROW)
+
+    def test_concat(self, evaluator):
+        row = Row({"r.x": "ab", "r.y": "cd"})
+        assert evaluator.evaluate(expr("r.x || r.y = 'abcd'"), row) is True
+
+    def test_like(self, evaluator):
+        assert evaluator.evaluate(expr("r.name like 'Brad%'"), ROW) is True
+        assert evaluator.evaluate(expr("r.name like '____ Pitt'"), ROW) is True
+        assert evaluator.evaluate(expr("r.name not like 'X%'"), ROW) is True
+
+    def test_between(self, evaluator):
+        assert evaluator.evaluate(expr("r.year between 2000 and 2005"), ROW) is True
+        assert evaluator.evaluate(expr("r.year not between 2000 and 2005"), ROW) is False
+
+    def test_in_list(self, evaluator):
+        assert evaluator.evaluate(expr("r.a in (1, 5, 9)"), ROW) is True
+        assert evaluator.evaluate(expr("r.a not in (1, 9)"), ROW) is True
+
+    def test_in_list_with_null_member_is_unknown_when_absent(self, evaluator):
+        assert evaluator.evaluate(expr("r.a in (1, null)"), ROW) is None
+
+    def test_is_null(self, evaluator):
+        assert evaluator.evaluate(expr("r.b is null"), ROW) is True
+        assert evaluator.evaluate(expr("r.a is not null"), ROW) is True
+
+    def test_scalar_functions(self, evaluator):
+        row = Row({"r.s": "Hello"})
+        assert evaluator.evaluate(expr("lower(r.s) = 'hello'"), row) is True
+        assert evaluator.evaluate(expr("length(r.s) = 5"), row) is True
+        assert evaluator.evaluate(expr("coalesce(r.missingish, 'x') = 'x'"), Row({"r.missingish": None})) is True
+
+    def test_unknown_function_raises(self, evaluator):
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate(expr("soundex(r.name) = 'x'"), ROW)
+
+    def test_case_expression(self, evaluator):
+        value = evaluator.evaluate(
+            Parser(tokenize("select case when r.a = 5 then 'five' else 'other' end from R"))
+            .parse_select()
+            .select_items[0]
+            .expression,
+            ROW,
+        )
+        assert value == "five"
+
+
+class TestColumnResolution:
+    def test_qualified_column_must_exist(self, evaluator):
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate(expr("z.a = 1"), ROW)
+
+    def test_unqualified_resolution(self, evaluator):
+        assert evaluator.evaluate(expr("a = 5"), ROW) is True
+
+    def test_ambiguous_unqualified_raises(self, evaluator):
+        row = Row({"r.id": 1, "s.id": 2})
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate(expr("id = 1"), row)
+
+    def test_subquery_without_runner_raises(self, evaluator):
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate(expr("r.a in (select x from S)"), ROW)
+
+    def test_aggregate_outside_group_context_raises(self, evaluator):
+        parser = Parser(tokenize("select count(*) from R"))
+        aggregate = parser.parse_select().select_items[0].expression
+        with pytest.raises(EvaluationError):
+            evaluator.evaluate(aggregate, ROW)

@@ -1,0 +1,127 @@
+"""Tests for predicate classification and logical planning."""
+
+import pytest
+
+from repro.datasets import PAPER_QUERIES
+from repro.engine.plan import (
+    AggregateNode,
+    DistinctNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    Planner,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    classify_predicates,
+    plan_query,
+)
+from repro.errors import PlanningError
+from repro.sql import ast
+from repro.sql.parser import parse_select
+
+
+def plan(sql: str):
+    return plan_query(parse_select(sql))
+
+
+def node_types(plan_obj):
+    found = []
+
+    def walk(node):
+        found.append(type(node))
+        for child in node.children():
+            walk(child)
+
+    walk(plan_obj.root)
+    return found
+
+
+class TestClassifyPredicates:
+    def test_local_join_and_residual(self):
+        statement = parse_select(
+            "select * from MOVIES m, CAST c where m.id = c.mid and m.year > 2000"
+            " and m.id in (select mid from GENRE)"
+        )
+        classified = classify_predicates(statement.where, ["m", "c"])
+        assert len(classified.joins) == 1
+        assert len(classified.local["m"]) == 1
+        assert len(classified.residual) == 1
+
+    def test_unqualified_column_goes_residual(self):
+        statement = parse_select("select * from MOVIES m where year > 2000")
+        classified = classify_predicates(statement.where, ["m"])
+        assert classified.residual and not classified.local["m"]
+
+    def test_cross_binding_inequality_is_residual(self):
+        statement = parse_select("select * from CAST c1, CAST c2 where c1.aid > c2.aid")
+        classified = classify_predicates(statement.where, ["c1", "c2"])
+        assert classified.residual and not classified.joins
+
+    def test_empty_where(self):
+        classified = classify_predicates(None, ["m"])
+        assert not classified.joins and not classified.residual
+
+
+class TestPlanShapes:
+    def test_simple_scan_project(self):
+        types = node_types(plan("select title from MOVIES"))
+        assert types == [ProjectNode, ScanNode]
+
+    def test_filter_pushed_below_join(self):
+        logical = plan(
+            "select m.title from MOVIES m, CAST c where m.id = c.mid and m.year > 2000"
+        )
+        explain = logical.explain()
+        assert explain.index("Filter(m.year > 2000)") > explain.index("HashJoin")
+
+    def test_join_conditions_only_when_bindings_available(self):
+        logical = plan(PAPER_QUERIES["Q2"])
+        lines = logical.explain().splitlines()
+        first_join = next(line for line in reversed(lines) if "Join" in line)
+        # The innermost (deepest) join must not reference relations joined later.
+        assert "d.id" not in first_join or "r.did" in first_join
+
+    def test_aggregate_node_present_for_group_by(self):
+        types = node_types(plan(PAPER_QUERIES["Q7"]))
+        assert AggregateNode in types
+
+    def test_distinct_sort_limit_nodes(self):
+        types = node_types(
+            plan("select distinct title from MOVIES order by title limit 3")
+        )
+        assert DistinctNode in types and SortNode in types and LimitNode in types
+
+    def test_cross_join_when_no_condition(self):
+        logical = plan("select * from MOVIES m, ACTOR a")
+        assert "CrossJoin" in logical.explain()
+
+    def test_duplicate_aliases_rejected(self):
+        statement = parse_select("select * from MOVIES m, CAST c")
+        bad = ast.SelectStatement(
+            select_items=statement.select_items,
+            from_tables=(
+                ast.TableRef("MOVIES", "m"),
+                ast.TableRef("CAST", "m"),
+            ),
+        )
+        with pytest.raises(PlanningError):
+            Planner().plan(bad)
+
+    def test_from_less_select(self):
+        logical = plan("select 1 + 1")
+        assert isinstance(logical.root, ProjectNode)
+
+    def test_having_without_group_by_becomes_filter(self):
+        types = node_types(plan("select title from MOVIES having title = 'Troy'"))
+        assert FilterNode in types and AggregateNode not in types
+
+    def test_self_join_plan_has_both_scans(self):
+        logical = plan(PAPER_QUERIES["Q3"])
+        scans = [n for n in node_types(logical) if n is ScanNode]
+        assert len(scans) == 5
+
+    def test_explain_is_indented_tree(self):
+        text = plan(PAPER_QUERIES["Q1"]).explain()
+        assert text.splitlines()[0].startswith("Project")
+        assert any(line.startswith("  ") for line in text.splitlines())

@@ -1,0 +1,102 @@
+"""Tests for metrics, the experiment registry and reporting."""
+
+import pytest
+
+from repro.datasets import PAPER_QUERIES, movie_schema
+from repro.evaluation import (
+    TextMetrics,
+    compression_ratio,
+    coverage,
+    experiment_ids,
+    format_report,
+    markdown_table,
+    query_coverage,
+    query_elements,
+    redundancy_ratio,
+    run_all_experiments,
+    run_experiment,
+    summary_rows,
+    tokens,
+)
+
+
+class TestMetrics:
+    def test_tokens(self):
+        assert tokens("Find movies, where Brad Pitt plays!") == [
+            "find", "movies", "where", "brad", "pitt", "plays",
+        ]
+
+    def test_redundancy_ratio(self):
+        assert redundancy_ratio("a b c d") == 0.0
+        assert redundancy_ratio("a a a a") == pytest.approx(0.75)
+        assert redundancy_ratio("") == 0.0
+
+    def test_compression_ratio(self):
+        assert compression_ratio("one two", "one two three four") == pytest.approx(0.5)
+        assert compression_ratio("x", "") == 1.0
+
+    def test_text_metrics(self):
+        metrics = TextMetrics.of("One two three. Four five.")
+        assert metrics.words == 5 and metrics.sentences == 2
+
+    def test_query_elements_include_constants_and_concepts(self):
+        elements = query_elements(movie_schema(), PAPER_QUERIES["Q1"])
+        assert "Brad Pitt" in elements
+        assert "movie" in elements and "actor" in elements
+        assert "cast" not in elements  # bridge relations are skipped
+
+    def test_coverage(self):
+        assert coverage("find movies where brad pitt plays", ["movie", "Brad Pitt"]) == 1.0
+        assert coverage("nothing relevant", ["Brad Pitt"]) == 0.0
+        assert coverage("anything", []) == 1.0
+
+    def test_query_coverage_of_paper_narrative(self):
+        schema = movie_schema()
+        value = query_coverage(
+            schema, PAPER_QUERIES["Q1"], "Find the titles of movies where the actor Brad Pitt plays"
+        )
+        assert value == 1.0
+
+    def test_query_coverage_penalises_missing_constant(self):
+        schema = movie_schema()
+        value = query_coverage(schema, PAPER_QUERIES["Q1"], "Find some movies")
+        assert value < 1.0
+
+
+class TestExperiments:
+    def test_registry_covers_every_paper_artifact(self):
+        ids = experiment_ids()
+        for required in ["FIG1", "FIG2", "EX-WOODY-COMPACT", "EX-WOODY-PROCEDURAL",
+                         "EX-DIRECTOR", "EX-SPLIT", "Q0"] + sorted(PAPER_QUERIES):
+            assert required in ids
+
+    def test_woody_compact_experiment_matches_paper(self):
+        result = run_experiment("EX-WOODY-COMPACT")
+        assert result.artifacts["match"] is True
+
+    def test_paper_query_experiments_report_exactness(self):
+        for name in ("Q2", "Q6", "Q7", "Q8", "Q9"):
+            result = run_experiment(name)
+            assert result.artifacts["exact_match"] is True, name
+
+    def test_fig1_experiment_counts(self):
+        artifacts = run_experiment("FIG1").artifacts
+        assert artifacts["relations"] == 6
+        assert artifacts["join_edges"] == 5
+
+    def test_fig2_experiment_has_all_compartments(self):
+        assert run_experiment("FIG2").artifacts["has_all_compartments"] is True
+
+    def test_run_all_and_reporting(self):
+        results = run_all_experiments()
+        assert len(results) == len(experiment_ids())
+        report = format_report(results)
+        assert "EX-WOODY-COMPACT" in report
+        table = markdown_table(results)
+        assert table.startswith("| Experiment |")
+        rows = summary_rows()
+        assert any("[exact]" in row for row in rows)
+
+    def test_coverage_reported_for_queries(self):
+        result = run_experiment("Q1")
+        assert result.artifacts["coverage"] >= 0.8

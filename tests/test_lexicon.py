@@ -1,0 +1,132 @@
+"""Tests for morphology helpers and the lexicon."""
+
+import pytest
+
+from repro.datasets import movie_schema
+from repro.lexicon import (
+    Lexicon,
+    capitalize_first,
+    default_lexicon,
+    indefinite_article,
+    join_list,
+    number_word,
+    ordinal_word,
+    pluralize,
+    possessive,
+    sentence_case,
+    strip_extra_spaces,
+    with_article,
+)
+
+
+class TestPluralize:
+    @pytest.mark.parametrize(
+        "singular,plural",
+        [
+            ("movie", "movies"),
+            ("actor", "actors"),
+            ("genre", "genres"),
+            ("box", "boxes"),
+            ("church", "churches"),
+            ("city", "cities"),
+            ("day", "days"),
+            ("leaf", "leaves"),
+            ("knife", "knives"),
+            ("person", "people"),
+            ("schema", "schemas"),
+            ("release year", "release years"),
+            ("cast", "cast"),
+        ],
+    )
+    def test_plural_forms(self, singular, plural):
+        assert pluralize(singular) == plural
+
+    def test_count_one_keeps_singular(self):
+        assert pluralize("movie", count=1) == "movie"
+
+    def test_irregular_case_preserved(self):
+        assert pluralize("Person") == "People"
+
+
+class TestArticlesAndMisc:
+    def test_indefinite_article(self):
+        assert indefinite_article("movie") == "a"
+        assert indefinite_article("actor") == "an"
+        assert indefinite_article("hour") == "an"
+        assert indefinite_article("university") == "a"
+
+    def test_with_article(self):
+        assert with_article("actor") == "an actor"
+        assert with_article("actor", definite=True) == "the actor"
+
+    def test_capitalize_first_skips_punctuation(self):
+        assert capitalize_first('"quoted" text') == '"Quoted" text'
+
+    def test_join_list(self):
+        assert join_list([]) == ""
+        assert join_list(["a"]) == "a"
+        assert join_list(["a", "b"]) == "a and b"
+        assert join_list(["a", "b", "c"]) == "a, b, and c"
+        assert join_list(["a", "b", "c"], oxford=False) == "a, b and c"
+        assert join_list(["a", "b"], conjunction="or") == "a or b"
+
+    def test_possessive(self):
+        assert possessive("Woody Allen") == "Woody Allen's"
+        assert possessive("actors") == "actors'"
+
+    def test_number_and_ordinal_words(self):
+        assert number_word(1) == "one"
+        assert number_word(99) == "99"
+        assert ordinal_word(1) == "first"
+        assert ordinal_word(23) == "23rd"
+        assert ordinal_word(11) == "11th"
+
+    def test_strip_extra_spaces(self):
+        assert strip_extra_spaces("  a   b , c .") == "a b, c."
+
+    def test_sentence_case(self):
+        assert sentence_case(["hello world", "", "already done."]) == [
+            "Hello world.",
+            "Already done.",
+        ]
+
+
+class TestLexicon:
+    @pytest.fixture
+    def lexicon(self) -> Lexicon:
+        return default_lexicon(movie_schema())
+
+    def test_concept_defaults(self, lexicon):
+        assert lexicon.concept("MOVIES") == "movie"
+        assert lexicon.concept_plural("MOVIES") == "movies"
+
+    def test_concept_override(self, lexicon):
+        lexicon.set_concept("MOVIES", "film", "films")
+        assert lexicon.concept("MOVIES") == "film"
+        assert lexicon.concept_plural("MOVIES") == "films"
+
+    def test_caption_defaults_and_override(self, lexicon):
+        assert lexicon.caption("DIRECTOR", "bdate") == "birth date"
+        lexicon.set_caption("DIRECTOR", "bdate", "date of birth")
+        assert lexicon.caption("DIRECTOR", "bdate") == "date of birth"
+
+    def test_caption_plural(self, lexicon):
+        assert lexicon.caption_plural("MOVIES", "year") == "release years"
+
+    def test_heading_caption(self, lexicon):
+        assert lexicon.heading_caption("MOVIES") == "title"
+
+    def test_relationship_verb_from_fk(self, lexicon):
+        assert lexicon.relationship_verb("CAST", "ACTOR") == "plays in"
+
+    def test_relationship_verb_override(self, lexicon):
+        lexicon.set_relationship_verb("ACTOR", "MOVIES", "plays in")
+        assert lexicon.relationship_verb("ACTOR", "MOVIES") == "plays in"
+        assert lexicon.relationship_verb("MOVIES", "ACTOR") == "plays in"
+
+    def test_relationship_verb_unrelated(self, lexicon):
+        assert lexicon.relationship_verb("ACTOR", "DIRECTOR") is None
+
+    def test_describe_value_heading_vs_other(self, lexicon):
+        assert lexicon.describe_value("ACTOR", "name", "Brad Pitt") == "the actor Brad Pitt"
+        assert lexicon.describe_value("MOVIES", "year", 2005) == "the release year 2005"

@@ -1,0 +1,207 @@
+"""Tests for individual query-translation components and fallbacks."""
+
+import pytest
+
+from repro.content import movie_spec
+from repro.datasets import PAPER_QUERIES, movie_database, movie_schema
+from repro.query_nl import (
+    AnswerExplainer,
+    DmlTranslator,
+    QueryTranslator,
+    procedural_translation,
+)
+from repro.query_nl.phrases import (
+    comparison_phrase,
+    ensure_by,
+    is_participle_verb,
+    verb_past_participle,
+    verb_plural,
+    verb_without_preposition,
+)
+from repro.querygraph import build_query_graph
+from repro.sql import parse_sql
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return movie_schema()
+
+
+@pytest.fixture(scope="module")
+def translator(schema):
+    return QueryTranslator(schema, spec=movie_spec(schema))
+
+
+class TestPhraseHelpers:
+    def test_verb_without_preposition(self):
+        assert verb_without_preposition("plays in") == "plays"
+        assert verb_without_preposition("directed") == "directed"
+
+    def test_verb_plural(self):
+        assert verb_plural("plays in") == "play in"
+        assert verb_plural("belongs to") == "belong to"
+        assert verb_plural("watches") == "watch"
+
+    def test_verb_past_participle(self):
+        assert verb_past_participle("plays in") == "played in"
+        assert verb_past_participle("directs") == "directed"
+        assert verb_past_participle("writes") == "written"
+
+    def test_participle_detection_and_by(self):
+        assert is_participle_verb("directed")
+        assert is_participle_verb("written by")
+        assert not is_participle_verb("plays in")
+        assert ensure_by("directed") == "directed by"
+        assert ensure_by("directed by") == "directed by"
+
+    def test_comparison_phrase_wordings(self, schema):
+        from repro.lexicon import default_lexicon
+        from repro.sql import parse_select
+
+        lexicon = default_lexicon(schema)
+        condition = parse_select("select * from MOVIES m where m.year >= 2000").where
+        phrase = comparison_phrase(schema, lexicon, "MOVIES", condition)
+        assert phrase == "whose release year is at least 2000"
+
+
+class TestProceduralFallback:
+    def test_procedural_translation_mentions_every_relation(self, schema):
+        graph = build_query_graph(schema, PAPER_QUERIES["Q2"])
+        from repro.lexicon import default_lexicon
+
+        text = procedural_translation(schema, default_lexicon(schema), graph)
+        for word in ("movie", "actor", "director", "genre"):
+            assert word in text
+
+    def test_procedural_translation_of_nested_query(self, schema):
+        graph = build_query_graph(schema, PAPER_QUERIES["Q6"])
+        from repro.lexicon import default_lexicon
+
+        text = procedural_translation(schema, default_lexicon(schema), graph)
+        assert "nested query" in text
+
+    def test_translate_procedurally_entry_point(self, translator):
+        translation = translator.translate_procedurally(PAPER_QUERIES["Q7"])
+        assert "Group the results by" in translation.text
+        assert "count(*)" in translation.text
+
+    def test_procedural_is_longer_than_declarative(self, translator):
+        declarative = translator.translate(PAPER_QUERIES["Q2"]).text
+        procedural = translator.translate_procedurally(PAPER_QUERIES["Q2"]).text
+        assert len(procedural) > len(declarative)
+
+
+class TestOtherSpjQueries:
+    def test_constraint_on_center_relation(self, translator):
+        text = translator.translate(
+            "select m.title from MOVIES m where m.year >= 2000"
+        ).text
+        assert "release year is at least 2000" in text
+
+    def test_projection_of_non_heading_attribute(self, translator):
+        text = translator.translate(
+            "select d.blocation from DIRECTOR d, DIRECTED r, MOVIES m"
+            " where d.id = r.did and r.mid = m.id and m.title = 'Troy'"
+        ).text
+        assert "birth location" in text
+
+    def test_path_query_via_director(self, translator):
+        text = translator.translate(
+            "select m.title from MOVIES m, DIRECTED r, DIRECTOR d"
+            " where m.id = r.mid and r.did = d.id and d.name = 'Woody Allen'"
+        ).text
+        assert text == "Find the titles of movies directed by Woody Allen"
+
+    def test_nested_negation_translation(self, translator):
+        text = translator.translate(
+            "select m.title from MOVIES m where not exists"
+            " (select * from GENRE g where g.mid = m.id and g.genre = 'comedy')"
+        ).text
+        assert text.startswith("Find movies that have no genre")
+
+    def test_aggregate_sum_projection(self, translator):
+        text = translator.translate(
+            "select d.name, count(m.id) from DIRECTOR d, DIRECTED r, MOVIES m"
+            " where d.id = r.did and r.mid = m.id group by d.name"
+        ).text
+        assert "number of" in text or "ids" in text
+
+
+class TestDmlTranslation:
+    def test_insert(self, schema):
+        text = DmlTranslator(schema).translate(
+            parse_sql("insert into MOVIES (id, title, year) values (99, 'New Film', 2008)")
+        )
+        assert text == "Insert a new movie with id 99, title New Film, and release year 2008."
+
+    def test_multi_row_insert(self, schema):
+        text = DmlTranslator(schema).translate(
+            parse_sql("insert into ACTOR (id, name) values (50, 'A'), (51, 'B')")
+        )
+        assert text.count("Insert a new actor") == 2
+
+    def test_update(self, schema):
+        text = DmlTranslator(schema).translate(
+            parse_sql("update MOVIES set year = 2008 where title = 'Troy'")
+        )
+        assert "set the release year to 2008" in text
+        assert "Troy" in text
+
+    def test_delete(self, schema):
+        text = DmlTranslator(schema).translate(
+            parse_sql("delete from MOVIES where year < 1980")
+        )
+        assert text == "Delete the movies whose release year is less than 1980."
+
+    def test_delete_without_where(self, schema):
+        text = DmlTranslator(schema).translate(parse_sql("delete from GENRE"))
+        assert "every genre" in text
+
+    def test_create_view(self, translator, schema):
+        text = translator.translate(
+            "create view brad_movies as select m.title from MOVIES m, CAST c, ACTOR a"
+            " where m.id = c.mid and c.aid = a.id and a.name = 'Brad Pitt'"
+        ).text
+        assert text.startswith("Define the view brad_movies as")
+        assert "Brad Pitt" in text
+
+
+class TestAnswerExplainer:
+    @pytest.fixture(scope="class")
+    def explainer(self):
+        return AnswerExplainer(movie_database())
+
+    def test_non_empty_answer_needs_no_explanation(self, explainer):
+        explanation = explainer.explain("select title from MOVIES where year = 2005")
+        assert explanation.row_count == 1
+        assert "no explanation" in explanation.text
+
+    def test_single_responsible_condition(self, explainer):
+        explanation = explainer.explain(
+            "select m.title from MOVIES m, GENRE g"
+            " where m.id = g.mid and g.genre = 'western'"
+        )
+        assert explanation.row_count == 0
+        assert any("western" in c for c in explanation.responsible_conditions)
+        assert "responsible" in explanation.text
+
+    def test_pairwise_relaxation(self, explainer):
+        explanation = explainer.explain(
+            "select m.title from MOVIES m where m.year > 2010 and m.title = 'Sleeper'"
+        )
+        assert explanation.row_count == 0
+        assert "no single condition" in explanation.text or explanation.responsible_conditions
+
+    def test_no_selection_conditions(self, explainer):
+        explanation = explainer.explain(
+            "select m.title from MOVIES m, GENRE g where m.id = g.mid and g.mid > 9000"
+        )
+        assert explanation.row_count == 0
+
+    def test_large_answer_explanation(self, explainer):
+        explanation = explainer.explain(
+            "select m.title, g.genre, a.name from MOVIES m, GENRE g, ACTOR a",
+            large_threshold=100,
+        )
+        assert explanation.row_count >= 100
+        assert "cross" in explanation.text or "selective" in explanation.text

@@ -1,0 +1,71 @@
+"""Tests for integrity-constraint verbalisation (Section 3.1)."""
+
+import pytest
+
+from repro.catalog import SchemaBuilder
+from repro.datasets import movie_schema
+from repro.query_nl.constraints import ConstraintTranslator, describe_constraints
+
+
+@pytest.fixture(scope="module")
+def translator():
+    return ConstraintTranslator(movie_schema())
+
+
+class TestPrimaryKeys:
+    def test_single_column_key(self, translator):
+        assert translator.describe_primary_key("MOVIES") == (
+            "Every movie is identified by its id."
+        )
+
+    def test_composite_key(self, translator):
+        text = translator.describe_primary_key("CAST")
+        assert "combination of" in text and "mid" in text and "aid" in text
+
+    def test_keyless_relation_returns_none(self):
+        schema = SchemaBuilder("s").relation("LOG").column("msg", "text").done().build()
+        assert ConstraintTranslator(schema).describe_primary_key("LOG") is None
+
+
+class TestNotNullAndForeignKeys:
+    def test_not_null_sentences(self):
+        schema = (
+            SchemaBuilder("s")
+            .relation("USER", concept="user")
+            .column("id", "integer", primary_key=True)
+            .column("email", "text", nullable=False)
+            .column("nickname", "text")
+            .done()
+            .build()
+        )
+        sentences = ConstraintTranslator(schema).describe_not_null("USER")
+        assert sentences == ["Every user must have a email."] or sentences == [
+            "Every user must have a email."
+        ]
+
+    def test_foreign_key_sentences(self, translator):
+        sentences = translator.describe_foreign_keys("CAST")
+        assert len(sentences) == 2
+        assert any("existing movie" in s for s in sentences)
+        assert any("existing actor" in s for s in sentences)
+
+    def test_relation_without_constraints(self):
+        schema = SchemaBuilder("s").relation("LOG").column("msg", "text").done().build()
+        text = ConstraintTranslator(schema).describe_relation("LOG")
+        assert "no declared constraints" in text
+
+
+class TestWholeSchema:
+    def test_describe_relation_combines_everything(self, translator):
+        text = translator.describe_relation("DIRECTED")
+        assert "identified by the combination" in text
+        assert "existing movie" in text and "existing director" in text
+
+    def test_describe_schema_mentions_every_relation_concept(self, translator):
+        text = translator.describe_schema()
+        for concept in ("movie", "director", "actor", "genre"):
+            assert concept in text
+
+    def test_describe_constraints_convenience(self):
+        text = describe_constraints(movie_schema())
+        assert text.count(".") >= 6

@@ -1,0 +1,180 @@
+"""Tests for query rewriting and idiom detection."""
+
+import pytest
+
+from repro.datasets import PAPER_QUERIES, movie_database, movie_schema
+from repro.engine import Executor
+from repro.rewrite import (
+    can_flatten_subquery,
+    detect_count_comparison,
+    detect_division,
+    detect_same_value_idiom,
+    detect_superlative,
+    flatten_in_subqueries,
+)
+from repro.sql import parse_select, to_sql
+
+
+class TestUnnesting:
+    def test_q5_flattens_to_three_table_join(self):
+        result = flatten_in_subqueries(parse_select(PAPER_QUERIES["Q5"]))
+        assert result.changed
+        assert len(result.statement.from_tables) == 3
+        assert not result.statement.is_nested()
+
+    def test_flattened_sql_is_equivalent(self):
+        executor = Executor(movie_database())
+        original = executor.execute_sql(PAPER_QUERIES["Q5"]).to_tuples()
+        flattened = flatten_in_subqueries(parse_select(PAPER_QUERIES["Q5"]))
+        rewritten = executor.execute_select(flattened.statement).to_tuples()
+        assert sorted(original) == sorted(rewritten)
+
+    def test_alias_collision_renamed(self):
+        sql = (
+            "select m.title from MOVIES m where m.id in"
+            " (select m.mid from CAST m where m.role = 'Achilles')"
+        )
+        result = flatten_in_subqueries(parse_select(sql))
+        assert result.changed
+        bindings = [t.binding for t in result.statement.from_tables]
+        assert len(bindings) == len(set(bindings)) == 2
+
+    def test_negated_in_not_flattened(self):
+        sql = "select m.title from MOVIES m where m.id not in (select g.mid from GENRE g)"
+        assert not flatten_in_subqueries(parse_select(sql)).changed
+
+    def test_aggregate_subquery_not_flattened(self):
+        sql = (
+            "select m.title from MOVIES m where m.id in"
+            " (select g.mid from GENRE g group by g.mid having count(*) > 1)"
+        )
+        assert not flatten_in_subqueries(parse_select(sql)).changed
+
+    def test_unchanged_statement_returned_as_is(self):
+        statement = parse_select(PAPER_QUERIES["Q1"])
+        result = flatten_in_subqueries(statement)
+        assert not result.changed and result.statement is statement
+
+    def test_can_flatten_subquery_rules(self):
+        ok = parse_select("select c.mid from CAST c where c.role = 'x'")
+        assert can_flatten_subquery(ok)
+        assert not can_flatten_subquery(parse_select("select distinct c.mid from CAST c"))
+        assert not can_flatten_subquery(parse_select("select c.mid, c.aid from CAST c"))
+        assert not can_flatten_subquery(parse_select("select count(*) from CAST c"))
+        assert not can_flatten_subquery(
+            parse_select("select c.mid from CAST c where exists (select * from GENRE g)")
+        )
+
+    def test_flattened_output_is_parseable_sql(self):
+        result = flatten_in_subqueries(parse_select(PAPER_QUERIES["Q5"]))
+        assert parse_select(to_sql(result.statement)) == result.statement
+
+
+class TestDivision:
+    def test_q6_detected(self):
+        pattern = detect_division(parse_select(PAPER_QUERIES["Q6"]))
+        assert pattern is not None
+        assert pattern.outer_binding == "m"
+        assert pattern.divisor_relation == "GENRE"
+        assert pattern.divided_attribute == "genre"
+        assert pattern.is_total
+
+    def test_restricted_divisor_conditions_reported(self):
+        sql = """
+            select m.title from MOVIES m
+            where not exists (
+                select * from GENRE g1 where g1.genre <> 'documentary'
+                and not exists (
+                    select * from GENRE g2
+                    where g2.mid = m.id and g2.genre = g1.genre))
+        """
+        pattern = detect_division(parse_select(sql))
+        assert pattern is not None and not pattern.is_total
+
+    def test_single_not_exists_is_not_division(self):
+        sql = (
+            "select m.title from MOVIES m where not exists"
+            " (select * from GENRE g where g.mid = m.id)"
+        )
+        assert detect_division(parse_select(sql)) is None
+
+    def test_different_inner_relation_is_not_division(self):
+        sql = """
+            select m.title from MOVIES m
+            where not exists (
+                select * from GENRE g1 where not exists (
+                    select * from CAST c where c.mid = m.id))
+        """
+        assert detect_division(parse_select(sql)) is None
+
+    def test_missing_outer_correlation_is_not_division(self):
+        sql = """
+            select m.title from MOVIES m
+            where not exists (
+                select * from GENRE g1 where not exists (
+                    select * from GENRE g2 where g2.genre = g1.genre))
+        """
+        assert detect_division(parse_select(sql)) is None
+
+
+class TestSuperlative:
+    def test_q9_detected_as_earliest_with_repetition(self):
+        idiom = detect_superlative(parse_select(PAPER_QUERIES["Q9"]))
+        assert idiom is not None
+        assert idiom.superlative == "earliest"
+        assert idiom.repeated_relation == "MOVIES"
+        assert idiom.repeated_attribute == "title"
+
+    def test_greater_equal_all_is_latest_for_temporal(self):
+        sql = "select m.title from MOVIES m where m.year >= all (select m2.year from MOVIES m2)"
+        assert detect_superlative(parse_select(sql)).superlative == "latest"
+
+    def test_non_temporal_attribute_uses_smallest_largest(self):
+        sql = "select e.name from EMP e where e.sal <= all (select e2.sal from EMP e2)"
+        assert detect_superlative(parse_select(sql)).superlative == "smallest"
+
+    def test_any_quantifier_not_detected(self):
+        sql = "select m.title from MOVIES m where m.year <= any (select m2.year from MOVIES m2)"
+        assert detect_superlative(parse_select(sql)) is None
+
+    def test_no_repetition_without_self_join(self):
+        sql = "select m.title from MOVIES m where m.year <= all (select m2.year from MOVIES m2)"
+        idiom = detect_superlative(parse_select(sql))
+        assert idiom.repeated_relation is None
+
+
+class TestAggregateIdioms:
+    def test_q8_same_value_idiom(self):
+        idiom = detect_same_value_idiom(parse_select(PAPER_QUERIES["Q8"]))
+        assert idiom is not None
+        assert idiom.attribute.column == "year"
+
+    def test_count_distinct_not_equal_one_not_detected(self):
+        sql = (
+            "select c.aid from CAST c, MOVIES m where m.id = c.mid"
+            " group by c.aid having count(distinct m.year) > 1"
+        )
+        assert detect_same_value_idiom(parse_select(sql)) is None
+
+    def test_q7_correlated_count_comparison(self):
+        idiom = detect_count_comparison(parse_select(PAPER_QUERIES["Q7"]))
+        assert idiom is not None
+        assert idiom.correlated and idiom.counted_relation == "GENRE"
+        assert idiom.direction == "more" and idiom.threshold == 1
+
+    def test_plain_count_comparison_directions(self):
+        more = detect_count_comparison(
+            parse_select("select g.mid from GENRE g group by g.mid having count(*) > 2")
+        )
+        fewer = detect_count_comparison(
+            parse_select("select g.mid from GENRE g group by g.mid having count(*) < 2")
+        )
+        exact = detect_count_comparison(
+            parse_select("select g.mid from GENRE g group by g.mid having count(*) = 2")
+        )
+        assert more.direction == "more" and not more.correlated
+        assert fewer.direction == "fewer"
+        assert exact.direction == "exactly"
+
+    def test_no_having_no_idiom(self):
+        assert detect_count_comparison(parse_select(PAPER_QUERIES["Q1"])) is None

@@ -1,0 +1,90 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SqlLexError
+from repro.sql.lexer import tokenize
+from repro.sql.tokens import TokenType
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_uppercased(self):
+        tokens = tokenize("select from where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        assert values("MOVIES m")[0] == "MOVIES"
+
+    def test_numbers_int_and_float(self):
+        assert values("42 2.5") == [42, 2.5]
+
+    def test_string_literal(self):
+        assert values("'Brad Pitt'") == ["Brad Pitt"]
+
+    def test_string_literal_with_escaped_quote(self):
+        assert values("'O''Hara'") == ["O'Hara"]
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Select"')
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "Select"
+
+    def test_operators(self):
+        assert values("a <= b <> c != d") == ["a", "<=", "b", "<>", "c", "!=", "d"]
+
+    def test_punctuation(self):
+        assert values("(a, b)") == ["(", "a", ",", "b", ")"]
+
+    def test_eof_token_always_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment(self):
+        assert values("select -- comment here\n 1") == ["SELECT", 1]
+
+    def test_block_comment(self):
+        assert values("select /* skip\nme */ 1") == ["SELECT", 1]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(SqlLexError):
+            tokenize("select /* never ends")
+
+    def test_positions_track_lines(self):
+        tokens = tokenize("select\n  title")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(SqlLexError):
+            tokenize("select @")
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlLexError):
+            tokenize("select 'open")
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = tokenize("select")[0]
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("select", "update")
+        assert not token.is_keyword("FROM")
+
+    def test_paper_query_q1_tokenises(self):
+        from repro.datasets import PAPER_QUERIES
+
+        tokens = tokenize(PAPER_QUERIES["Q1"])
+        assert tokens[-1].type is TokenType.EOF
+        assert "Brad Pitt" in [t.value for t in tokens]

@@ -1,0 +1,111 @@
+"""Tests for the database layer: FK enforcement, bulk loads, loaders."""
+
+import pytest
+
+from repro.catalog import SchemaBuilder
+from repro.datasets import movie_database, movie_schema, seed_rows
+from repro.errors import ForeignKeyViolationError, UnknownTableError
+from repro.storage import Database, dump_records, load_csv_text, load_records
+
+
+@pytest.fixture
+def database() -> Database:
+    return movie_database()
+
+
+class TestDatabaseBasics:
+    def test_table_lookup_case_insensitive(self, database):
+        assert database.table("movies").name == "MOVIES"
+
+    def test_unknown_table(self, database):
+        with pytest.raises(UnknownTableError):
+            database.table("NOPE")
+
+    def test_row_counts(self, database):
+        counts = database.row_counts()
+        assert counts["MOVIES"] == 9
+        assert counts["DIRECTOR"] == 4
+        assert database.total_rows == sum(counts.values())
+
+    def test_has_table(self, database):
+        assert database.has_table("CAST")
+        assert not database.has_table("CASTING")
+
+
+class TestForeignKeys:
+    def test_insert_with_missing_parent_rejected(self, database):
+        with pytest.raises(ForeignKeyViolationError):
+            database.insert("CAST", {"mid": 999, "aid": 1, "role": "x"})
+
+    def test_insert_with_null_fk_allowed(self):
+        schema = (
+            SchemaBuilder("s")
+            .relation("P").column("id", "integer", primary_key=True).done()
+            .relation("C").column("id", "integer", primary_key=True).column("pid", "integer").done()
+            .foreign_key("C", ["pid"], "P", ["id"])
+            .build()
+        )
+        database = Database(schema)
+        database.insert("C", {"id": 1, "pid": None})
+        assert len(database.table("C")) == 1
+
+    def test_delete_parent_with_children_rejected(self, database):
+        with pytest.raises(ForeignKeyViolationError):
+            database.delete_where("MOVIES", lambda row: row["id"] == 1)
+
+    def test_delete_leaf_rows_allowed(self, database):
+        removed = database.delete_where("GENRE", lambda row: row["genre"] == "romance")
+        assert removed == 2
+
+    def test_update_fk_to_missing_parent_rejected(self, database):
+        with pytest.raises(ForeignKeyViolationError):
+            database.update_where("CAST", lambda row: True, {"mid": 12345})
+
+    def test_enforcement_can_be_disabled(self):
+        database = Database(movie_schema(), enforce_foreign_keys=False)
+        database.insert("CAST", {"mid": 999, "aid": 999, "role": "ghost"})
+        assert len(database.table("CAST")) == 1
+
+    def test_load_orders_parents_first(self):
+        database = Database(movie_schema())
+        rows = seed_rows()
+        # Pass children before parents on purpose; load() must reorder.
+        shuffled = {
+            "CAST": rows["CAST"],
+            "MOVIES": rows["MOVIES"],
+            "ACTOR": rows["ACTOR"],
+        }
+        database.load(shuffled)
+        assert len(database.table("CAST")) == len(rows["CAST"])
+
+
+class TestLoaders:
+    def test_load_csv_text(self):
+        database = Database(movie_schema())
+        count = load_csv_text(
+            database,
+            "MOVIES",
+            "id,title,year\n1,Match Point,2005\n2,Troy,2004\n",
+        )
+        assert count == 2
+        assert database.table("MOVIES").lookup(("id",), (1,))[0]["title"] == "Match Point"
+
+    def test_load_csv_empty_value_becomes_null(self):
+        database = Database(movie_schema())
+        load_csv_text(database, "MOVIES", "id,title,year\n1,Unknown,\n")
+        assert database.table("MOVIES").lookup(("id",), (1,))[0]["year"] is None
+
+    def test_load_records_and_dump_records_round_trip(self):
+        database = Database(movie_schema())
+        records = {"MOVIES": [{"id": 1, "title": "A", "year": 2000}]}
+        load_records(database, records)
+        dumped = dump_records(database)
+        assert dumped["MOVIES"] == [{"id": 1, "title": "A", "year": 2000}]
+
+    def test_load_csv_file(self, tmp_path):
+        from repro.storage import load_csv_file
+
+        path = tmp_path / "movies.csv"
+        path.write_text("id,title,year\n7,File Movie,1999\n", encoding="utf-8")
+        database = Database(movie_schema())
+        assert load_csv_file(database, "MOVIES", path) == 1

@@ -1,0 +1,132 @@
+"""Tests for the paper-syntax template parser and the label registry."""
+
+import pytest
+
+from repro.content.presets import MOVIE_LIST_DEFINITION
+from repro.datasets import movie_schema
+from repro.errors import MissingTemplateError, TemplateSyntaxError
+from repro.templates.parser import parse_list_template, parse_template
+from repro.templates.registry import TemplateRegistry
+from repro.templates.spec import SlotPart, TextPart
+
+
+class TestParseTemplate:
+    def test_paper_director_template(self):
+        label = parse_template('DNAME + " was born" + " in " + BLOCATION')
+        assert [type(p) for p in label.parts] == [SlotPart, TextPart, TextPart, SlotPart]
+        assert label.parts[1].text == " was born"
+
+    def test_qualified_slots(self):
+        label = parse_template('DIRECTOR.name + " x"')
+        assert label.parts[0].name == "DIRECTOR.name"
+        assert label.parts[0].attribute == "name"
+
+    def test_single_quoted_text(self):
+        label = parse_template("'the movie ' + TITLE")
+        assert label.parts[0].text == "the movie "
+
+    def test_escaped_quote(self):
+        label = parse_template('"Allen\\"s work" + X')
+        assert label.parts[0].text == 'Allen"s work'
+
+    def test_indexed_slot(self):
+        label = parse_template('TITLE[i] + " (" + YEAR[i] + ")"')
+        assert label.parts[0].index == "i"
+
+    def test_empty_template_rejected(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_template("   ")
+
+    def test_dangling_plus_rejected(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_template('"x" +')
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_template('"x" + ???')
+
+    def test_instantiation_of_parsed_template(self):
+        label = parse_template('DNAME + " was born" + " in " + BLOCATION')
+        assert (
+            label.instantiate({"DNAME": "Woody Allen", "BLOCATION": "Brooklyn"})
+            == "Woody Allen was born in Brooklyn"
+        )
+
+
+class TestParseListTemplate:
+    def test_paper_movie_list_definition(self):
+        movie_list = parse_list_template(MOVIE_LIST_DEFINITION)
+        assert movie_list.name == "MOVIE_LIST"
+        rendered = movie_list.instantiate(
+            [
+                {"MOVIES.title": "Match Point", "MOVIES.year": 2005},
+                {"MOVIES.title": "Anything Else", "MOVIES.year": 2003},
+            ]
+        )
+        assert "Match Point (2005), " in rendered
+        assert rendered.endswith("Anything Else (2003)")
+        assert "and " in rendered
+
+    def test_requires_define_keyword(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_list_template('[i < arityOf(X)] {X[i]}')
+
+    def test_requires_both_sections(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_list_template('DEFINE L as [i < arityOf(X)] {X[i] + ", "}')
+
+    def test_requires_braces_in_last_section(self):
+        with pytest.raises(TemplateSyntaxError):
+            parse_list_template(
+                'DEFINE L as [i < arityOf(X)] {X[i]} [i = arityOf(X)] "and " + X[i]'
+            )
+
+
+class TestTemplateRegistry:
+    @pytest.fixture
+    def registry(self) -> TemplateRegistry:
+        return TemplateRegistry(movie_schema())
+
+    def test_default_relation_template(self, registry):
+        label = registry.relation_template("DIRECTOR")
+        rendered = label.instantiate({"DIRECTOR.name": "Woody Allen"}, strict=False)
+        assert rendered == "the director's name is Woody Allen"
+
+    def test_default_projection_template_starts_with_heading_slot(self, registry):
+        label = registry.projection_template("MOVIES", "year")
+        assert isinstance(label.parts[0], SlotPart)
+        rendered = label.instantiate({"MOVIES.title": "Troy", "MOVIES.year": 2004})
+        assert rendered == "Troy has release year 2004"
+
+    def test_default_join_template_uses_fk_verb(self, registry):
+        label = registry.join_template("CAST", "ACTOR")
+        assert label is not None
+        rendered = label.instantiate(
+            {"CAST.role": "Achilles", "ACTOR.name": "Brad Pitt"}, strict=False
+        )
+        assert "plays in" in rendered
+
+    def test_join_template_returns_none_for_unrelated(self, registry):
+        assert registry.join_template("MOVIES", "DIRECTOR", allow_reverse=False) is None
+
+    def test_registered_templates_override_defaults(self, registry):
+        registry.set_projection_template(
+            "MOVIES", "year", parse_template('MOVIES.title + " came out in " + MOVIES.year')
+        )
+        rendered = registry.projection_template("MOVIES", "year").instantiate(
+            {"MOVIES.title": "Troy", "MOVIES.year": 2004}
+        )
+        assert rendered == "Troy came out in 2004"
+
+    def test_reverse_join_template_fallback(self, registry):
+        registry.set_join_template("DIRECTOR", "MOVIES", parse_template('"X" + DIRECTOR.name'))
+        assert registry.join_template("MOVIES", "DIRECTOR") is not None
+        assert registry.has_join_template("DIRECTOR", "MOVIES")
+        assert not registry.has_join_template("MOVIES", "DIRECTOR")
+
+    def test_missing_list_template_raises(self, registry):
+        with pytest.raises(MissingTemplateError):
+            registry.list_template("NOPE")
+
+    def test_case_insensitive_relation_names(self, registry):
+        assert registry.relation_template("movies") is not None
