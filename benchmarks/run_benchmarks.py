@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Run the performance suite and write a JSON summary artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --output BENCH_perf.json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick   # CI smoke pass
+
+Measures the compiled execution pipeline (cold = fresh executor per run,
+warm = repeated execution on one executor) against the fully-interpreted
+seed behaviour on the paper's queries, verifies both paths return
+identical answers on Q1-Q9 and the 50-query generated workload, and
+records medians plus speedups.  ``--quick`` keeps the interpreted
+baseline to the cheap queries so the smoke pass finishes in seconds;
+the full run reproduces the seed's minutes-long nested-query baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datasets import (  # noqa: E402
+    GeneratorConfig,
+    PAPER_QUERIES,
+    generate_movie_database,
+    generate_workload,
+    movie_database,
+)
+from repro.engine import Executor  # noqa: E402
+
+#: Interpreted baselines measured per mode.  Q6 interpreted at 200 movies
+#: takes ~2 minutes per run; it is only part of the full pass.
+_QUICK_BASELINES = ("Q1", "Q2", "Q3", "Q7")
+_FULL_BASELINES = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q7", "Q8", "Q9")
+
+
+def _interpreted(database) -> Executor:
+    return Executor(database, compiled=False, use_caches=False, index_scans=False)
+
+
+def _median_seconds(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def bench_database(movies: int, repeats: int, baselines) -> dict:
+    database = generate_movie_database(
+        GeneratorConfig(
+            movies=movies, directors=max(4, movies // 10), actors=max(10, movies // 4)
+        )
+    )
+    results = {}
+    warm_executor = Executor(database)
+    for name, sql in PAPER_QUERIES.items():
+        entry = {}
+        entry["compiled_cold_s"] = _median_seconds(
+            lambda: Executor(database).execute_sql(sql), repeats
+        )
+        warm_executor.execute_sql(sql)  # prime the caches
+        entry["compiled_warm_s"] = _median_seconds(
+            lambda: warm_executor.execute_sql(sql), repeats
+        )
+        if name in baselines:
+            interpreted_repeats = max(1, repeats // 2)
+            entry["interpreted_s"] = _median_seconds(
+                lambda: _interpreted(database).execute_sql(sql), interpreted_repeats
+            )
+            entry["speedup_cold"] = round(
+                entry["interpreted_s"] / max(entry["compiled_cold_s"], 1e-9), 1
+            )
+            entry["speedup_warm"] = round(
+                entry["interpreted_s"] / max(entry["compiled_warm_s"], 1e-9), 1
+            )
+        results[name] = entry
+    return {"total_rows": database.total_rows, "queries": results}
+
+
+def bench_workload(movies: int, repeats: int) -> dict:
+    database = generate_movie_database(
+        GeneratorConfig(
+            movies=movies, directors=max(4, movies // 10), actors=max(10, movies // 4)
+        )
+    )
+    workload = generate_workload(queries_per_category=10, seed=42)
+    executor = Executor(database)
+    compiled = _median_seconds(
+        lambda: [executor.execute_sql(q.sql) for q in workload], repeats
+    )
+    interpreted = _median_seconds(
+        lambda: [_interpreted(database).execute_sql(q.sql) for q in workload],
+        max(1, repeats // 2),
+    )
+    return {
+        "queries": len(workload),
+        "compiled_s": compiled,
+        "interpreted_s": interpreted,
+        "speedup": round(interpreted / max(compiled, 1e-9), 1),
+    }
+
+
+def verify_equivalence() -> dict:
+    """Compiled and interpreted paths must agree on every answer."""
+    database = movie_database()
+    fast, slow = Executor(database), _interpreted(database)
+    for name, sql in PAPER_QUERIES.items():
+        a, b = fast.execute_sql(sql), slow.execute_sql(sql)
+        if a.columns != b.columns or a.rows != b.rows:
+            raise AssertionError(f"compiled and interpreted differ on {name}")
+    workload = generate_workload(queries_per_category=10, seed=42)
+    for query in workload:
+        a, b = fast.execute_sql(query.sql), slow.execute_sql(query.sql)
+        if a.columns != b.columns or a.rows != b.rows:
+            raise AssertionError(f"compiled and interpreted differ on {query.name}")
+    return {
+        "paper_queries": "identical",
+        "generated_workload": f"identical ({len(workload)} queries)",
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_perf.json", help="JSON artifact path")
+    parser.add_argument("--repeats", type=int, default=5, help="timing repeats (median)")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke pass: 50-movie database, cheap interpreted baselines only",
+    )
+    args = parser.parse_args(argv)
+    args.repeats = max(1, args.repeats)
+
+    sizes = [50] if args.quick else [50, 200, 1000]
+    baselines = _QUICK_BASELINES if args.quick else _FULL_BASELINES
+    summary = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": "quick" if args.quick else "full",
+        "repeats": args.repeats,
+        "seed_reference": {
+            "note": (
+                "medians of the fully-interpreted executor measured at the seed"
+                " commit (33c7117) on the reference container; the live"
+                " 'interpreted_s' baselines below are the same pipeline inside"
+                " this tree (slightly faster than seed after the satellite"
+                " fixes, so speedups are conservative)"
+            ),
+            "Q2_200movies_s": 0.00547,
+            "Q5_200movies_s": 25.33,
+            "Q6_200movies_s": 124.81,
+            "Q7_200movies_s": 0.3006,
+        },
+        "equivalence": verify_equivalence(),
+        "databases": {},
+    }
+    for movies in sizes:
+        print(f"benchmarking {movies} movies ...", flush=True)
+        # Interpreted Q5 scales quadratically (25s at 200 movies, ~10min at
+        # 1000); keep its baseline to the sizes where it finishes.
+        size_baselines = tuple(b for b in baselines if b != "Q5" or movies < 1000)
+        summary["databases"][str(movies)] = bench_database(
+            movies, args.repeats, size_baselines
+        )
+    # The workload baseline includes nested queries, so it stays at 50
+    # movies where the interpreted pass finishes in seconds.
+    summary["workload_50_queries"] = bench_workload(50, args.repeats)
+
+    output = Path(args.output)
+    output.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"wrote {output}")
+    for movies, data in summary["databases"].items():
+        for name, entry in data["queries"].items():
+            if "speedup_cold" in entry:
+                print(
+                    f"  {movies} movies {name}: interpreted {entry['interpreted_s']:.4f}s"
+                    f" -> compiled {entry['compiled_cold_s']:.4f}s cold"
+                    f" ({entry['speedup_cold']}x), {entry['compiled_warm_s']:.6f}s warm"
+                    f" ({entry['speedup_warm']}x)"
+                )
+    print(f"  workload: {summary['workload_50_queries']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

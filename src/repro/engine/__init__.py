@@ -1,5 +1,6 @@
-"""Query execution engine: evaluator, planner, operators, executor."""
+"""Query execution engine: evaluator, compiler, planner, operators, executor."""
 
+from repro.engine.compile import ExpressionCompiler
 from repro.engine.evaluator import ExpressionEvaluator
 from repro.engine.executor import Executor, execute
 from repro.engine.plan import LogicalPlan, Planner, classify_predicates, plan_query
@@ -8,6 +9,7 @@ from repro.engine.result import DmlResult, QueryResult
 __all__ = [
     "DmlResult",
     "Executor",
+    "ExpressionCompiler",
     "ExpressionEvaluator",
     "LogicalPlan",
     "Planner",

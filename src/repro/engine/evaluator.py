@@ -10,6 +10,8 @@ queries see the current row as their outer context.
 
 from __future__ import annotations
 
+import re
+from functools import lru_cache
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import EvaluationError
@@ -296,7 +298,7 @@ class ExpressionEvaluator:
 # ---------------------------------------------------------------------------
 
 
-def _compare(op: str, left: Any, right: Any) -> Optional[bool]:
+def compare_values(op: str, left: Any, right: Any) -> Optional[bool]:
     """Three-valued comparison: ``None`` when either operand is NULL."""
     if left is None or right is None:
         return None
@@ -320,14 +322,11 @@ def _compare(op: str, left: Any, right: Any) -> Optional[bool]:
     raise EvaluationError(f"unknown comparison operator {op!r}")  # pragma: no cover
 
 
-def _like(value: Any, pattern: Any) -> Optional[bool]:
-    """SQL LIKE with ``%`` and ``_`` wildcards (case-sensitive)."""
-    if value is None or pattern is None:
-        return None
-    import re
-
+@lru_cache(maxsize=512)
+def like_regex(pattern: str) -> "re.Pattern":
+    """The compiled regex for a LIKE ``pattern`` (cached per pattern)."""
     regex = "^"
-    for ch in str(pattern):
+    for ch in pattern:
         if ch == "%":
             regex += ".*"
         elif ch == "_":
@@ -335,4 +334,16 @@ def _like(value: Any, pattern: Any) -> Optional[bool]:
         else:
             regex += re.escape(ch)
     regex += "$"
-    return re.match(regex, str(value)) is not None
+    return re.compile(regex)
+
+
+def like_match(value: Any, pattern: Any) -> Optional[bool]:
+    """SQL LIKE with ``%`` and ``_`` wildcards (case-sensitive)."""
+    if value is None or pattern is None:
+        return None
+    return like_regex(str(pattern)).match(str(value)) is not None
+
+
+# Backwards-compatible internal aliases.
+_compare = compare_values
+_like = like_match

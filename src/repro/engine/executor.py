@@ -1,18 +1,25 @@
 """Physical execution of logical plans against a :class:`Database`.
 
-The executor is deliberately simple — pipelined Python iterators over
-in-memory rows — but complete enough to run every query in the paper
-(Q1-Q9), including correlated subqueries, quantified comparisons,
-grouping with correlated HAVING subqueries, DISTINCT, ORDER BY and DML.
-Execution results are used to *verify* natural-language translations
-(e.g. the flattened form of Q5 returns the same answer as the nested
-form) and to explain empty answers.
+The executor is pipelined Python iterators over in-memory rows, but the
+hot paths are *compiled*: every predicate and projection is turned into a
+closure tree once per plan (see :mod:`repro.engine.compile`), plans and
+parsed statements are cached per executor, full scans are cached per
+table version, equality conjuncts pushed into scans probe hash indexes,
+and correlated subqueries are memoized on their outer values.  The paper
+needs this to be fast because execution is part of the *interactive*
+loop: it verifies translations (e.g. Q5's flattened vs. nested form) and
+explains empty answers at answer time.
+
+``Executor(db, compiled=False, use_caches=False, index_scans=False)``
+reproduces the original fully-interpreted behaviour; the property tests
+assert both modes return identical results.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.engine.compile import CompiledExpr, ExpressionCompiler
 from repro.engine.evaluator import ExpressionEvaluator
 from repro.engine.plan import (
     AggregateNode,
@@ -28,20 +35,87 @@ from repro.engine.plan import (
     SortNode,
 )
 from repro.engine.result import DmlResult, QueryResult
-from repro.errors import EvaluationError, UnsupportedQueryError
+from repro.errors import EvaluationError, UnknownAttributeError, UnsupportedQueryError
 from repro.sql import ast
 from repro.sql.parser import parse_sql
 from repro.storage.database import Database
 from repro.storage.row import Row
+from repro.storage.table import Table
+from repro.utils.cache import LRUCache
+
+_EMPTY_ROW = Row({})
+
+#: How many memoized subquery results to hold before dropping them all.
+_SUBQUERY_MEMO_LIMIT = 100_000
+
+
+class _CorrelationInfo:
+    """Static correlation analysis of one subquery statement."""
+
+    __slots__ = ("inner_bindings", "keys", "whole_row")
+
+    def __init__(self, inner_bindings: frozenset, keys: Tuple[str, ...], whole_row: bool) -> None:
+        self.inner_bindings = inner_bindings
+        self.keys = keys  # qualified outer columns the subquery depends on
+        self.whole_row = whole_row  # True => key on the entire outer row
+
+
+def _analyze_correlation(statement: ast.SelectStatement) -> _CorrelationInfo:
+    """Which outer values a correlated subquery's result depends on.
+
+    Qualified references whose binding is not introduced by any FROM
+    clause inside the statement (at any nesting depth) must come from the
+    outer query.  Unqualified references cannot be attributed statically,
+    so their presence forces keying on the whole outer row.
+    """
+    inner_bindings = set()
+    for node in statement.walk():
+        if isinstance(node, ast.TableRef):
+            inner_bindings.add(node.binding.lower())
+    keys = set()
+    whole_row = False
+    for node in statement.walk():
+        if isinstance(node, ast.ColumnRef):
+            if node.table is None:
+                whole_row = True
+                break
+            if node.table.lower() not in inner_bindings:
+                keys.add(node.qualified)
+    return _CorrelationInfo(frozenset(inner_bindings), tuple(sorted(keys)), whole_row)
 
 
 class Executor:
     """Execute SQL statements against an in-memory database."""
 
-    def __init__(self, database: Database) -> None:
+    def __init__(
+        self,
+        database: Database,
+        compiled: bool = True,
+        use_caches: bool = True,
+        index_scans: bool = True,
+        plan_cache_size: int = 256,
+        parse_cache_size: int = 512,
+    ) -> None:
         self.database = database
         self.planner = Planner()
+        self.compiled = compiled
+        self.use_caches = use_caches
+        self.index_scans = index_scans
         self._evaluator = ExpressionEvaluator(subquery_runner=self._run_subquery)
+        self._compiler = ExpressionCompiler(subquery_runner=self._run_subquery)
+        # Caches.  Parse and plan caches hold data-independent artefacts;
+        # the scan cache and subquery memo depend on table contents and are
+        # validated against Database.data_version before every top-level
+        # statement (so even mutations that bypass the executor are seen).
+        self._parse_cache: LRUCache = LRUCache(parse_cache_size)
+        self._plan_cache: LRUCache = LRUCache(plan_cache_size)
+        self._scan_cache: Dict[Tuple[str, str], Tuple[int, List[Row]]] = {}
+        self._subquery_memo: Dict[int, Tuple[ast.SelectStatement, Dict[Any, List[Row]]]] = {}
+        self._subquery_entries = 0
+        self.subquery_hits = 0
+        self.subquery_misses = 0
+        self._corr_info: Dict[int, Tuple[ast.SelectStatement, _CorrelationInfo]] = {}
+        self._data_version = database.data_version
 
     # ------------------------------------------------------------------
     # Public API
@@ -49,7 +123,12 @@ class Executor:
 
     def execute_sql(self, sql: str):
         """Parse and execute ``sql``; returns a QueryResult or DmlResult."""
-        return self.execute(parse_sql(sql))
+        statement = self._parse_cache.get(sql) if self.use_caches else None
+        if statement is None:
+            statement = parse_sql(sql)
+            if self.use_caches:
+                self._parse_cache.put(sql, statement)
+        return self.execute(statement)
 
     def execute(self, statement: ast.Statement):
         """Execute a parsed statement."""
@@ -69,14 +148,145 @@ class Executor:
         self, statement: ast.SelectStatement, outer_row: Optional[Row] = None
     ) -> QueryResult:
         """Execute a SELECT, optionally with an outer row for correlation."""
-        plan = self.planner.plan(statement)
+        if outer_row is None:
+            self._validate_caches()
+        plan, columns = self._plan_select(statement)
         rows = list(self._run_node(plan.root, outer_row))
-        columns = self._output_columns(statement)
         return QueryResult(columns=columns, rows=rows)
 
     def explain(self, statement: ast.SelectStatement) -> str:
         """Return the indented logical plan for a SELECT statement."""
-        return self.planner.plan(statement).explain()
+        return self._plan_select(statement)[0].explain()
+
+    @property
+    def cache_stats(self) -> Dict[str, Any]:
+        """Observability: hit/miss counters for every cache layer."""
+        return {
+            "parse": self._parse_cache.stats,
+            "plan": self._plan_cache.stats,
+            "subquery": {
+                "hits": self.subquery_hits,
+                "misses": self.subquery_misses,
+                "entries": self._subquery_entries,
+            },
+            "scan_tables": len(self._scan_cache),
+        }
+
+    # ------------------------------------------------------------------
+    # Planning and cache upkeep
+    # ------------------------------------------------------------------
+
+    def _plan_select(
+        self, statement: ast.SelectStatement
+    ) -> Tuple[LogicalPlan, Tuple[str, ...]]:
+        entry = self._plan_cache.get(statement) if self.use_caches else None
+        if entry is None:
+            plan = self.planner.plan(statement)
+            entry = (plan, self._output_columns(statement))
+            if self.use_caches:
+                self._plan_cache.put(statement, entry)
+        return entry
+
+    def _validate_caches(self) -> None:
+        version = self.database.data_version
+        if version != self._data_version:
+            self._data_version = version
+            self._clear_data_caches()
+
+    def _clear_data_caches(self) -> None:
+        self._scan_cache.clear()
+        self._subquery_memo.clear()
+        self._subquery_entries = 0
+
+    def invalidate_caches(self) -> None:
+        """Drop every cache, including the data-independent ones.
+
+        DML only needs :meth:`_clear_data_caches` (parse results, plans and
+        compiled closures do not depend on table contents); this is the
+        blunt instrument for callers that want a pristine executor.
+        """
+        self._parse_cache.clear()
+        self._plan_cache.clear()
+        self._corr_info.clear()
+        self._clear_data_caches()
+        self._data_version = self.database.data_version
+
+    # ------------------------------------------------------------------
+    # Expression access (compiled or interpreted)
+    # ------------------------------------------------------------------
+
+    def _expr_fn(self, expression: ast.Expression) -> CompiledExpr:
+        if self.compiled:
+            return self._compiler.compile(expression)
+        evaluator = self._evaluator
+        return lambda row: evaluator.evaluate(expression, row)
+
+    def _pred_fn(self, predicate: Optional[ast.Expression]) -> Callable[[Row], bool]:
+        if self.compiled:
+            return self._compiler.compile_predicate(predicate)
+        evaluator = self._evaluator
+        return lambda row: evaluator.matches(predicate, row)
+
+    def _ops(self, node: PlanNode) -> Any:
+        """Per-node compiled artefacts, built once and cached on the node."""
+        cached = getattr(node, "_exec_ops", None)
+        if cached is not None and cached[0] is self:
+            return cached[1]
+        ops = self._build_ops(node)
+        node._exec_ops = (self, ops)  # type: ignore[attr-defined]
+        return ops
+
+    def _build_ops(self, node: PlanNode) -> Any:
+        if isinstance(node, FilterNode):
+            return self._pred_fn(node.predicate)
+        if isinstance(node, ScanNode):
+            if node.eq_columns:
+                return (
+                    node.eq_columns,
+                    [self._expr_fn(v) for v in node.eq_values],
+                    [self._pred_fn(p) for p in node.pushed_filters],
+                )
+            return None
+        if isinstance(node, JoinNode):
+            return (
+                [(cond, self._pred_fn(cond)) for cond in node.equi_conditions],
+                [self._pred_fn(cond) for cond in node.other_conditions],
+            )
+        if isinstance(node, AggregateNode):
+            group_fns = [self._expr_fn(e) for e in node.group_by]
+            specs = []
+            for aggregate in node.aggregates:
+                name = aggregate.name.upper()
+                count_star = name == "COUNT" and (
+                    not aggregate.args or isinstance(aggregate.args[0], ast.Star)
+                )
+                arg_fn = (
+                    self._expr_fn(aggregate.args[0])
+                    if aggregate.args and not count_star
+                    else None
+                )
+                specs.append((str(aggregate), name, arg_fn, aggregate.distinct, count_star))
+            return (group_fns, specs)
+        if isinstance(node, ProjectNode):
+            items: List[Tuple[Optional[str], Any]] = []
+            for item in node.items:
+                if isinstance(item.expression, ast.Star):
+                    items.append((None, item.expression))
+                else:
+                    items.append((item.output_name, self._expr_fn(item.expression)))
+            return items
+        if isinstance(node, SortNode):
+            order = [
+                (item.expression, str(item.expression), self._expr_fn(item.expression), item.descending)
+                for item in node.order_by
+            ]
+            aliases = {
+                item.alias.lower(): self._expr_fn(item.expression)
+                for item in node.select_items
+                if item.alias
+            }
+            return (order, aliases)
+        return None
 
     # ------------------------------------------------------------------
     # Plan interpretation
@@ -86,9 +296,15 @@ class Executor:
         if isinstance(node, ScanNode):
             yield from self._run_scan(node, outer_row)
         elif isinstance(node, FilterNode):
-            for row in self._run_node(node.child, outer_row):
-                if self._evaluator.matches(node.predicate, self._with_outer(row, outer_row)):
-                    yield row
+            predicate = self._ops(node)
+            if outer_row is None:
+                for row in self._run_node(node.child, outer_row):
+                    if predicate(row):
+                        yield row
+            else:
+                for row in self._run_node(node.child, outer_row):
+                    if predicate(outer_row.merged(row)):
+                        yield row
         elif isinstance(node, JoinNode):
             yield from self._run_join(node, outer_row)
         elif isinstance(node, AggregateNode):
@@ -104,67 +320,123 @@ class Executor:
         else:  # pragma: no cover - defensive
             raise UnsupportedQueryError(f"unknown plan node {type(node).__name__}")
 
+    # ------------------------------------------------------------------
+    # Scans (index-backed when the planner pushed equality conjuncts)
+    # ------------------------------------------------------------------
+
     def _run_scan(self, node: ScanNode, outer_row: Optional[Row]) -> Iterator[Row]:
         if not node.table_name:
             # FROM-less SELECT: a single empty row.
-            yield Row({})
+            yield _EMPTY_ROW
             return
         table = self.database.table(node.table_name)
-        for row in table.rows():
-            yield row.prefixed(node.binding)
+        ops = self._ops(node)
+        if ops is not None and self.index_scans and table.row_count:
+            eq_columns, value_fns, _ = ops
+            index = self._scan_index(table, eq_columns)
+            if index is not None:
+                context = outer_row if outer_row is not None else _EMPTY_ROW
+                values = tuple(fn(context) for fn in value_fns)
+                if any(v is None for v in values):
+                    return  # `col = NULL` never matches
+                binding = node.binding
+                try:
+                    rowids = index.lookup(values)
+                except TypeError:
+                    rowids = ()  # unhashable probe value can never equal a stored one
+                for rowid in rowids:
+                    yield table.row_by_id(rowid).prefixed(binding)
+                return
+        rows = self._scan_rows(table, node.binding)
+        if ops is None:
+            yield from rows
+            return
+        # Fallback: apply the pushed conjuncts as plain filters (index scans
+        # disabled, or the pushed column does not exist on the relation).
+        predicates = ops[2]
+        if outer_row is None:
+            for row in rows:
+                if all(predicate(row) for predicate in predicates):
+                    yield row
+        else:
+            for row in rows:
+                scoped = outer_row.merged(row)
+                if all(predicate(scoped) for predicate in predicates):
+                    yield row
+
+    def _scan_index(self, table: Table, columns: Tuple[str, ...]):
+        try:
+            return table.ensure_index(columns)
+        except UnknownAttributeError:
+            return None
+
+    def _scan_rows(self, table: Table, binding: str) -> List[Row]:
+        """Prefixed rows of a full scan, cached per table version."""
+        if not self.use_caches:
+            return [row.prefixed(binding) for row in table.rows()]
+        key = (table.name, binding)
+        entry = self._scan_cache.get(key)
+        if entry is not None and entry[0] == table.version:
+            return entry[1]
+        rows = [row.prefixed(binding) for row in table.rows()]
+        self._scan_cache[key] = (table.version, rows)
+        return rows
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
 
     def _run_join(self, node: JoinNode, outer_row: Optional[Row]) -> Iterator[Row]:
         left_rows = list(self._run_node(node.left, outer_row))
         right_rows = list(self._run_node(node.right, outer_row))
+        equi_matchers, other_matchers = self._ops(node)
 
-        usable_equi = [
-            cond
-            for cond in node.equi_conditions
-            if self._hash_keys(cond, left_rows, right_rows) is not None
-        ]
+        first = None
+        first_keys = None
+        for condition, _ in equi_matchers:
+            keys = self._hash_keys(condition, left_rows, right_rows)
+            if keys is not None:
+                first, first_keys = condition, keys
+                break
 
-        if usable_equi:
-            first = usable_equi[0]
-            keys = self._hash_keys(first, left_rows, right_rows)
-            assert keys is not None
-            left_key, right_key = keys
+        if first is not None:
+            left_key, right_key = first_keys
             buckets: Dict[Any, List[Row]] = {}
             for right in right_rows:
                 value = right.get(right_key)
                 if value is None:
                     continue
                 buckets.setdefault(value, []).append(right)
-            remaining = [c for c in node.equi_conditions if c is not first]
+            remaining = [
+                matcher for condition, matcher in equi_matchers if condition is not first
+            ] + other_matchers
             for left in left_rows:
                 value = left.get(left_key)
                 if value is None:
                     continue
                 for right in buckets.get(value, ()):
                     combined = left.merged(right)
-                    if self._join_matches(combined, remaining, node.other_conditions, outer_row):
+                    if self._join_matches(combined, remaining, outer_row):
                         yield combined
             return
 
+        matchers = [matcher for _, matcher in equi_matchers] + other_matchers
         for left in left_rows:
             for right in right_rows:
                 combined = left.merged(right)
-                if self._join_matches(
-                    combined, node.equi_conditions, node.other_conditions, outer_row
-                ):
+                if self._join_matches(combined, matchers, outer_row):
                     yield combined
 
     def _join_matches(
         self,
         combined: Row,
-        equi: Iterable[ast.Expression],
-        other: Iterable[ast.Expression],
+        matchers: List[Callable[[Row], bool]],
         outer_row: Optional[Row],
     ) -> bool:
-        scoped = self._with_outer(combined, outer_row)
-        for condition in list(equi) + list(other):
-            if not self._evaluator.matches(condition, scoped):
-                return False
-        return True
+        if not matchers:
+            return True
+        scoped = outer_row.merged(combined) if outer_row is not None else combined
+        return all(matcher(scoped) for matcher in matchers)
 
     def _hash_keys(
         self, condition: ast.BinaryOp, left_rows: List[Row], right_rows: List[Row]
@@ -177,8 +449,8 @@ class Executor:
             return None
         left_key = condition.left.qualified
         right_key = condition.right.qualified
-        left_sample = left_rows[0] if left_rows else Row({})
-        right_sample = right_rows[0] if right_rows else Row({})
+        left_sample = left_rows[0] if left_rows else _EMPTY_ROW
+        right_sample = right_rows[0] if right_rows else _EMPTY_ROW
         if left_sample.resolve_key(left_key) is not None and right_sample.resolve_key(right_key) is not None:
             return left_key, right_key
         if left_sample.resolve_key(right_key) is not None and right_sample.resolve_key(left_key) is not None:
@@ -193,54 +465,54 @@ class Executor:
 
     def _run_aggregate(self, node: AggregateNode, outer_row: Optional[Row]) -> Iterator[Row]:
         source_rows = list(self._run_node(node.child, outer_row))
+        group_fns, specs = self._ops(node)
 
         groups: Dict[Tuple[Any, ...], List[Row]] = {}
-        order: List[Tuple[Any, ...]] = []
         if node.group_by:
             for row in source_rows:
                 scoped = self._with_outer(row, outer_row)
-                key = tuple(self._evaluator.evaluate(e, scoped) for e in node.group_by)
-                if key not in groups:
-                    groups[key] = []
-                    order.append(key)
-                groups[key].append(row)
+                key = tuple(fn(scoped) for fn in group_fns)
+                bucket = groups.get(key)
+                if bucket is None:
+                    groups[key] = [row]
+                else:
+                    bucket.append(row)
         else:
-            key = ()
-            groups[key] = source_rows
-            order.append(key)
+            groups[()] = source_rows
 
-        for key in order:
-            members = groups[key]
+        for key, members in groups.items():
             if not members and not node.group_by:
                 base: Dict[str, Any] = {}
             else:
                 base = dict(members[0].as_dict()) if members else {}
             for expression, value in zip(node.group_by, key):
                 base[_expression_key(expression)] = value
-            for aggregate in node.aggregates:
-                base[str(aggregate)] = self._compute_aggregate(aggregate, members, outer_row)
-            yield Row(base)
+            for spec in specs:
+                base[spec[0]] = self._compute_aggregate(spec, members, outer_row)
+            yield Row.adopt(base)
 
     def _compute_aggregate(
-        self, aggregate: ast.FunctionCall, members: List[Row], outer_row: Optional[Row]
+        self, spec: Tuple, members: List[Row], outer_row: Optional[Row]
     ) -> Any:
-        name = aggregate.name.upper()
-        if name == "COUNT" and (not aggregate.args or isinstance(aggregate.args[0], ast.Star)):
+        _, name, arg_fn, distinct, count_star = spec
+        if count_star:
             return len(members)
-
-        if not aggregate.args:
+        if arg_fn is None:
             raise EvaluationError(f"aggregate {name} requires an argument")
-        argument = aggregate.args[0]
+
         values = []
         for row in members:
             scoped = self._with_outer(row, outer_row)
-            value = self._evaluator.evaluate(argument, scoped)
+            value = arg_fn(scoped)
             if value is not None:
                 values.append(value)
-        if aggregate.distinct:
+        if distinct:
+            seen = set()
             unique = []
             for value in values:
-                if value not in unique:
+                frozen = _freeze(value)
+                if frozen not in seen:
+                    seen.add(frozen)
                     unique.append(value)
             values = unique
 
@@ -263,24 +535,24 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _run_project(self, node: ProjectNode, outer_row: Optional[Row]) -> Iterator[Row]:
-        items = node.items
+        items = self._ops(node)
         for row in self._run_node(node.child, outer_row):
             scoped = self._with_outer(row, outer_row)
             output: Dict[str, Any] = {}
-            for item in items:
-                if isinstance(item.expression, ast.Star):
-                    star = item.expression
+            for name, fn in items:
+                if name is None:  # star expansion
+                    star = fn
                     for key in row.keys():
                         if star.table is None or key.lower().startswith(star.table.lower() + "."):
                             output[key] = row.get(key)
                     continue
-                output[item.output_name] = self._evaluator.evaluate(item.expression, scoped)
-            yield Row(output)
+                output[name] = fn(scoped)
+            yield Row.adopt(output)
 
     def _run_distinct(self, node: DistinctNode, outer_row: Optional[Row]) -> Iterator[Row]:
         seen = set()
         for row in self._run_node(node.child, outer_row):
-            key = tuple(sorted((k, _freeze(v)) for k, v in row.as_dict().items()))
+            key = tuple(sorted((k, _freeze(v)) for k, v in row.raw.items()))
             if key in seen:
                 continue
             seen.add(key)
@@ -288,15 +560,14 @@ class Executor:
 
     def _run_sort(self, node: SortNode, outer_row: Optional[Row]) -> Iterator[Row]:
         rows = list(self._run_node(node.child, outer_row))
+        order, aliases = self._ops(node)
 
         def sort_key(row: Row) -> Tuple:
             scoped = self._with_outer(row, outer_row)
             parts = []
-            for item in node.order_by:
-                value = self._try_order_value(
-                    item.expression, row, scoped, node.select_items
-                )
-                parts.append(_OrderKey(value, descending=item.descending))
+            for expression, text, fn, descending in order:
+                value = self._try_order_value(expression, text, fn, aliases, row, scoped)
+                parts.append(_OrderKey(value, descending=descending))
             return tuple(parts)
 
         yield from sorted(rows, key=sort_key)
@@ -304,22 +575,24 @@ class Executor:
     def _try_order_value(
         self,
         expression: ast.Expression,
+        text: str,
+        fn: CompiledExpr,
+        aliases: Dict[str, CompiledExpr],
         row: Row,
         scoped: Row,
-        select_items: Tuple[ast.SelectItem, ...] = (),
     ) -> Any:
         # ORDER BY may reference base columns (sorting runs before projection),
         # aggregate results stored under their SQL text, or select-list aliases.
         try:
-            return self._evaluator.evaluate(expression, scoped)
+            return fn(scoped)
         except EvaluationError:
-            resolved = row.resolve_key(str(expression))
+            resolved = row.resolve_key(text)
             if resolved is not None:
                 return row.get(resolved)
             if isinstance(expression, ast.ColumnRef) and expression.table is None:
-                for item in select_items:
-                    if item.alias and item.alias.lower() == expression.column.lower():
-                        return self._evaluator.evaluate(item.expression, scoped)
+                alias_fn = aliases.get(expression.column.lower())
+                if alias_fn is not None:
+                    return alias_fn(scoped)
             raise
 
     def _run_limit(self, node: LimitNode, outer_row: Optional[Row]) -> Iterator[Row]:
@@ -329,14 +602,103 @@ class Executor:
         yield from rows[start:end]
 
     # ------------------------------------------------------------------
-    # Subqueries, DML, helpers
+    # Subqueries (memoized on the correlated outer values)
     # ------------------------------------------------------------------
 
     def _run_subquery(
         self, statement: ast.SelectStatement, outer_row: Optional[Row]
     ) -> Iterable[Row]:
-        result = self.execute_select(statement, outer_row=outer_row)
-        return result.rows
+        if not self.use_caches:
+            return self.execute_select(statement, outer_row=outer_row).rows
+        key = self._memo_key(statement, outer_row)
+        if key is None:
+            return self.execute_select(statement, outer_row=outer_row).rows
+        entry = self._subquery_memo.get(id(statement))
+        if entry is None or entry[0] is not statement:
+            entry = (statement, {})
+            self._subquery_memo[id(statement)] = entry
+        cache = entry[1]
+        try:
+            cached = cache.get(key)
+        except TypeError:  # unhashable outer value — skip the memo
+            return self.execute_select(statement, outer_row=outer_row).rows
+        if cached is not None:
+            self.subquery_hits += 1
+            return cached
+        rows = self.execute_select(statement, outer_row=outer_row).rows
+        self.subquery_misses += 1
+        self._subquery_entries += 1
+        if self._subquery_entries > _SUBQUERY_MEMO_LIMIT:
+            self._subquery_memo.clear()
+            self._subquery_entries = 1
+            entry = (statement, {})
+            self._subquery_memo[id(statement)] = entry
+            cache = entry[1]
+        cache[key] = rows
+        return rows
+
+    def _memo_key(
+        self, statement: ast.SelectStatement, outer_row: Optional[Row]
+    ) -> Optional[Any]:
+        """The memo key for one subquery execution, or ``None`` to skip.
+
+        Uncorrelated subqueries key on a constant; correlated ones key on
+        the values of the outer columns they reference.  When the outer
+        values cannot be attributed statically (unqualified references,
+        binding shadowing between the outer query and the subquery) the
+        whole outer row becomes the key — always sound, just less shareable.
+        """
+        if outer_row is None:
+            return ("<top>",)
+        info = self._correlation_info(statement)
+        if info.whole_row:
+            return outer_row
+        raw = outer_row.raw
+        # Shadowing guard first: when the subquery reuses an outer binding
+        # name anywhere in its FROM clauses, the static analysis may have
+        # misattributed outer references as inner (leaving keys empty), so
+        # the whole outer row must be the key.
+        prefixes = set()
+        for key in raw:
+            dot = key.find(".")
+            if dot > 0:
+                prefixes.add(key[:dot].lower())
+        if prefixes & info.inner_bindings:
+            return outer_row
+        if not info.keys:
+            return ("<uncorrelated>",)
+        parts = []
+        for key in info.keys:
+            resolved = outer_row.resolve_key(key)
+            if resolved is None:
+                # The correlation cannot be satisfied by this outer row;
+                # skip the memo and let execution surface the usual error.
+                return None
+            parts.append(_freeze(raw[resolved]))
+        return tuple(parts)
+
+    def _correlation_info(self, statement: ast.SelectStatement) -> _CorrelationInfo:
+        entry = self._corr_info.get(id(statement))
+        if entry is not None and entry[0] is statement:
+            return entry[1]
+        info = _analyze_correlation(statement)
+        if len(self._corr_info) >= 10_000:
+            self._corr_info.clear()  # bound growth on endless distinct queries
+        self._corr_info[id(statement)] = (statement, info)
+        return info
+
+    # ------------------------------------------------------------------
+    # DML, helpers
+    # ------------------------------------------------------------------
+
+    def _after_dml(self) -> None:
+        """Invalidate data-dependent caches after a mutation.
+
+        Parse results, plans and compiled closures are data-independent
+        and survive; scans and subquery memos must go.
+        """
+        self._clear_data_caches()
+        self._data_version = self.database.data_version
 
     def _with_outer(self, row: Row, outer_row: Optional[Row]) -> Row:
         if outer_row is None:
@@ -359,37 +721,45 @@ class Executor:
         return tuple(columns)
 
     def _execute_insert(self, statement: ast.InsertStatement) -> DmlResult:
+        self._validate_caches()
         table = self.database.table(statement.table)
         columns = statement.columns or table.relation.attribute_names
         inserted = 0
         for row in statement.rows:
             values = {
-                column: self._evaluator.evaluate(expression, Row({}))
+                column: self._expr_fn(expression)(_EMPTY_ROW)
                 for column, expression in zip(columns, row)
             }
             self.database.insert(statement.table, values)
             inserted += 1
+        self._after_dml()
         return DmlResult(statement_kind="INSERT", affected_rows=inserted)
 
     def _execute_update(self, statement: ast.UpdateStatement) -> DmlResult:
+        self._validate_caches()
         binding = statement.alias or statement.table
+        matches = self._pred_fn(statement.where)
 
         def predicate(row: Row) -> bool:
-            return self._evaluator.matches(statement.where, row.prefixed(binding))
+            return matches(row.prefixed(binding))
 
         changes: Dict[str, Any] = {}
         for column, expression in statement.assignments:
-            changes[column] = self._evaluator.evaluate(expression, Row({}))
+            changes[column] = self._expr_fn(expression)(_EMPTY_ROW)
         affected = self.database.update_where(statement.table, predicate, changes)
+        self._after_dml()
         return DmlResult(statement_kind="UPDATE", affected_rows=affected)
 
     def _execute_delete(self, statement: ast.DeleteStatement) -> DmlResult:
+        self._validate_caches()
         binding = statement.alias or statement.table
+        matches = self._pred_fn(statement.where)
 
         def predicate(row: Row) -> bool:
-            return self._evaluator.matches(statement.where, row.prefixed(binding))
+            return matches(row.prefixed(binding))
 
         affected = self.database.delete_where(statement.table, predicate)
+        self._after_dml()
         return DmlResult(statement_kind="DELETE", affected_rows=affected)
 
 

@@ -30,15 +30,36 @@ class PlanNode:
 
 @dataclass
 class ScanNode(PlanNode):
-    """Scan a base table, binding its rows to a tuple-variable name."""
+    """Scan a base table, binding its rows to a tuple-variable name.
+
+    When the planner finds equality conjuncts of the form
+    ``binding.column = <expression constant w.r.t. the binding>`` it pushes
+    them into the scan: ``eq_columns[i] = eq_values[i]`` must hold for
+    every produced row, letting the executor probe a hash index instead of
+    scanning.  ``pushed_filters`` keeps the original predicates so the
+    executor can fall back to filtering (and ``explain`` can print them).
+    """
 
     table_name: str
     binding: str
+    eq_columns: Tuple[str, ...] = ()
+    eq_values: Tuple[ast.Expression, ...] = ()
+    pushed_filters: Tuple[ast.Expression, ...] = ()
 
     def describe(self) -> str:
-        if self.binding != self.table_name:
-            return f"Scan({self.table_name} AS {self.binding})"
-        return f"Scan({self.table_name})"
+        base = (
+            f"{self.table_name} AS {self.binding}"
+            if self.binding != self.table_name
+            else self.table_name
+        )
+        if self.eq_columns:
+            from repro.sql.printer import expression_to_sql
+
+            conds = " AND ".join(
+                expression_to_sql(p, top_level=True) for p in self.pushed_filters
+            )
+            return f"IndexScan({base}: {conds})"
+        return f"Scan({base})"
 
 
 @dataclass
@@ -253,6 +274,52 @@ def classify_predicates(
     return result
 
 
+def pushable_equality(
+    predicate: ast.Expression, binding: str
+) -> Optional[Tuple[str, ast.Expression]]:
+    """``(column, value_expr)`` when ``predicate`` is an index-usable equality.
+
+    A conjunct is pushable into a scan of ``binding`` when it has the shape
+    ``binding.column = value`` (either side) and ``value`` is constant with
+    respect to the binding: no reference to the binding itself, no
+    unqualified references, no subqueries, no aggregates.  Correlated
+    references to *outer* bindings are allowed — the executor evaluates the
+    value against the outer row, which turns correlated filters into index
+    probes.
+    """
+    if not isinstance(predicate, ast.BinaryOp) or predicate.op != "=":
+        return None
+    lowered = binding.lower()
+    for column_side, value_side in (
+        (predicate.left, predicate.right),
+        (predicate.right, predicate.left),
+    ):
+        if (
+            isinstance(column_side, ast.ColumnRef)
+            and column_side.table is not None
+            and column_side.table.lower() == lowered
+            and _constant_wrt(value_side, lowered)
+        ):
+            return column_side.column, value_side
+    return None
+
+
+def _constant_wrt(expression: ast.Expression, binding_lower: str) -> bool:
+    """True when ``expression`` cannot depend on the scanned binding's row."""
+    for node in expression.walk():
+        if isinstance(
+            node,
+            (ast.InSubquery, ast.Exists, ast.QuantifiedComparison, ast.ScalarSubquery, ast.Star),
+        ):
+            return False
+        if isinstance(node, ast.FunctionCall) and node.is_aggregate:
+            return False
+        if isinstance(node, ast.ColumnRef):
+            if node.table is None or node.table.lower() == binding_lower:
+                return False
+    return True
+
+
 # ---------------------------------------------------------------------------
 # Planner
 # ---------------------------------------------------------------------------
@@ -275,11 +342,31 @@ class Planner:
 
         classified = classify_predicates(statement.where, bindings)
 
-        # Base access paths: scan plus local filters.
+        # Base access paths: scan (with pushed equality conjuncts) plus
+        # local filters for whatever could not be pushed.
         inputs: Dict[str, PlanNode] = {}
         for table in statement.from_tables:
-            node: PlanNode = ScanNode(table_name=table.name, binding=table.binding)
+            eq_columns: List[str] = []
+            eq_values: List[ast.Expression] = []
+            pushed: List[ast.Expression] = []
+            filters: List[ast.Expression] = []
             for predicate in classified.local.get(table.binding, []):
+                pushable = pushable_equality(predicate, table.binding)
+                if pushable is not None:
+                    column, value = pushable
+                    eq_columns.append(column)
+                    eq_values.append(value)
+                    pushed.append(predicate)
+                else:
+                    filters.append(predicate)
+            node: PlanNode = ScanNode(
+                table_name=table.name,
+                binding=table.binding,
+                eq_columns=tuple(eq_columns),
+                eq_values=tuple(eq_values),
+                pushed_filters=tuple(pushed),
+            )
+            for predicate in filters:
                 node = FilterNode(child=node, predicate=predicate)
             inputs[table.binding] = node
 

@@ -10,7 +10,7 @@ rewritten SQL.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Union
 
 from repro.catalog.schema import Schema
@@ -27,6 +27,7 @@ from repro.querygraph.classify import Classification, QueryCategory, classify_gr
 from repro.querygraph.model import QueryGraph
 from repro.sql import ast
 from repro.sql.parser import parse_sql
+from repro.utils.cache import LRUCache
 
 
 @dataclass
@@ -62,8 +63,15 @@ class QueryTranslator:
         schema: Schema,
         spec: Optional[NarrationSpec] = None,
         lexicon: Optional[Lexicon] = None,
+        cache_size: Optional[int] = 512,
     ) -> None:
         self.schema = schema
+        # Translation is a pure function of (schema, lexicon, SQL text), so
+        # repeated translations of the same SQL — the common case when the
+        # DBMS "talks back" under real traffic — are served from an LRU.
+        self._cache: Optional[LRUCache] = (
+            LRUCache(cache_size) if cache_size else None
+        )
         if lexicon is not None:
             self.lexicon = lexicon
         elif spec is not None:
@@ -83,15 +91,29 @@ class QueryTranslator:
         """Translate SQL text or a parsed statement."""
         if isinstance(sql_or_statement, str):
             sql = sql_or_statement
+            if self._cache is not None:
+                cached = self._cache.get(sql)
+                if cached is not None:
+                    # Shallow-copy the mutable list so callers cannot
+                    # corrupt the cached translation.
+                    return replace(cached, notes=list(cached.notes))
             statement = parse_sql(sql_or_statement)
         else:
             statement = sql_or_statement
             sql = str(statement) if isinstance(statement, ast.SelectStatement) else ""
 
         if not isinstance(statement, ast.SelectStatement):
-            text = self._dml.translate(statement)
-            return QueryTranslation(sql=sql, text=text, notes=["data-manipulation statement"])
-        return self._translate_select(sql, statement)
+            translation = QueryTranslation(
+                sql=sql,
+                text=self._dml.translate(statement),
+                notes=["data-manipulation statement"],
+            )
+        else:
+            translation = self._translate_select(sql, statement)
+        if self._cache is not None and isinstance(sql_or_statement, str):
+            # Keep a pristine copy: the caller may mutate the notes list.
+            self._cache.put(sql, replace(translation, notes=list(translation.notes)))
+        return translation
 
     def translate_procedurally(
         self, sql_or_statement: Union[str, ast.SelectStatement]

@@ -63,6 +63,16 @@ class Database:
     def total_rows(self) -> int:
         return sum(len(table) for table in self.tables)
 
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter over all tables; changes whenever any data does.
+
+        Executor-side caches (subquery memos, scan caches) compare this
+        version so that mutations made directly through the storage layer
+        invalidate them too, not only DML routed through the executor.
+        """
+        return sum(table.version for table in self._tables.values())
+
     # ------------------------------------------------------------------
     # Mutation with FK enforcement
     # ------------------------------------------------------------------

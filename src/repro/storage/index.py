@@ -59,6 +59,10 @@ class HashIndex:
             return False
         return True
 
+    def clear(self) -> None:
+        """Drop every entry (used by :meth:`Table.truncate`)."""
+        self._entries.clear()
+
     def keys(self) -> Iterable[Tuple[Any, ...]]:
         return self._entries.keys()
 

@@ -24,6 +24,18 @@ class Row(Mapping[str, Any]):
     def __init__(self, values: Mapping[str, Any]) -> None:
         self._values: Dict[str, Any] = dict(values)
 
+    @classmethod
+    def adopt(cls, values: Dict[str, Any]) -> "Row":
+        """Wrap ``values`` without copying.
+
+        The caller hands over ownership: the dict must not be mutated
+        afterwards.  Hot paths (joins, projections) build millions of rows,
+        so skipping the defensive copy of ``__init__`` matters.
+        """
+        row = cls.__new__(cls)
+        row._values = values
+        return row
+
     # -- Mapping protocol ------------------------------------------------
 
     def __getitem__(self, key: str) -> Any:
@@ -48,18 +60,17 @@ class Row(Mapping[str, Any]):
         if key in self._values:
             return key
         lowered = key.lower()
-        exact_ci = [k for k in self._values if k.lower() == lowered]
-        if len(exact_ci) == 1:
-            return exact_ci[0]
-        if exact_ci:
-            return exact_ci[0]
+        for k in self._values:
+            if k.lower() == lowered:
+                return k
         # Unqualified lookup: match against suffix after the last dot.
-        suffix_matches = [
-            k for k in self._values if k.lower().rsplit(".", 1)[-1] == lowered
-        ]
-        if len(suffix_matches) == 1:
-            return suffix_matches[0]
-        return None
+        found: Optional[str] = None
+        for k in self._values:
+            if k.lower().rsplit(".", 1)[-1] == lowered:
+                if found is not None:
+                    return None  # ambiguous
+                found = k
+        return found
 
     def get(self, key: str, default: Any = None) -> Any:
         resolved = self.resolve_key(key)
@@ -81,13 +92,13 @@ class Row(Mapping[str, Any]):
 
     def merged(self, other: "Row") -> "Row":
         """A new row containing this row's columns followed by ``other``'s."""
-        combined = dict(self._values)
-        combined.update(other._values)
-        return Row(combined)
+        return Row.adopt({**self._values, **other._values})
 
     def prefixed(self, prefix: str) -> "Row":
         """A new row whose keys are all qualified with ``prefix.``."""
-        return Row({f"{prefix}.{k.rsplit('.', 1)[-1]}": v for k, v in self._values.items()})
+        return Row.adopt(
+            {f"{prefix}.{k.rsplit('.', 1)[-1]}": v for k, v in self._values.items()}
+        )
 
     def project(self, keys: Iterable[str]) -> "Row":
         """A new row restricted to ``keys`` (resolved with the usual rules)."""
@@ -98,6 +109,15 @@ class Row(Mapping[str, Any]):
 
     def as_dict(self) -> Dict[str, Any]:
         return dict(self._values)
+
+    @property
+    def raw(self) -> Dict[str, Any]:
+        """The backing dict itself (read-only by convention).
+
+        Compiled expressions (``repro.engine.compile``) go through this to
+        skip per-access dict copies; callers must never mutate it.
+        """
+        return self._values
 
     def values_tuple(self, keys: Iterable[str]) -> Tuple[Any, ...]:
         return tuple(self[k] for k in keys)

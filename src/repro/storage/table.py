@@ -28,6 +28,7 @@ class Table:
         self.relation = relation
         self._rows: Dict[int, Dict[str, Any]] = {}
         self._next_rowid = 1
+        self._version = 0
         self._indexes: Dict[str, HashIndex] = {}
         if relation.primary_key_names:
             self.create_index("pk", relation.primary_key_names, unique=True)
@@ -44,17 +45,30 @@ class Table:
     def row_count(self) -> int:
         return len(self._rows)
 
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every mutating call.
+
+        Caches keyed on table contents (scan caches, subquery memos)
+        compare versions instead of subscribing to change events.
+        """
+        return self._version
+
     def __len__(self) -> int:
         return len(self._rows)
 
     def rows(self) -> Iterator[Row]:
-        """Iterate over the table's rows in insertion order."""
-        for rowid in sorted(self._rows):
-            yield Row(self._rows[rowid])
+        """Iterate over the table's rows in insertion order.
+
+        Rowids are assigned monotonically and never reused, and dicts
+        preserve insertion order, so no sort is needed.
+        """
+        for values in self._rows.values():
+            yield Row(values)
 
     def rows_with_ids(self) -> Iterator[Tuple[int, Row]]:
-        for rowid in sorted(self._rows):
-            yield rowid, Row(self._rows[rowid])
+        for rowid, values in self._rows.items():
+            yield rowid, Row(values)
 
     def row_by_id(self, rowid: int) -> Row:
         return Row(self._rows[rowid])
@@ -77,6 +91,7 @@ class Table:
         rowid = self._next_rowid
         self._next_rowid += 1
         self._rows[rowid] = normalised
+        self._version += 1
         for index in self._indexes.values():
             index.add(index.key_for(normalised), rowid)
         return rowid
@@ -94,6 +109,8 @@ class Table:
             for index in self._indexes.values():
                 index.remove(index.key_for(values), rowid)
             removed += 1
+        if removed:
+            self._version += 1
         return removed
 
     def update_rows(self, rowids: Iterable[int], changes: Mapping[str, Any]) -> int:
@@ -116,15 +133,16 @@ class Table:
                 index.add(index.key_for(merged), rowid)
             self._rows[rowid] = merged
             updated += 1
+        if updated:
+            self._version += 1
         return updated
 
     def truncate(self) -> None:
-        """Remove every row (indexes are rebuilt empty)."""
+        """Remove every row (indexes are cleared)."""
         self._rows.clear()
+        self._version += 1
         for index in self._indexes.values():
-            for key in list(index.keys()):
-                for rowid in list(index.lookup(key)):
-                    index.remove(key, rowid)
+            index.clear()
 
     # ------------------------------------------------------------------
     # Indexes
@@ -148,12 +166,43 @@ class Table:
     def indexes(self) -> Tuple[HashIndex, ...]:
         return tuple(self._indexes.values())
 
-    def lookup(self, columns: Sequence[str], values: Sequence[Any]) -> List[Row]:
-        """Fetch rows whose ``columns`` equal ``values``, using an index when possible."""
+    def find_index(self, columns: Sequence[str]) -> Optional[HashIndex]:
+        """An existing index exactly covering ``columns``, if any."""
         canonical = tuple(self.relation.attribute(c).name for c in columns)
         for index in self._indexes.values():
             if index.columns == canonical:
-                return [self.row_by_id(rowid) for rowid in index.lookup(tuple(values))]
+                return index
+        return None
+
+    def ensure_index(self, columns: Sequence[str]) -> HashIndex:
+        """Find an index covering ``columns``, creating one on demand.
+
+        The executor uses this to self-tune: the first index-backed scan
+        over a column set pays the build cost, later scans get O(1) probes.
+        """
+        existing = self.find_index(columns)
+        if existing is not None:
+            return existing
+        canonical = tuple(self.relation.attribute(c).name for c in columns)
+        # "," cannot appear in identifiers, so differently-shaped column
+        # sets never produce the same name (("a","b") vs ("a_b",)); the
+        # loop guards against a user-created index squatting on the name.
+        base = "auto_" + ",".join(canonical)
+        name = base
+        suffix = 0
+        while True:
+            index = self.create_index(name, canonical)
+            if index.columns == canonical:
+                return index
+            suffix += 1
+            name = f"{base}~{suffix}"
+
+    def lookup(self, columns: Sequence[str], values: Sequence[Any]) -> List[Row]:
+        """Fetch rows whose ``columns`` equal ``values``, using an index when possible."""
+        canonical = tuple(self.relation.attribute(c).name for c in columns)
+        index = self.find_index(canonical)
+        if index is not None:
+            return [self.row_by_id(rowid) for rowid in index.lookup(tuple(values))]
         wanted = dict(zip(canonical, values))
         return [
             Row(row)

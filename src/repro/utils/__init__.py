@@ -1,0 +1,5 @@
+"""Small shared utilities (caching, etc.)."""
+
+from repro.utils.cache import LRUCache
+
+__all__ = ["LRUCache"]

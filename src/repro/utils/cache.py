@@ -1,0 +1,65 @@
+"""A tiny LRU cache used by the execution and translation layers.
+
+``functools.lru_cache`` memoizes functions; the engine needs *instance*
+caches (per executor, per translator) that can be cleared on demand when
+data changes, so this is a thin OrderedDict wrapper instead.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator, Optional
+
+
+class LRUCache:
+    """A bounded mapping that evicts the least-recently-used entry.
+
+    ``get`` refreshes recency; ``put`` inserts/overwrites and evicts the
+    oldest entry once ``maxsize`` is exceeded.  ``maxsize=None`` disables
+    eviction (unbounded).  Hit/miss counters are kept for observability
+    and for tests asserting that a cache is actually being used.
+    """
+
+    def __init__(self, maxsize: Optional[int] = 256) -> None:
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive or None")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    _MISSING = object()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        value = self._data.get(key, self._MISSING)
+        if value is self._MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if self.maxsize is not None and len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+    @property
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._data)}
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"LRUCache(size={len(self._data)}, hits={self.hits}, misses={self.misses})"
