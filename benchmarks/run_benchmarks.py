@@ -28,14 +28,20 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro.content.narrator import ContentNarrator  # noqa: E402
+from repro.content.presets import movie_spec  # noqa: E402
 from repro.datasets import (  # noqa: E402
     GeneratorConfig,
     PAPER_QUERIES,
     generate_movie_database,
     generate_workload,
     movie_database,
+    movie_schema,
 )
 from repro.engine import Executor  # noqa: E402
+from repro.nlg.document import LengthBudget  # noqa: E402
+from repro.query_nl.translator import QueryTranslator  # noqa: E402
+from repro.sql.lexer import tokenize, tokenize_reference  # noqa: E402
 
 #: Interpreted baselines measured per mode.  Q6 interpreted at 200 movies
 #: takes ~2 minutes per run; it is only part of the full pass.
@@ -111,6 +117,119 @@ def bench_workload(movies: int, repeats: int) -> dict:
     }
 
 
+def _median_warm(fn, repeats: int) -> float:
+    """Median over ``repeats`` after two untimed warm-up runs."""
+    fn()
+    fn()
+    return _median_seconds(fn, repeats)
+
+
+def bench_narration(repeats: int) -> dict:
+    """Measure the narration front end and verify its equivalences in-run.
+
+    Reference numbers (``frontend_reference``) were measured with this
+    exact procedure at commit 86a0ff0 (the tree before the compiled
+    narration front end landed) on the reference container; the speedups
+    below compare against them.  ``cold`` means a fresh translator /
+    narrator per repetition with every query-level cache starting empty
+    (the compile-once machinery — regexes, compiled templates, graph
+    adjacency — is module/schema-level by design, exactly like the
+    engine's compiled closures).
+    """
+    reference = {
+        "cold_translate_s": 0.02111,
+        "cold_translate_unique_s": 0.02044,
+        "narrate_database_s": 0.14314,
+        "narrate_relation_s": 0.13351,
+    }
+    schema = movie_schema()
+    workload = [q.sql for q in generate_workload(queries_per_category=10, seed=42)]
+
+    results: dict = {"workload_queries": len(workload)}
+    results["tokenize_regex_s"] = _median_warm(
+        lambda: [tokenize(sql) for sql in workload], repeats
+    )
+    results["tokenize_char_s"] = _median_warm(
+        lambda: [tokenize_reference(sql) for sql in workload], repeats
+    )
+    results["cold_translate_s"] = _median_warm(
+        lambda: [QueryTranslator(schema).translate(sql) for sql in workload], repeats
+    )
+    results["cold_translate_unique_s"] = _median_warm(
+        lambda: [
+            QueryTranslator(schema, cache_size=None).translate(sql) for sql in workload
+        ],
+        repeats,
+    )
+    warm_translator = QueryTranslator(schema)
+    results["warm_translate_s"] = _median_warm(
+        lambda: [warm_translator.translate(sql) for sql in workload], repeats
+    )
+
+    database = generate_movie_database(
+        GeneratorConfig(movies=200, directors=20, actors=50)
+    )
+    spec = movie_spec(database.schema)
+    budget = LengthBudget(max_sentences=12)
+    results["narrate_database_s"] = _median_warm(
+        lambda: ContentNarrator(database, spec=spec).narrate_database(budget=budget),
+        repeats,
+    )
+    results["narrate_relation_s"] = _median_warm(
+        lambda: ContentNarrator(database, spec=spec).narrate_relation(
+            "MOVIES", budget=budget
+        ),
+        repeats,
+    )
+
+    results["frontend_reference"] = reference
+    for key, base in reference.items():
+        results[f"speedup_{key.removesuffix('_s')}"] = round(
+            base / max(results[key], 1e-9), 1
+        )
+    results["tokenize_speedup_vs_char"] = round(
+        results["tokenize_char_s"] / max(results["tokenize_regex_s"], 1e-9), 1
+    )
+    results["equivalence"] = verify_narration_equivalence(database, spec)
+    return results
+
+
+def verify_narration_equivalence(database, spec) -> dict:
+    """The three front-end differential guarantees, checked in-run."""
+    workload = [q.sql for q in generate_workload(queries_per_category=10, seed=42)]
+    for sql in list(PAPER_QUERIES.values()) + workload:
+        fast = tokenize(sql)
+        slow = tokenize_reference(sql)
+        if [(t.type, t.value, t.line, t.column) for t in fast] != [
+            (t.type, t.value, t.line, t.column) for t in slow
+        ]:
+            raise AssertionError(f"regex and char lexers differ on {sql!r}")
+
+    interpreted_spec = movie_spec(database.schema)
+    interpreted_spec.registry.compile_templates = False
+    budget = LengthBudget(max_sentences=12)
+    narrator = ContentNarrator(database, spec=spec)
+    interpreted = ContentNarrator(database, spec=interpreted_spec)
+    if narrator.narrate_database(budget=budget) != interpreted.narrate_database(
+        budget=budget
+    ):
+        raise AssertionError("compiled and interpreted templates narrate differently")
+    for budget_case in (budget, LengthBudget(max_words=60), None):
+        if narrator.narrate_database(budget=budget_case) != narrator.narrate_database(
+            budget=budget_case, streaming=False
+        ):
+            raise AssertionError("streaming and eager narration differ")
+        if narrator.narrate_relation(
+            "MOVIES", budget=budget_case
+        ) != narrator.narrate_relation("MOVIES", budget=budget_case, streaming=False):
+            raise AssertionError("streaming and eager relation narration differ")
+    return {
+        "lexers": f"token-identical ({9 + len(workload)} queries)",
+        "templates": "compiled narration byte-identical to interpreted",
+        "streaming": "byte-identical to eager under all tested budgets",
+    }
+
+
 def verify_equivalence() -> dict:
     """Compiled and interpreted paths must agree on every answer."""
     database = movie_database()
@@ -164,6 +283,10 @@ def main(argv=None) -> int:
         "equivalence": verify_equivalence(),
         "databases": {},
     }
+    # The narration front end is measured first, before the minutes-long
+    # interpreted executor baselines heat the process up.
+    print("benchmarking narration front end ...", flush=True)
+    summary["narration_frontend"] = bench_narration(max(5, args.repeats))
     for movies in sizes:
         print(f"benchmarking {movies} movies ...", flush=True)
         # Interpreted Q5 scales quadratically (25s at 200 movies, ~10min at
@@ -189,6 +312,17 @@ def main(argv=None) -> int:
                     f" ({entry['speedup_warm']}x)"
                 )
     print(f"  workload: {summary['workload_50_queries']}")
+    frontend = summary["narration_frontend"]
+    print(
+        "  narration front end:"
+        f" tokenize {frontend['tokenize_char_s']*1e3:.2f}ms char ->"
+        f" {frontend['tokenize_regex_s']*1e3:.2f}ms regex"
+        f" ({frontend['tokenize_speedup_vs_char']}x);"
+        f" cold translate {frontend['cold_translate_s']*1e3:.2f}ms"
+        f" ({frontend['speedup_cold_translate']}x vs 86a0ff0);"
+        f" narrate_database {frontend['narrate_database_s']*1e3:.2f}ms"
+        f" ({frontend['speedup_narrate_database']}x vs 86a0ff0)"
+    )
     return 0
 
 

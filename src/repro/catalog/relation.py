@@ -63,6 +63,12 @@ class Relation:
             self._attributes[bound.name] = bound
             self._order.append(bound.name)
 
+        # Attributes never change after construction, so case-insensitive
+        # lookups can go through one precomputed lowered map instead of a
+        # linear scan (the validator and builder resolve columns per query).
+        self._lowered: Dict[str, Attribute] = {}
+        for name in self._order:  # first declaration wins on case collisions
+            self._lowered.setdefault(name.lower(), self._attributes[name])
         self._heading_name = self._resolve_heading(heading_attribute)
 
     # ------------------------------------------------------------------
@@ -92,13 +98,10 @@ class Relation:
         return found
 
     def _find(self, name: str) -> Optional[Attribute]:
-        if name in self._attributes:
-            return self._attributes[name]
-        lowered = name.lower()
-        for candidate in self._order:
-            if candidate.lower() == lowered:
-                return self._attributes[candidate]
-        return None
+        found = self._attributes.get(name)
+        if found is not None:
+            return found
+        return self._lowered.get(name.lower())
 
     # ------------------------------------------------------------------
     # Keys and NLG metadata

@@ -45,9 +45,28 @@ class Schema:
             self._relations[relation.name] = relation
             self._order.append(relation.name)
 
+        # The schema is immutable, so case-insensitive relation lookup and
+        # the per-relation foreign-key groupings are precomputed once
+        # instead of scanned per call (they sit on the translation and
+        # narration hot paths).
+        self._lowered: Dict[str, Relation] = {}
+        for rel_name in self._order:  # first declaration wins on case collisions
+            self._lowered.setdefault(rel_name.lower(), self._relations[rel_name])
+
         self._foreign_keys: Tuple[ForeignKey, ...] = tuple(foreign_keys)
         for fk in self._foreign_keys:
             self._validate_foreign_key(fk)
+
+        self._fks_from: Dict[str, Tuple[ForeignKey, ...]] = {}
+        self._fks_to: Dict[str, Tuple[ForeignKey, ...]] = {}
+        for fk in self._foreign_keys:
+            self._fks_from[fk.source_relation] = (
+                self._fks_from.get(fk.source_relation, ()) + (fk,)
+            )
+            self._fks_to[fk.target_relation] = (
+                self._fks_to.get(fk.target_relation, ()) + (fk,)
+            )
+        self._fks_between: Dict[Tuple[str, str], Tuple[ForeignKey, ...]] = {}
 
     # ------------------------------------------------------------------
     # Relation access
@@ -75,13 +94,10 @@ class Schema:
         return found
 
     def _find(self, name: str) -> Optional[Relation]:
-        if name in self._relations:
-            return self._relations[name]
-        lowered = name.lower()
-        for candidate in self._order:
-            if candidate.lower() == lowered:
-                return self._relations[candidate]
-        return None
+        found = self._relations.get(name)
+        if found is not None:
+            return found
+        return self._lowered.get(name.lower())
 
     # ------------------------------------------------------------------
     # Foreign keys
@@ -94,16 +110,12 @@ class Schema:
     def foreign_keys_from(self, relation_name: str) -> Tuple[ForeignKey, ...]:
         """Foreign keys whose source is ``relation_name``."""
         canonical = self.relation(relation_name).name
-        return tuple(
-            fk for fk in self._foreign_keys if fk.source_relation == canonical
-        )
+        return self._fks_from.get(canonical, ())
 
     def foreign_keys_to(self, relation_name: str) -> Tuple[ForeignKey, ...]:
         """Foreign keys whose target is ``relation_name``."""
         canonical = self.relation(relation_name).name
-        return tuple(
-            fk for fk in self._foreign_keys if fk.target_relation == canonical
-        )
+        return self._fks_to.get(canonical, ())
 
     def foreign_keys_between(
         self, first: str, second: str
@@ -111,12 +123,16 @@ class Schema:
         """Foreign keys connecting the two relations, in either direction."""
         a = self.relation(first).name
         b = self.relation(second).name
-        return tuple(
-            fk
-            for fk in self._foreign_keys
-            if {fk.source_relation, fk.target_relation} == {a, b}
-            or (a == b and fk.source_relation == fk.target_relation == a)
-        )
+        cached = self._fks_between.get((a, b))
+        if cached is None:
+            cached = tuple(
+                fk
+                for fk in self._foreign_keys
+                if {fk.source_relation, fk.target_relation} == {a, b}
+                or (a == b and fk.source_relation == fk.target_relation == a)
+            )
+            self._fks_between[(a, b)] = cached
+        return cached
 
     def _validate_foreign_key(self, fk: ForeignKey) -> None:
         if not self.has_relation(fk.source_relation):

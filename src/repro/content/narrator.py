@@ -31,14 +31,19 @@ from repro.content.patterns import (
 )
 from repro.content.personalization import DEFAULT_PROFILE, UserProfile
 from repro.content.presets import NarrationSpec, default_spec
-from repro.content.ranking import coverage_plan, rank_tuples
+from repro.content.ranking import coverage_plan, rank_relations, rank_tuples
 from repro.content.single_relation import TupleStyle, heading_value, tuple_clauses
 from repro.engine.result import QueryResult
 from repro.errors import TranslationError, UnknownRelationError
-from repro.graph.schema_graph import SchemaGraph
+from repro.graph.schema_graph import SchemaGraph, graph_for
 from repro.lexicon.morphology import join_list
 from repro.nlg.clause import Clause
-from repro.nlg.document import DocumentPlan, LengthBudget
+from repro.nlg.document import (
+    DocumentPlan,
+    LengthBudget,
+    PlannedSentence,
+    collect_streaming,
+)
 from repro.nlg.realize import realize_paragraph, realize_sentence
 from repro.storage.database import Database
 from repro.storage.row import Row
@@ -56,7 +61,7 @@ class ContentNarrator:
         self.database = database
         self.spec = spec or default_spec(database.schema)
         self.profile = profile or DEFAULT_PROFILE
-        self.graph = SchemaGraph(database.schema)
+        self.graph = graph_for(database.schema)
 
     # ------------------------------------------------------------------
     # Low-level building blocks
@@ -176,14 +181,39 @@ class ContentNarrator:
         limit: Optional[int] = None,
         style: TupleStyle = TupleStyle.FULL,
         budget: Optional[LengthBudget] = None,
+        streaming: bool = True,
     ) -> str:
-        """Narrate the (top ``limit``) tuples of one relation."""
+        """Narrate the (top ``limit``) tuples of one relation.
+
+        With ``streaming`` (the default) clause production is lazy and
+        stops once the length budget is provably satisfied, so the cost
+        beyond ranking is O(budget) rather than O(rows); the output is
+        byte-identical to the eager (``streaming=False``) path.
+        """
+        resolved = self._budget(budget)
         ranked = rank_tuples(self.database, relation_name, limit=limit, profile=self.profile)
+        if streaming:
+            plan = collect_streaming(
+                self._relation_sentence_stream(relation_name, ranked, style), resolved
+            )
+            return plan.render(resolved)
         plan = DocumentPlan()
         for entry in ranked:
             for clause in self.tuple_clauses(relation_name, entry.row, style):
                 plan.add_clause(clause)
-        return plan.render(self._budget(budget))
+        return plan.render(resolved)
+
+    def _relation_sentence_stream(self, relation_name, ranked, style):
+        relation = self.database.schema.relation(relation_name)
+        bound = self._tuple_clause_bound(relation.name, style)
+        for entry in ranked:
+            for clause in self.tuple_clauses(relation_name, entry.row, style):
+                text = realize_sentence(clause)
+                if text:
+                    yield (
+                        PlannedSentence(text=text, weight=clause.weight, about=clause.about),
+                        bound,
+                    )
 
     def narrate_database(
         self,
@@ -194,6 +224,7 @@ class ContentNarrator:
         mode: SynthesisMode = SynthesisMode.COMPACT,
         budget: Optional[LengthBudget] = None,
         include_overview: bool = True,
+        streaming: bool = True,
     ) -> str:
         """A ranking-bounded narrative of the whole database.
 
@@ -201,7 +232,24 @@ class ContentNarrator:
         central relation), covers relations most-interesting-first and
         narrates the top tuples of each, connecting them to their most
         interesting neighbour through the unary pattern.
+
+        With ``streaming`` (the default) relations are ranked and narrated
+        lazily and production stops as soon as the sentence budget is
+        provably settled — later relations are never tuple-ranked at all.
+        The output is byte-identical to the eager (``streaming=False``)
+        pipeline, which builds every clause before trimming.
         """
+        resolved = self._budget(budget)
+        if streaming:
+            plan = collect_streaming(
+                self._database_sentence_stream(
+                    start, relations, max_relations, max_tuples_per_relation,
+                    mode, include_overview,
+                ),
+                resolved,
+            )
+            return plan.render(resolved)
+
         plan = DocumentPlan()
         if include_overview:
             plan.add_text(self._overview_sentence(), weight=10.0, about="overview")
@@ -232,7 +280,151 @@ class ContentNarrator:
                 clauses = self._entity_clauses(relation_name, entry.row, partner, mode)
                 for clause in clauses:
                     plan.add_clause(clause)
-        return plan.render(self._budget(budget))
+        return plan.render(resolved)
+
+    def _database_sentence_stream(
+        self,
+        start: Optional[str],
+        relations: Optional[Sequence[str]],
+        max_relations: Optional[int],
+        max_tuples_per_relation: Optional[int],
+        mode: SynthesisMode,
+        include_overview: bool,
+    ):
+        """Yield ``(sentence, future-weight bound)`` pairs lazily.
+
+        Mirrors the eager pipeline's order exactly: overview first, then
+        the covered relations (start relation first, rest in ranking
+        order), each tuple's clauses in narration order.  Tuple ranking
+        for a relation only happens when the stream reaches it.
+        """
+        allowed = None
+        if relations is not None:
+            allowed = {self.database.schema.relation(r).name for r in relations}
+
+        tuples_limit = (
+            max_tuples_per_relation
+            if max_tuples_per_relation is not None
+            else self.profile.max_tuples_per_relation
+        )
+        ranked_relations = rank_relations(
+            self.database, self.profile, limit=max_relations
+        )
+        start_name = (
+            self.database.schema.relation(start).name
+            if start is not None
+            else self.graph.central_relation().name
+        )
+        ordered = sorted(
+            [r.name for r in ranked_relations], key=lambda name: (name != start_name,)
+        )
+        active = [
+            name for name in ordered if allowed is None or name in allowed
+        ]
+        partners = {name: self._default_partner(name) for name in active}
+        # suffix_bounds[i] = the heaviest clause any relation from i on can
+        # produce; it is the early-exit certificate for the collector.
+        suffix_bounds: List[float] = [0.0] * (len(active) + 1)
+        for index in range(len(active) - 1, -1, -1):
+            name = active[index]
+            suffix_bounds[index] = max(
+                self._max_clause_weight(name, partners[name], mode),
+                suffix_bounds[index + 1],
+            )
+
+        if include_overview:
+            text = realize_sentence(self._overview_sentence())
+            if text:
+                yield (
+                    PlannedSentence(text=text, weight=10.0, about="overview"),
+                    suffix_bounds[0],
+                )
+        for index, relation_name in enumerate(active):
+            partner = partners[relation_name]
+            bound = suffix_bounds[index]
+            ranked = rank_tuples(
+                self.database, relation_name, tuples_limit, self.profile
+            )
+            for entry in ranked:
+                for clause in self._entity_clauses(relation_name, entry.row, partner, mode):
+                    text = realize_sentence(clause)
+                    if text:
+                        yield (
+                            PlannedSentence(
+                                text=text, weight=clause.weight, about=clause.about
+                            ),
+                            bound,
+                        )
+
+    def _tuple_clause_bound(
+        self,
+        relation_name: str,
+        style: TupleStyle,
+        use_attribute_order: bool = True,
+    ) -> float:
+        """An upper bound on the weight of any clause one tuple can yield.
+
+        Full-style tuples produce attribute clauses weighted by attribute
+        weight; the heading-only fallback (weighted by relation weight)
+        only happens for a tuple whose narrated attributes are all NULL,
+        which the table's NULL tallies can rule out entirely — that is
+        what lets the bound stay at the attribute level and the streaming
+        collector exit early.  ``use_attribute_order`` must be false when
+        bounding tuples narrated *without* the spec's attribute order
+        (procedural-mode child tuples), which fall back to the default
+        descriptive-attribute set.
+        """
+        relation = self.database.schema.relation(relation_name)
+        relation_weight = self.profile.relation_weight(relation)
+        if style is TupleStyle.HEADING_ONLY:
+            return relation_weight
+        heading_name = self.profile.heading_attribute(relation)
+        order = self.spec.order_for(relation.name) if use_attribute_order else None
+        names = (
+            list(order)
+            if order is not None
+            else [
+                a.name
+                for a in relation.attributes
+                if not a.primary_key and a.name != heading_name
+            ]
+        )
+        if not names:
+            return relation_weight
+        weights = [self.profile.attribute_weight(relation, name) for name in names]
+        table = self.database.table(relation.name)
+        fallback_possible = all(table.null_count(name) > 0 for name in names)
+        if fallback_possible:
+            weights.append(relation_weight)
+        return max(weights)
+
+    def _max_clause_weight(
+        self, relation_name: str, partner_name: Optional[str], mode: SynthesisMode
+    ) -> float:
+        """An upper bound on the weight of any clause a relation can yield.
+
+        Entity clauses carry a tuple-clause weight of the relation itself,
+        or a relationship-sentence weight — the partner's relation weight,
+        or the narrated relation's own weight when the designer label only
+        exists for the reverse direction and the roles get swapped
+        (``patterns.relationship_sentence``) — or, in procedural mode, the
+        partner's own tuple-clause weights (narrated without the spec's
+        attribute order), so the maximum over all of those dominates
+        everything :meth:`_entity_clauses` can produce.
+        """
+        weights = [self._tuple_clause_bound(relation_name, TupleStyle.FULL)]
+        if partner_name is not None:
+            relation = self.database.schema.relation(relation_name)
+            partner = self.database.schema.relation(partner_name)
+            weights.append(self.profile.relation_weight(partner))
+            weights.append(self.profile.relation_weight(relation))
+            if mode is SynthesisMode.PROCEDURAL:
+                weights.append(
+                    self._tuple_clause_bound(
+                        partner.name, TupleStyle.FULL, use_attribute_order=False
+                    )
+                )
+        return max(weights)
 
     def narrate_schema(self) -> str:
         """A narrative describing the schema itself (Section 2.1)."""

@@ -102,7 +102,8 @@ def relationship_sentence(
     if join_label is not None and list_name is not None:
         values = _join_values(parent, parent_row, child, child_rows)
         values[list_name] = rendered_list
-        text = join_label.instantiate(values, strict=False)
+        renderer = registry.compiled(join_label) or join_label
+        text = renderer.instantiate(values, strict=False)
         return Clause(subject=text, about=f"{parent.name}->{child.name}",
                       weight=profile.relation_weight(child))
 
@@ -136,7 +137,8 @@ def _render_child_list(
 ) -> str:
     if list_name is not None and registry.has_list_template(list_name) and compact_list:
         list_label = registry.list_template(list_name)
-        return list_label.instantiate(
+        renderer = registry.compiled_list(list_label) or list_label
+        return renderer.instantiate(
             [_child_values(child, row) for row in child_rows], strict=False
         )
     headings = [heading_value(child, row, profile) for row in child_rows]

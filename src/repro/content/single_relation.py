@@ -44,7 +44,8 @@ def heading_clause(
 ) -> Clause:
     """Alternative (a): a sentence from the relation's node template."""
     template = registry.relation_template(relation.name)
-    text = template.instantiate(_template_values(relation, row), strict=False)
+    renderer = registry.compiled(template) or template
+    text = renderer.instantiate(_template_values(relation, row), strict=False)
     return Clause(subject=text, about=relation.name, weight=profile.relation_weight(relation))
 
 
@@ -67,11 +68,16 @@ def attribute_clause(
         return None
     template = registry.projection_template(relation.name, attribute_name)
     values = _template_values(relation, row)
-    subject, verb, remainder = _split_structurally(template, values)
+    compiled = registry.compiled(template)
+    if compiled is not None:
+        subject, verb, remainder = compiled.split_instantiate(values)
+    else:
+        subject, verb, remainder = _split_structurally(template, values)
     weight = profile.attribute_weight(relation, attribute_name)
     if subject is None:
+        renderer = compiled or template
         return Clause(
-            subject=template.instantiate(values, strict=False),
+            subject=renderer.instantiate(values, strict=False),
             about=f"{relation.name}.{attribute_name}",
             weight=weight,
         )

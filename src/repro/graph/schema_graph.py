@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.catalog.schema import Schema
@@ -49,6 +50,31 @@ class SchemaGraph:
                     weight=fk.weight,
                 )
             )
+        # The schema (and therefore the graph) is immutable, so the
+        # structural lookups the narrator and classifiers hammer —
+        # adjacency, incident edges, per-relation projections — are
+        # precomputed here, and path queries are memoized below.
+        self._projection_edges_of: Dict[str, Tuple[ProjectionEdge, ...]] = {
+            r.name: () for r in self.schema.relations
+        }
+        for edge in self._projection_edges:
+            self._projection_edges_of[edge.relation_name] += (edge,)
+        self._join_edges_of: Dict[str, Tuple[JoinEdge, ...]] = {
+            r.name: () for r in self.schema.relations
+        }
+        self._neighbours: Dict[str, Tuple[str, ...]] = {
+            r.name: () for r in self.schema.relations
+        }
+        for edge in self._join_edges:
+            for name in self._join_edges_of:
+                if edge.touches(name):
+                    self._join_edges_of[name] += (edge,)
+                    other = edge.other(name)
+                    if other != name and other not in self._neighbours[name]:
+                        self._neighbours[name] += (other,)
+        self._path_cache: Dict[Tuple[str, str], Tuple[str, ...]] = {}
+        self._between_cache: Dict[Tuple[str, str], Tuple[JoinEdge, ...]] = {}
+        self._central: Optional[RelationNode] = None
 
     # ------------------------------------------------------------------
     # Node access
@@ -91,34 +117,31 @@ class SchemaGraph:
 
     def projection_edges_of(self, relation_name: str) -> Tuple[ProjectionEdge, ...]:
         canonical = self.schema.relation(relation_name).name
-        return tuple(e for e in self._projection_edges if e.relation_name == canonical)
+        return self._projection_edges_of[canonical]
 
     def join_edges_of(self, relation_name: str) -> Tuple[JoinEdge, ...]:
         """All join edges incident to ``relation_name`` (either direction)."""
         canonical = self.schema.relation(relation_name).name
-        return tuple(e for e in self._join_edges if e.touches(canonical))
+        return self._join_edges_of[canonical]
 
     def join_edges_between(self, first: str, second: str) -> Tuple[JoinEdge, ...]:
         a = self.schema.relation(first).name
         b = self.schema.relation(second).name
-        return tuple(
-            e
-            for e in self._join_edges
-            if {e.source_relation, e.target_relation} == {a, b}
-            or (a == b and e.source_relation == e.target_relation == a)
-        )
+        cached = self._between_cache.get((a, b))
+        if cached is None:
+            cached = tuple(
+                e
+                for e in self._join_edges
+                if {e.source_relation, e.target_relation} == {a, b}
+                or (a == b and e.source_relation == e.target_relation == a)
+            )
+            self._between_cache[(a, b)] = cached
+        return cached
 
     def neighbours(self, relation_name: str) -> Tuple[str, ...]:
         """Relations joined to ``relation_name`` by at least one join edge."""
         canonical = self.schema.relation(relation_name).name
-        seen: List[str] = []
-        for edge in self._join_edges:
-            if not edge.touches(canonical):
-                continue
-            other = edge.other(canonical)
-            if other != canonical and other not in seen:
-                seen.append(other)
-        return tuple(seen)
+        return self._neighbours[canonical]
 
     # ------------------------------------------------------------------
     # Graph-level helpers
@@ -134,10 +157,14 @@ class SchemaGraph:
         interest" (Section 2.2).  We pick the non-bridge relation with the
         highest (weight, degree) pair, which for the movie schema is MOVIES.
         """
-        candidates = [n for n in self.relation_nodes if not n.is_bridge]
-        if not candidates:
-            candidates = list(self.relation_nodes)
-        return max(candidates, key=lambda n: (n.weight, self.degree(n.name), n.name))
+        if self._central is None:
+            candidates = [n for n in self.relation_nodes if not n.is_bridge]
+            if not candidates:
+                candidates = list(self.relation_nodes)
+            self._central = max(
+                candidates, key=lambda n: (n.weight, self.degree(n.name), n.name)
+            )
+        return self._central
 
     def is_connected(self, relation_names: Optional[Iterable[str]] = None) -> bool:
         """True when the join graph over the given relations is connected."""
@@ -166,6 +193,14 @@ class SchemaGraph:
         """
         source = self.schema.relation(start).name
         target = self.schema.relation(end).name
+        cached = self._path_cache.get((source, target))
+        if cached is not None:
+            return cached
+        path = self._shortest_path_uncached(source, target)
+        self._path_cache[(source, target)] = path
+        return path
+
+    def _shortest_path_uncached(self, source: str, target: str) -> Tuple[str, ...]:
         if source == target:
             return (source,)
         parents: Dict[str, str] = {}
@@ -232,6 +267,23 @@ class SchemaGraph:
             f"SchemaGraph({self.schema.name}: {len(self.relation_nodes)} relations,"
             f" {len(self._join_edges)} join edges)"
         )
+
+
+#: One shared graph per schema: the graph is immutable and schema-derived,
+#: so narrators and benches can reuse one instance (and its memoized paths)
+#: instead of rebuilding adjacency per call.
+_SHARED_GRAPHS: "weakref.WeakKeyDictionary[Schema, SchemaGraph]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def graph_for(schema: Schema) -> SchemaGraph:
+    """The shared (memoizing) schema graph for ``schema``."""
+    graph = _SHARED_GRAPHS.get(schema)
+    if graph is None:
+        graph = SchemaGraph(schema)
+        _SHARED_GRAPHS[schema] = graph
+    return graph
 
 
 def build_schema_graph(schema: Schema) -> SchemaGraph:

@@ -31,6 +31,10 @@ class Lexicon:
     plural_overrides: Dict[str, str] = field(default_factory=dict)
     caption_overrides: Dict[Tuple[str, str], str] = field(default_factory=dict)
     verb_overrides: Dict[Tuple[str, str], str] = field(default_factory=dict)
+    #: Resolved-lookup memo (cleared by the setters).  Lexicon lookups sit
+    #: inside the per-constraint narration loops, so the schema/override
+    #: resolution runs once per distinct key instead of once per phrase.
+    _memo: Dict[Tuple, str] = field(default_factory=dict, compare=False, repr=False)
 
     # ------------------------------------------------------------------
     # Relations
@@ -38,21 +42,33 @@ class Lexicon:
 
     def concept(self, relation: str) -> str:
         """The singular concept noun for ``relation`` ("movie", "actor")."""
-        rel = self.schema.relation(relation)
-        return self.concept_overrides.get(rel.name, rel.concept)
+        key = ("concept", relation)
+        cached = self._memo.get(key)
+        if cached is None:
+            rel = self.schema.relation(relation)
+            cached = self.concept_overrides.get(rel.name, rel.concept)
+            self._memo[key] = cached
+        return cached
 
     def concept_plural(self, relation: str) -> str:
         """The plural concept noun ("movies", "actors")."""
-        rel = self.schema.relation(relation)
-        if rel.name in self.plural_overrides:
-            return self.plural_overrides[rel.name]
-        return pluralize(self.concept(relation))
+        key = ("concept_plural", relation)
+        cached = self._memo.get(key)
+        if cached is None:
+            rel = self.schema.relation(relation)
+            if rel.name in self.plural_overrides:
+                cached = self.plural_overrides[rel.name]
+            else:
+                cached = pluralize(self.concept(relation))
+            self._memo[key] = cached
+        return cached
 
     def set_concept(self, relation: str, singular: str, plural: Optional[str] = None) -> None:
         rel = self.schema.relation(relation)
         self.concept_overrides[rel.name] = singular
         if plural is not None:
             self.plural_overrides[rel.name] = plural
+        self._memo.clear()
 
     # ------------------------------------------------------------------
     # Attributes
@@ -60,9 +76,14 @@ class Lexicon:
 
     def caption(self, relation: str, attribute: str) -> str:
         """The phrase used for an attribute ("release year", "birth date")."""
-        rel = self.schema.relation(relation)
-        attr = rel.attribute(attribute)
-        return self.caption_overrides.get((rel.name, attr.name), attr.display_caption)
+        key = ("caption", relation, attribute)
+        cached = self._memo.get(key)
+        if cached is None:
+            rel = self.schema.relation(relation)
+            attr = rel.attribute(attribute)
+            cached = self.caption_overrides.get((rel.name, attr.name), attr.display_caption)
+            self._memo[key] = cached
+        return cached
 
     def caption_plural(self, relation: str, attribute: str) -> str:
         return pluralize(self.caption(relation, attribute))
@@ -71,6 +92,7 @@ class Lexicon:
         rel = self.schema.relation(relation)
         attr = rel.attribute(attribute)
         self.caption_overrides[(rel.name, attr.name)] = caption
+        self._memo.clear()
 
     def heading_caption(self, relation: str) -> str:
         """The caption of the relation's heading attribute."""
@@ -87,21 +109,29 @@ class Lexicon:
         Looks at FKs in both directions; an override keyed by the pair
         wins.  Returns ``None`` when the relations are unrelated.
         """
+        key = ("verb", source, target)
+        if key in self._memo:
+            return self._memo[key]
         src = self.schema.relation(source).name
         dst = self.schema.relation(target).name
+        verb: Optional[str] = None
         if (src, dst) in self.verb_overrides:
-            return self.verb_overrides[(src, dst)]
-        if (dst, src) in self.verb_overrides:
-            return self.verb_overrides[(dst, src)]
-        for fk in self.schema.foreign_keys_between(src, dst):
-            if fk.verb_phrase:
-                return fk.verb_phrase
-        return None
+            verb = self.verb_overrides[(src, dst)]
+        elif (dst, src) in self.verb_overrides:
+            verb = self.verb_overrides[(dst, src)]
+        else:
+            for fk in self.schema.foreign_keys_between(src, dst):
+                if fk.verb_phrase:
+                    verb = fk.verb_phrase
+                    break
+        self._memo[key] = verb
+        return verb
 
     def set_relationship_verb(self, source: str, target: str, verb: str) -> None:
         src = self.schema.relation(source).name
         dst = self.schema.relation(target).name
         self.verb_overrides[(src, dst)] = verb
+        self._memo.clear()
 
     # ------------------------------------------------------------------
 

@@ -8,6 +8,7 @@ captions) well enough for the paper's narratives.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import Iterable, List, Sequence
 
 _IRREGULAR_PLURALS = {
@@ -43,6 +44,17 @@ def pluralize(noun: str, count: int = 2) -> str:
     """The plural of ``noun`` (returns it unchanged when ``count == 1``)."""
     if count == 1 or not noun:
         return noun
+    return _pluralize_many(noun)
+
+
+@lru_cache(maxsize=2048)
+def _pluralize_many(noun: str) -> str:
+    """The ``count != 1`` branch of :func:`pluralize`, memoized.
+
+    Narration pluralises the same small set of concept nouns and captions
+    over and over; the rule cascade below (regexes included) runs once per
+    distinct noun per process.
+    """
     lowered = noun.lower()
     if lowered in _UNCOUNTABLE:
         return noun
@@ -50,7 +62,7 @@ def pluralize(noun: str, count: int = 2) -> str:
         return _match_case(noun, _IRREGULAR_PLURALS[lowered])
     if " " in noun:
         head, _, tail = noun.rpartition(" ")
-        return f"{head} {pluralize(tail, count)}"
+        return f"{head} {_pluralize_many(tail)}"
     if re.search(r"(s|x|z|ch|sh)$", lowered):
         return noun + "es"
     if lowered.endswith("y") and len(lowered) > 1 and lowered[-2] not in _VOWELS:
@@ -62,6 +74,7 @@ def pluralize(noun: str, count: int = 2) -> str:
     return noun + "s"
 
 
+@lru_cache(maxsize=2048)
 def indefinite_article(noun: str) -> str:
     """Return "a" or "an" for ``noun`` (simple initial-sound heuristic)."""
     if not noun:
@@ -119,6 +132,7 @@ def possessive(noun: str) -> str:
     return noun + "'s"
 
 
+@lru_cache(maxsize=1024)
 def number_word(value: int) -> str:
     """Spell out small integers ("more than one genre"), else use digits."""
     words = {
@@ -129,6 +143,7 @@ def number_word(value: int) -> str:
     return words.get(value, str(value))
 
 
+@lru_cache(maxsize=1024)
 def ordinal_word(value: int) -> str:
     """Spell out small ordinals ("first", "second"), else "3rd"-style."""
     words = {

@@ -8,7 +8,12 @@ from repro.nlg.aggregation import (
     split_prefix,
 )
 from repro.nlg.clause import Clause, ClauseGroup, EntityPhrase, clause_from_text
-from repro.nlg.document import DocumentPlan, LengthBudget, PlannedSentence
+from repro.nlg.document import (
+    DocumentPlan,
+    LengthBudget,
+    PlannedSentence,
+    collect_streaming,
+)
 from repro.nlg.realize import (
     attach_relative,
     coordinate,
@@ -30,6 +35,7 @@ __all__ = [
     "PlannedSentence",
     "attach_relative",
     "clause_from_text",
+    "collect_streaming",
     "common_prefix_length",
     "coordinate",
     "merge_clauses",

@@ -11,8 +11,9 @@ ones within the requested budget.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.nlg.clause import Clause
 from repro.nlg.realize import realize_sentence, word_count
@@ -111,3 +112,52 @@ class DocumentPlan:
 
     def __len__(self) -> int:
         return len(self.sentences)
+
+
+# ---------------------------------------------------------------------------
+# Streaming collection
+# ---------------------------------------------------------------------------
+
+#: A streamed candidate: the realised sentence plus an upper bound on the
+#: weight of every sentence the producer could still yield after this one.
+StreamedSentence = Tuple[PlannedSentence, float]
+
+
+def collect_streaming(
+    candidates: Iterable[StreamedSentence], budget: LengthBudget
+) -> DocumentPlan:
+    """Consume a sentence stream under a budget, stopping as early as possible.
+
+    Maintains the ``max_sentences`` trim online: a min-heap keyed
+    ``(weight, -arrival)`` holds the current survivors, so an overflowing
+    insert evicts exactly the sentence :meth:`DocumentPlan._drop_lightest`
+    would drop (lightest first, later arrivals before earlier ones on
+    ties).  Once the heap is full and the producer's bound says no future
+    sentence can outweigh the lightest survivor, the stream is abandoned —
+    that is what makes narrating a large database O(budget) clause
+    productions instead of O(rows).
+
+    The returned plan's ``render(budget)`` is byte-identical to the eager
+    pipeline (produce everything, then trim): the survivor set equals the
+    offline sentence trim, and the word trim runs afterwards on exactly
+    that set, as it does eagerly.
+    """
+    plan = DocumentPlan()
+    max_sentences = budget.max_sentences
+    if max_sentences is None:
+        plan.sentences = [sentence for sentence, _bound in candidates]
+        return plan
+    if max_sentences <= 0:
+        return plan
+
+    heap: List[Tuple[float, int, int, PlannedSentence]] = []
+    arrival = 0
+    for sentence, bound in candidates:
+        heapq.heappush(heap, (sentence.weight, -arrival, arrival, sentence))
+        arrival += 1
+        if len(heap) > max_sentences:
+            heapq.heappop(heap)
+        if len(heap) == max_sentences and heap[0][0] >= bound:
+            break
+    plan.sentences = [entry[3] for entry in sorted(heap, key=lambda entry: entry[2])]
+    return plan

@@ -111,8 +111,10 @@ class QueryTranslator:
         else:
             translation = self._translate_select(sql, statement)
         if self._cache is not None and isinstance(sql_or_statement, str):
-            # Keep a pristine copy: the caller may mutate the notes list.
-            self._cache.put(sql, replace(translation, notes=list(translation.notes)))
+            # Cache the pristine original and hand the caller the copy, so
+            # every lookup — hit or miss — performs exactly one copy.
+            self._cache.put(sql, translation)
+            return replace(translation, notes=list(translation.notes))
         return translation
 
     def translate_procedurally(

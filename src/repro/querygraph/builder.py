@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, List, Optional, Tuple
 
 from repro.catalog.schema import Schema
@@ -21,11 +22,28 @@ from repro.querygraph.model import (
 
 
 class QueryGraphBuilder:
-    """Translate SELECT ASTs into the UML-style query graph of Section 3.2."""
+    """Translate SELECT ASTs into the UML-style query graph of Section 3.2.
+
+    The builder is stateful per schema: relation lookups are memoized and
+    each ``build`` precomputes the statement's binding maps (lowered
+    alias table, unqualified-column ownership) once instead of re-deriving
+    them per conjunct — the front-end analogue of the executor's
+    pre-resolved column slots.
+    """
 
     def __init__(self, schema: Schema) -> None:
         self.schema = schema
         self.validator = Validator(schema)
+        self._relation_cache: Dict[str, object] = {}
+        self._fk_pair_cache: Dict[Tuple[str, str], frozenset] = {}
+        self._binding_state: List[Tuple[Dict[str, str], Dict[str, List[str]]]] = []
+
+    def _relation(self, name: str):
+        relation = self._relation_cache.get(name)
+        if relation is None:
+            relation = self.schema.relation(name)
+            self._relation_cache[name] = relation
+        return relation
 
     # ------------------------------------------------------------------
 
@@ -33,23 +51,58 @@ class QueryGraphBuilder:
         return self.build(parse_select(sql))
 
     def build(self, statement: ast.SelectStatement, depth: int = 0,
-              outer_bindings: Optional[Dict[str, str]] = None) -> QueryGraph:
-        """Build the query graph; nested queries become nested graphs."""
-        self.validator.validate_select(statement, outer_bindings=self._outer_relations(outer_bindings))
+              outer_bindings: Optional[Dict[str, str]] = None,
+              _validated: bool = False) -> QueryGraph:
+        """Build the query graph; nested queries become nested graphs.
+
+        ``_validated`` is set by :meth:`_nesting_edge` for subqueries: the
+        outer ``validate_select`` already validated them recursively with
+        the same visible bindings, so re-validating would only repeat work.
+        """
+        if not _validated:
+            self.validator.validate_select(
+                statement, outer_bindings=self._outer_relations(outer_bindings)
+            )
         graph = QueryGraph(statement=statement, depth=depth)
 
         binding_relations: Dict[str, str] = {}
         for table in statement.from_tables:
-            relation = self.schema.relation(table.name)
+            relation = self._relation(table.name)
             binding = table.binding
             binding_relations[binding] = relation.name
             graph.classes[binding] = QueryClass(binding=binding, relation_name=relation.name)
+        self._push_binding_state(binding_relations)
 
-        self._distribute_select(statement, graph, binding_relations)
-        self._distribute_where(statement, graph, binding_relations, outer_bindings)
-        self._distribute_group_order(statement, graph, binding_relations)
-        self._distribute_having(statement, graph, binding_relations, outer_bindings)
+        try:
+            self._distribute_select(statement, graph, binding_relations)
+            self._distribute_where(statement, graph, binding_relations, outer_bindings)
+            self._distribute_group_order(statement, graph, binding_relations)
+            self._distribute_having(statement, graph, binding_relations, outer_bindings)
+        finally:
+            self._pop_binding_state()
         return graph
+
+    # ------------------------------------------------------------------
+    # Per-statement binding state
+    # ------------------------------------------------------------------
+
+    def _push_binding_state(self, binding_relations: Dict[str, str]) -> None:
+        """Precompute the lowered alias map and unqualified-column owners.
+
+        Nested queries build their own graphs re-entrantly while the outer
+        build is in flight, so the state lives on a stack.
+        """
+        lowered = {binding.lower(): binding for binding in binding_relations}
+        owners: Dict[str, List[str]] = {}
+        for binding, relation_name in binding_relations.items():
+            for attribute in self._relation(relation_name).attribute_names:
+                bucket = owners.setdefault(attribute.lower(), [])
+                if not bucket or bucket[-1] != binding:
+                    bucket.append(binding)
+        self._binding_state.append((lowered, owners))
+
+    def _pop_binding_state(self) -> None:
+        self._binding_state.pop()
 
     # ------------------------------------------------------------------
     # SELECT list
@@ -69,7 +122,7 @@ class QueryGraphBuilder:
                     graph.other_constraints.append(Constraint.from_expression(expression))
                     continue
                 relation_name = binding_relations[binding]
-                attribute = self.schema.relation(relation_name).attribute(expression.column).name
+                attribute = self._relation(relation_name).attribute(expression.column).name
                 graph.classes[binding].select_entries.append(
                     SelectEntry(
                         binding=binding,
@@ -90,7 +143,7 @@ class QueryGraphBuilder:
                 for binding, relation_name in binding_relations.items():
                     if star.table is not None and binding.lower() != star.table.lower():
                         continue
-                    relation = self.schema.relation(relation_name)
+                    relation = self._relation(relation_name)
                     for attribute in relation.attributes:
                         graph.classes[binding].select_entries.append(
                             SelectEntry(
@@ -159,7 +212,6 @@ class QueryGraphBuilder:
             return
 
         referenced = self._referenced_bindings(conjunct, binding_relations)
-        constraint = Constraint.from_expression(conjunct)
 
         if len(referenced) == 2 and isinstance(conjunct, ast.BinaryOp) and not in_having:
             left, right = sorted(referenced)
@@ -173,6 +225,7 @@ class QueryGraphBuilder:
                 )
             )
             return
+        constraint = Constraint.from_expression(conjunct)
         if len(referenced) == 1:
             binding = next(iter(referenced))
             target = graph.classes[binding]
@@ -221,7 +274,9 @@ class QueryGraphBuilder:
 
         visible = dict(outer_bindings or {})
         visible.update(binding_relations)
-        subgraph = self.build(subquery, depth=graph.depth + 1, outer_bindings=visible)
+        subgraph = self.build(
+            subquery, depth=graph.depth + 1, outer_bindings=visible, _validated=True
+        )
         return NestingEdge(
             connector=connector,
             subgraph=subgraph,
@@ -263,46 +318,37 @@ class QueryGraphBuilder:
         if not outer_bindings:
             return None
         return {
-            binding: self.schema.relation(relation)
+            binding: self._relation(relation)
             for binding, relation in outer_bindings.items()
         }
 
     def _referenced_bindings(
         self, expression: ast.Expression, binding_relations: Dict[str, str]
     ) -> set:
-        lowered = {b.lower(): b for b in binding_relations}
+        lowered, owners = self._binding_state[-1]
         found = set()
         for column in ast.column_refs(expression):
-            if column.table is not None and column.table.lower() in lowered:
-                found.add(lowered[column.table.lower()])
-            elif column.table is None:
-                owners = [
-                    binding
-                    for binding, relation in binding_relations.items()
-                    if self.schema.relation(relation).has_attribute(column.column)
-                ]
-                if len(owners) == 1:
-                    found.add(owners[0])
+            if column.table is not None:
+                binding = lowered.get(column.table.lower())
+                if binding is not None:
+                    found.add(binding)
+            else:
+                owning = owners.get(column.column.lower())
+                if owning is not None and len(owning) == 1:
+                    found.add(owning[0])
         return found
 
     def _binding_of(
         self, column: ast.ColumnRef, binding_relations: Dict[str, str]
     ) -> Optional[str]:
+        lowered, owners = self._binding_state[-1]
         if column.table is not None:
-            lowered = column.table.lower()
-            for binding in binding_relations:
-                if binding.lower() == lowered:
-                    return binding
+            return lowered.get(column.table.lower())
+        owning = owners.get(column.column.lower())
+        if owning is None:
             return None
-        owners = [
-            binding
-            for binding, relation in binding_relations.items()
-            if self.schema.relation(relation).has_attribute(column.column)
-        ]
-        if len(owners) == 1:
-            return owners[0]
-        if not owners:
-            return None
+        if len(owning) == 1:
+            return owning[0]
         raise SqlValidationError(f"ambiguous column {column.column!r}")
 
     def _first_binding(
@@ -329,19 +375,49 @@ class QueryGraphBuilder:
             return False
         left_relation = binding_relations[left_binding]
         right_relation = binding_relations[right_binding]
-        for fk in self.schema.foreign_keys_between(left_relation, right_relation):
-            pairs = set(fk.column_pairs())
-            candidate_a = (left.column.lower(), right.column.lower())
-            candidate_b = (right.column.lower(), left.column.lower())
-            lowered_pairs = {(a.lower(), b.lower()) for a, b in pairs}
-            if candidate_a in lowered_pairs or candidate_b in lowered_pairs:
-                return True
-        return False
+        pairs = self._fk_pairs(left_relation, right_relation)
+        if not pairs:
+            return False
+        return (
+            (left.column.lower(), right.column.lower()) in pairs
+            or (right.column.lower(), left.column.lower()) in pairs
+        )
+
+    def _fk_pairs(self, left_relation: str, right_relation: str) -> frozenset:
+        """Lowered FK column pairs between two relations, memoized."""
+        key = (left_relation, right_relation)
+        pairs = self._fk_pair_cache.get(key)
+        if pairs is None:
+            collected = set()
+            for fk in self.schema.foreign_keys_between(left_relation, right_relation):
+                for a, b in fk.column_pairs():
+                    collected.add((a.lower(), b.lower()))
+            pairs = frozenset(collected)
+            self._fk_pair_cache[key] = pairs
+        return pairs
+
+
+#: One builder per schema for the convenience entry point, so repeated
+#: ``build_query_graph`` calls share the memoized relation lookups.  The
+#: builder keeps its schema alive, so in practice this is one entry per
+#: distinct schema the process works with.
+_SHARED_BUILDERS: "weakref.WeakKeyDictionary[Schema, QueryGraphBuilder]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def builder_for(schema: Schema) -> QueryGraphBuilder:
+    """A shared (memoizing) builder for ``schema``."""
+    builder = _SHARED_BUILDERS.get(schema)
+    if builder is None:
+        builder = QueryGraphBuilder(schema)
+        _SHARED_BUILDERS[schema] = builder
+    return builder
 
 
 def build_query_graph(schema: Schema, sql_or_statement) -> QueryGraph:
     """Convenience: build the query graph for SQL text or a parsed SELECT."""
-    builder = QueryGraphBuilder(schema)
+    builder = builder_for(schema)
     if isinstance(sql_or_statement, str):
         return builder.build_from_sql(sql_or_statement)
     return builder.build(sql_or_statement)

@@ -35,16 +35,41 @@ class SelectEntry:
         return text
 
 
-@dataclass(frozen=True)
 class Constraint:
-    """A constraint attached to a class (``<<WHERE>>`` or ``<<HAVING>>``)."""
+    """A constraint attached to a class (``<<WHERE>>`` or ``<<HAVING>>``).
 
-    expression: ast.Expression
-    text: str
+    ``text`` — the SQL rendering used by class-box figures and the
+    "such that ..." narration fallback — is computed lazily: most
+    constraints are narrated from their expression structure and never
+    need the rendered SQL.
+    """
+
+    __slots__ = ("expression", "_text")
+
+    def __init__(self, expression: ast.Expression, text: Optional[str] = None) -> None:
+        self.expression = expression
+        self._text = text
+
+    @property
+    def text(self) -> str:
+        if self._text is None:
+            self._text = expression_to_sql(self.expression, top_level=True)
+        return self._text
 
     @classmethod
     def from_expression(cls, expression: ast.Expression) -> "Constraint":
-        return cls(expression=expression, text=expression_to_sql(expression, top_level=True))
+        return cls(expression=expression)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Constraint):
+            return NotImplemented
+        return self.expression == other.expression and self.text == other.text
+
+    def __hash__(self) -> int:
+        return hash((self.expression, self.text))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Constraint(expression={self.expression!r}, text={self.text!r})"
 
 
 @dataclass
@@ -162,7 +187,21 @@ class QueryGraph:
         return len(relations) != len(set(relations))
 
     def join_edges_of(self, binding: str) -> List[QueryJoinEdge]:
-        return [edge for edge in self.join_edges if edge.touches(binding)]
+        """Join edges incident to ``binding``, from a lazily-built index.
+
+        Classification and translation probe this per binding; the index
+        is rebuilt whenever edges were added since it was last built.
+        """
+        cache = getattr(self, "_edges_by_binding", None)
+        if cache is None or getattr(self, "_edges_indexed", -1) != len(self.join_edges):
+            cache = {}
+            for edge in self.join_edges:
+                cache.setdefault(edge.left_binding, []).append(edge)
+                if edge.right_binding != edge.left_binding:
+                    cache.setdefault(edge.right_binding, []).append(edge)
+            self._edges_by_binding = cache
+            self._edges_indexed = len(self.join_edges)
+        return cache.get(binding, [])
 
     def degree(self, binding: str) -> int:
         return len(self.join_edges_of(binding))

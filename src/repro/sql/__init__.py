@@ -1,7 +1,13 @@
 """SQL front-end: lexer, parser, AST, printer and semantic validator."""
 
 from repro.sql import ast
-from repro.sql.lexer import Lexer, tokenize
+from repro.sql.lexer import (
+    Lexer,
+    RegexLexer,
+    tokenize,
+    tokenize_reference,
+    use_reference_lexer,
+)
 from repro.sql.parser import Parser, parse_select, parse_sql
 from repro.sql.printer import expression_to_sql, to_sql
 from repro.sql.validator import ValidationResult, Validator, validate
@@ -9,6 +15,7 @@ from repro.sql.validator import ValidationResult, Validator, validate
 __all__ = [
     "Lexer",
     "Parser",
+    "RegexLexer",
     "ValidationResult",
     "Validator",
     "ast",
@@ -17,5 +24,7 @@ __all__ = [
     "parse_sql",
     "to_sql",
     "tokenize",
+    "tokenize_reference",
+    "use_reference_lexer",
     "validate",
 ]

@@ -15,6 +15,11 @@ from typing import Any, Iterator, Optional, Sequence, Tuple, Union
 class Node:
     """Base class for all AST nodes."""
 
+    # Empty slots on the bases keep the (slotted) dataclass nodes free of
+    # a per-instance ``__dict__``: AST nodes are created in the parse hot
+    # path and read everywhere downstream.
+    __slots__ = ()
+
     def children(self) -> Iterator["Node"]:
         """Yield direct child nodes (used by generic walkers)."""
         return iter(())
@@ -34,8 +39,10 @@ class Node:
 class Expression(Node):
     """Base class for scalar and boolean expressions."""
 
+    __slots__ = ()
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class Literal(Expression):
     """A constant: number, string, boolean or NULL (``value is None``)."""
 
@@ -52,7 +59,7 @@ class Literal(Expression):
         return str(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ColumnRef(Expression):
     """A (possibly qualified) column reference such as ``m.title`` or ``title``."""
 
@@ -67,7 +74,7 @@ class ColumnRef(Expression):
         return self.qualified
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Star(Expression):
     """``*`` or ``alias.*`` in a select list or inside ``count(*)``."""
 
@@ -77,7 +84,7 @@ class Star(Expression):
         return f"{self.table}.*" if self.table else "*"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BinaryOp(Expression):
     """A binary operation: comparison, arithmetic, AND/OR, LIKE or string concat."""
 
@@ -93,7 +100,7 @@ class BinaryOp(Expression):
         return f"({self.left} {self.op} {self.right})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UnaryOp(Expression):
     """A unary operation: ``NOT expr`` or ``-expr``."""
 
@@ -107,7 +114,7 @@ class UnaryOp(Expression):
         return f"({self.op} {self.operand})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FunctionCall(Expression):
     """A function application, including aggregates like ``count(distinct x)``."""
 
@@ -131,7 +138,7 @@ class FunctionCall(Expression):
         return f"{self.name.lower()}({inner})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IsNull(Expression):
     """``expr IS [NOT] NULL``."""
 
@@ -146,7 +153,7 @@ class IsNull(Expression):
         return f"({self.operand} {tail})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Between(Expression):
     """``expr [NOT] BETWEEN low AND high``."""
 
@@ -165,7 +172,7 @@ class Between(Expression):
         return f"({self.operand} {word} {self.low} AND {self.high})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InList(Expression):
     """``expr [NOT] IN (value, value, ...)`` with literal values."""
 
@@ -183,7 +190,7 @@ class InList(Expression):
         return f"({self.operand} {word} ({inner}))"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InSubquery(Expression):
     """``expr [NOT] IN (SELECT ...)`` — the nesting connector of query Q5."""
 
@@ -200,7 +207,7 @@ class InSubquery(Expression):
         return f"({self.operand} {word} ({self.subquery}))"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Exists(Expression):
     """``[NOT] EXISTS (SELECT ...)`` — the connector of query Q6."""
 
@@ -215,7 +222,7 @@ class Exists(Expression):
         return f"({word} ({self.subquery}))"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QuantifiedComparison(Expression):
     """``expr op ALL/ANY (SELECT ...)`` — the connector of query Q9."""
 
@@ -232,7 +239,7 @@ class QuantifiedComparison(Expression):
         return f"({self.operand} {self.op} {self.quantifier} ({self.subquery}))"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScalarSubquery(Expression):
     """A subquery used as a scalar value, e.g. in Q7's HAVING clause."""
 
@@ -245,7 +252,7 @@ class ScalarSubquery(Expression):
         return f"({self.subquery})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CaseExpression(Expression):
     """``CASE WHEN cond THEN value ... [ELSE value] END``."""
 
@@ -274,7 +281,7 @@ class CaseExpression(Expression):
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SelectItem(Node):
     """One entry of the select list: an expression with an optional alias."""
 
@@ -299,7 +306,7 @@ class SelectItem(Node):
         return str(self.expression)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TableRef(Node):
     """A FROM-clause entry: relation name plus optional alias (tuple variable)."""
 
@@ -315,7 +322,7 @@ class TableRef(Node):
         return f"{self.name} {self.alias}" if self.alias else self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OrderItem(Node):
     """One ORDER BY entry."""
 
@@ -332,8 +339,10 @@ class OrderItem(Node):
 class Statement(Node):
     """Base class for executable statements."""
 
+    __slots__ = ()
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, slots=True)
 class SelectStatement(Statement):
     """A SELECT query with the full clause structure of Figure 2."""
 
@@ -411,7 +420,7 @@ def _walk_without_subqueries(
         yield from _walk_without_subqueries(child)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InsertStatement(Statement):
     """``INSERT INTO table (cols) VALUES (...), (...)``."""
 
@@ -424,7 +433,7 @@ class InsertStatement(Statement):
             yield from row
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UpdateStatement(Statement):
     """``UPDATE table SET col = expr, ... [WHERE cond]``."""
 
@@ -440,7 +449,7 @@ class UpdateStatement(Statement):
             yield self.where
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeleteStatement(Statement):
     """``DELETE FROM table [WHERE cond]``."""
 
@@ -453,7 +462,7 @@ class DeleteStatement(Statement):
             yield self.where
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CreateViewStatement(Statement):
     """``CREATE VIEW name AS SELECT ...``."""
 

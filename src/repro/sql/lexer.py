@@ -1,12 +1,34 @@
-"""Hand-written lexer for the SQL dialect used throughout the paper."""
+"""Lexers for the SQL dialect used throughout the paper.
+
+Two implementations produce identical token streams:
+
+* :class:`RegexLexer` — the production tokenizer.  One precompiled
+  master regex (module level, compiled once per process) classifies each
+  lexeme in a single ``match`` call, and the keyword table is interned so
+  KEYWORD tokens share canonical string objects.  This is the
+  narration-front-end analogue of ``repro/engine/compile.py``: the
+  dispatch work the character lexer re-does per character is resolved
+  once, at regex-compile time.
+* :class:`Lexer` — the original hand-written character-by-character
+  lexer, kept as the differential oracle.  ``tests/test_narration_frontend.py``
+  asserts both produce the same tokens (values, types and positions) and
+  the same errors on every query the repository ships.
+
+``tokenize`` uses the regex lexer; ``tokenize_reference`` uses the
+character lexer.  ``use_reference_lexer`` switches the default for a
+scope, which the benchmarks use to measure the interpreted front end.
+"""
 
 from __future__ import annotations
 
-from typing import List
+import re
+from contextlib import contextmanager
+from typing import Iterator, List
 
 from repro.errors import SqlLexError
 from repro.sql.tokens import (
     KEYWORDS,
+    KEYWORD_SPELLINGS,
     MULTI_CHAR_OPERATORS,
     PUNCTUATION,
     SINGLE_CHAR_OPERATORS,
@@ -23,6 +45,9 @@ class Lexer:
     float literals, identifiers (optionally double-quoted), the keyword set
     in :mod:`repro.sql.tokens`, comparison/arithmetic operators, and
     ``--``/``/* */`` comments.
+
+    This is the original character-by-character implementation, retained
+    as the differential oracle for :class:`RegexLexer`.
     """
 
     def __init__(self, text: str) -> None:
@@ -162,6 +187,192 @@ class Lexer:
         return Token(TokenType.IDENTIFIER, text, line, column)
 
 
+# ---------------------------------------------------------------------------
+# Regex lexer
+# ---------------------------------------------------------------------------
+
+#: The master lexeme pattern.  Alternation order matters: comments before
+#: the ``-``/``/`` operators, multi-character operators before their
+#: single-character prefixes, and ``.5``-style numbers before the ``.``
+#: punctuation.  Strings use the ``body (?:'' body)*`` shape so doubled
+#: quotes extend the literal without any backtracking blow-up, and the
+#: trailing ``(?!')`` keeps a lone trailing quote from closing early —
+#: matching the character lexer's escape-first behaviour on malformed
+#: input such as ``'abc''`` (whole literal unterminated, not ``'abc'``
+#: followed by a stray quote).
+_MASTER_RE = re.compile(
+    r"""
+    \s*(?:
+      (?P<word>[^\W\d]\w*)
+    | (?P<punct>[(),;])
+    | (?P<number>\d+(?:\.\d+)?|\.\d+)
+    | (?P<dot>\.)
+    | (?P<string>'[^']*(?:''[^']*)*'(?!'))
+    | (?P<qident>"[^"]*")
+    | (?P<lcomment>--[^\n]*)
+    | (?P<bcomment>/\*(?:[^*]|\*(?!/))*\*/)
+    | (?P<bcomment_open>/\*)
+    | (?P<op><>|!=|<=|>=|\|\||[=<>+\-*/%])
+    )
+    """,
+    re.VERBOSE,
+)
+
+#: Group index → group name, so the hot loop dispatches on ``m.lastindex``
+#: without the per-match ``lastgroup`` name lookup.
+_GROUP_NAMES = {index: name for name, index in _MASTER_RE.groupindex.items()}
+
+_KEYWORD = TokenType.KEYWORD
+_IDENTIFIER = TokenType.IDENTIFIER
+_NUMBER = TokenType.NUMBER
+_STRING = TokenType.STRING
+_OPERATOR = TokenType.OPERATOR
+_PUNCTUATION = TokenType.PUNCTUATION
+_EOF = TokenType.EOF
+
+
+class RegexLexer:
+    """Single-pass tokenizer over the module-level master regex.
+
+    Produces exactly the same token stream (values, types, line/column
+    positions) and the same :class:`SqlLexError` diagnostics as
+    :class:`Lexer`, in one precompiled-regex match per lexeme.
+    """
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def tokenize(self) -> List[Token]:
+        text = self.text
+        length = len(text)
+        tokens: List[Token] = []
+        append = tokens.append
+        match = _MASTER_RE.match
+        find = text.find
+        keywords = KEYWORD_SPELLINGS
+        interned = KEYWORDS
+        pos = 0
+        line = 1
+        line_start = 0
+
+        while pos < length:
+            m = match(text, pos)
+            if m is None or m.lastindex is None:
+                # Nothing (or only whitespace) matched: skip any leading
+                # whitespace by hand, then diagnose at the offending char.
+                while pos < length:
+                    ch = text[pos]
+                    if not ch.isspace():
+                        break
+                    if ch == "\n":
+                        line += 1
+                        line_start = pos + 1
+                    pos += 1
+                if pos >= length:
+                    break
+                ch = text[pos]
+                column = pos - line_start + 1
+                if ch == "'":
+                    raise SqlLexError("unterminated string literal", line, column)
+                if ch == '"':
+                    raise SqlLexError("unterminated quoted identifier", line, column)
+                raise SqlLexError(f"unexpected character {ch!r}", line, column)
+
+            index = m.lastindex
+            start = m.start(index)
+            end = m.end()
+            if start > pos and find("\n", pos, start) != -1:
+                prefix = text[pos:start]
+                line += prefix.count("\n")
+                line_start = pos + prefix.rfind("\n") + 1
+            kind = _GROUP_NAMES[index]
+            if kind == "word":
+                lexeme = m.group(index)
+                canonical = keywords.get(lexeme)
+                if canonical is not None:
+                    append(Token(_KEYWORD, canonical, line, start - line_start + 1))
+                else:
+                    upper = lexeme.upper()
+                    if upper in interned:
+                        append(Token(_KEYWORD, upper, line, start - line_start + 1))
+                    else:
+                        append(Token(_IDENTIFIER, lexeme, line, start - line_start + 1))
+            elif kind == "punct" or kind == "dot":
+                append(Token(_PUNCTUATION, text[start], line, start - line_start + 1))
+            elif kind == "op":
+                append(Token(_OPERATOR, m.group(index), line, start - line_start + 1))
+            elif kind == "number":
+                lexeme = m.group(index)
+                value = float(lexeme) if "." in lexeme else int(lexeme)
+                append(Token(_NUMBER, value, line, start - line_start + 1))
+            elif kind == "string":
+                body = text[start + 1 : end - 1]
+                if "''" in body:
+                    body = body.replace("''", "'")
+                append(Token(_STRING, body, line, start - line_start + 1))
+                if "\n" in body:
+                    lexeme = text[start:end]
+                    line += lexeme.count("\n")
+                    line_start = start + lexeme.rfind("\n") + 1
+            elif kind == "qident":
+                body = text[start + 1 : end - 1]
+                append(Token(_IDENTIFIER, body, line, start - line_start + 1))
+                if "\n" in body:
+                    line += body.count("\n")
+                    line_start = start + 2 + body.rfind("\n")
+            elif kind == "lcomment":
+                pass
+            elif kind == "bcomment":
+                if find("\n", start, end) != -1:
+                    lexeme = text[start:end]
+                    line += lexeme.count("\n")
+                    line_start = start + lexeme.rfind("\n") + 1
+            else:  # bcomment_open: unterminated block comment
+                tail = text[start:]
+                if "\n" in tail:
+                    line += tail.count("\n")
+                    line_start = start + tail.rfind("\n") + 1
+                raise SqlLexError(
+                    "unterminated block comment", line, length - line_start + 1
+                )
+            pos = end
+
+        append(Token(_EOF, "", line, pos - line_start + 1))
+        return tokens
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+_USE_REFERENCE = False
+
+
 def tokenize(text: str) -> List[Token]:
-    """Convenience wrapper: lex ``text`` into tokens."""
+    """Convenience wrapper: lex ``text`` into tokens (regex lexer)."""
+    if _USE_REFERENCE:
+        return Lexer(text).tokenize()
+    return RegexLexer(text).tokenize()
+
+
+def tokenize_reference(text: str) -> List[Token]:
+    """Lex with the character-by-character oracle lexer."""
     return Lexer(text).tokenize()
+
+
+@contextmanager
+def use_reference_lexer() -> Iterator[None]:
+    """Route :func:`tokenize` through the oracle lexer for a scope.
+
+    Used by the benchmarks to measure the interpreted front end and by
+    tests that exercise the whole pipeline against the oracle.
+    """
+    global _USE_REFERENCE
+    previous = _USE_REFERENCE
+    _USE_REFERENCE = True
+    try:
+        yield
+    finally:
+        _USE_REFERENCE = previous

@@ -32,64 +32,82 @@ class Parser:
     # Token helpers
     # ------------------------------------------------------------------
 
+    # The token stream always ends with EOF and ``pos`` never moves past
+    # it, so offset-0 peeks skip the bounds check entirely.  Keyword
+    # helpers compare token values directly: the lexer canonicalises
+    # keyword values to their interned upper-case spelling, and every
+    # caller in this module passes upper-case words.
+
     def _peek(self, offset: int = 0) -> Token:
-        index = min(self.pos + offset, len(self.tokens) - 1)
-        return self.tokens[index]
+        if offset:
+            index = min(self.pos + offset, len(self.tokens) - 1)
+            return self.tokens[index]
+        return self.tokens[self.pos]
 
     def _advance(self) -> Token:
-        token = self._peek()
+        token = self.tokens[self.pos]
         if token.type is not TokenType.EOF:
             self.pos += 1
         return token
 
     def _check_keyword(self, *words: str) -> bool:
-        return self._peek().is_keyword(*words)
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.KEYWORD:
+            return False
+        value = token.value
+        for word in words:
+            if value == word:
+                return True
+        return False
 
     def _accept_keyword(self, *words: str) -> bool:
-        if self._check_keyword(*words):
-            self._advance()
-            return True
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.KEYWORD:
+            return False
+        value = token.value
+        for word in words:
+            if value == word:
+                self.pos += 1
+                return True
         return False
 
     def _expect_keyword(self, word: str) -> Token:
-        token = self._peek()
-        if not token.is_keyword(word):
+        token = self.tokens[self.pos]
+        if token.type is not TokenType.KEYWORD or token.value != word:
             raise SqlParseError(
                 f"expected keyword {word}, found {token.value!r}", token.line, token.column
             )
-        return self._advance()
+        self.pos += 1
+        return token
 
     def _accept_punct(self, symbol: str) -> bool:
-        token = self._peek()
+        token = self.tokens[self.pos]
         if token.type is TokenType.PUNCTUATION and token.value == symbol:
-            self._advance()
+            self.pos += 1
             return True
         return False
 
     def _expect_punct(self, symbol: str) -> Token:
-        token = self._peek()
+        token = self.tokens[self.pos]
         if token.type is not TokenType.PUNCTUATION or token.value != symbol:
             raise SqlParseError(
                 f"expected {symbol!r}, found {token.value!r}", token.line, token.column
             )
-        return self._advance()
+        self.pos += 1
+        return token
+
+    _IDENTIFIER_KEYWORDS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX", "VIEW"})
 
     def _expect_identifier(self) -> str:
-        token = self._peek()
+        token = self.tokens[self.pos]
         if token.type is TokenType.IDENTIFIER:
-            self._advance()
-            return str(token.value)
+            self.pos += 1
+            value = token.value
+            return value if type(value) is str else str(value)
         # Allow non-reserved-sounding keywords (e.g. aggregate names) as identifiers.
-        if token.type is TokenType.KEYWORD and token.upper in (
-            "COUNT",
-            "SUM",
-            "AVG",
-            "MIN",
-            "MAX",
-            "VIEW",
-        ):
-            self._advance()
-            return str(token.value)
+        if token.type is TokenType.KEYWORD and token.value in self._IDENTIFIER_KEYWORDS:
+            self.pos += 1
+            return token.value
         raise SqlParseError(
             f"expected identifier, found {token.value!r}", token.line, token.column
         )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import sys
 from typing import Any
 
 
@@ -80,6 +80,17 @@ KEYWORDS = frozenset(
     }
 )
 
+#: Keyword text in its canonical (upper-case) spelling, interned so every
+#: KEYWORD token of a given word shares one string object and keyword
+#: comparisons in the parser can start with a pointer check.  The table
+#: also carries the lower-case and capitalised spellings so the lexer can
+#: resolve the common casings without calling ``str.upper`` at all.
+INTERNED_KEYWORDS = {kw: sys.intern(kw) for kw in KEYWORDS}
+KEYWORD_SPELLINGS = dict(INTERNED_KEYWORDS)
+for _kw, _interned in INTERNED_KEYWORDS.items():
+    KEYWORD_SPELLINGS.setdefault(_kw.lower(), _interned)
+    KEYWORD_SPELLINGS.setdefault(_kw.capitalize(), _interned)
+
 #: Multi-character operators, longest first so the lexer matches greedily.
 MULTI_CHAR_OPERATORS = ("<>", "!=", "<=", ">=", "||")
 
@@ -88,14 +99,22 @@ SINGLE_CHAR_OPERATORS = frozenset("=<>+-*/%")
 PUNCTUATION = frozenset("(),.;")
 
 
-@dataclass(frozen=True)
 class Token:
-    """A single lexical token with its source position (1-based)."""
+    """A single lexical token with its source position (1-based).
 
-    type: TokenType
-    value: Any
-    line: int = 1
-    column: int = 1
+    A plain ``__slots__`` class rather than a dataclass: the lexer creates
+    one of these per lexeme, so construction cost is part of the parse
+    hot path (see ``docs/performance.md``).  Equality compares all four
+    fields, matching the frozen-dataclass behaviour it replaces.
+    """
+
+    __slots__ = ("type", "value", "line", "column")
+
+    def __init__(self, type: TokenType, value: Any, line: int = 1, column: int = 1) -> None:
+        self.type = type
+        self.value = value
+        self.line = line
+        self.column = column
 
     @property
     def upper(self) -> str:
@@ -104,7 +123,36 @@ class Token:
 
     def is_keyword(self, *words: str) -> bool:
         """True when this token is one of the given keywords."""
-        return self.type is TokenType.KEYWORD and self.upper in {w.upper() for w in words}
+        if self.type is not TokenType.KEYWORD:
+            return False
+        value = self.value
+        for word in words:
+            if value == word:
+                return True
+        upper = str(value).upper()
+        for word in words:
+            if upper == word.upper():
+                return True
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (
+            self.type is other.type
+            and self.value == other.value
+            and self.line == other.line
+            and self.column == other.column
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.type, self.value, self.line, self.column))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Token(type={self.type!r}, value={self.value!r},"
+            f" line={self.line!r}, column={self.column!r})"
+        )
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return f"{self.type.value}({self.value!r})"

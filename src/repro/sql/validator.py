@@ -46,6 +46,30 @@ class ValidationResult:
             raise SqlValidationError(f"unknown table binding {binding!r}") from exc
 
 
+class _Scope:
+    """Precomputed lookup maps for one SELECT's visible bindings.
+
+    Column resolution used to rescan the binding dict per column
+    reference; the scope builds the case-insensitive alias map and the
+    unqualified-column ownership map once per SELECT instead.
+    """
+
+    __slots__ = ("visible", "lowered", "owners")
+
+    def __init__(self, visible: Dict[str, Relation]) -> None:
+        self.visible = visible
+        self.lowered: Dict[str, Tuple[str, Relation]] = {}
+        for binding, relation in visible.items():
+            self.lowered.setdefault(binding.lower(), (binding, relation))
+        owners: Dict[str, List[Tuple[str, Relation]]] = {}
+        for binding, relation in visible.items():
+            for attribute in relation.attribute_names:
+                bucket = owners.setdefault(attribute.lower(), [])
+                if not bucket or bucket[-1][0] != binding:
+                    bucket.append((binding, relation))
+        self.owners = owners
+
+
 class Validator:
     """Validate statements against a :class:`Schema`."""
 
@@ -77,25 +101,27 @@ class Validator:
         bindings = self._collect_bindings(statement)
         visible = dict(outer_bindings or {})
         visible.update(bindings)
+        scope = _Scope(visible)
 
         result = ValidationResult(statement=statement, bindings=bindings)
 
         for item in statement.select_items:
-            self._validate_expression(item.expression, visible, result)
+            self._validate_expression(item.expression, scope, result)
         if statement.where is not None:
-            self._validate_expression(statement.where, visible, result)
+            self._validate_expression(statement.where, scope, result)
         for expression in statement.group_by:
-            self._validate_expression(expression, visible, result)
+            self._validate_expression(expression, scope, result)
         if statement.having is not None:
-            self._validate_expression(statement.having, visible, result)
+            self._validate_expression(statement.having, scope, result)
         for order in statement.order_by:
-            self._validate_expression(order.expression, visible, result)
+            self._validate_expression(order.expression, scope, result)
         return result
 
     # ------------------------------------------------------------------
 
     def _collect_bindings(self, statement: ast.SelectStatement) -> Dict[str, Relation]:
         bindings: Dict[str, Relation] = {}
+        seen: set = set()
         for table in statement.from_tables:
             if not self.schema.has_relation(table.name):
                 raise SqlValidationError(
@@ -103,58 +129,59 @@ class Validator:
                 )
             relation = self.schema.relation(table.name)
             binding = table.binding
-            if binding.lower() in {b.lower() for b in bindings}:
+            if binding.lower() in seen:
                 raise SqlValidationError(
                     f"duplicate table alias {binding!r} in FROM clause"
                 )
+            seen.add(binding.lower())
             bindings[binding] = relation
         return bindings
 
     def _validate_expression(
         self,
         expression: ast.Expression,
-        visible: Dict[str, Relation],
+        scope: "_Scope",
         result: ValidationResult,
     ) -> None:
         if isinstance(expression, ast.ColumnRef):
-            result.resolved_columns.append(self._resolve_column(expression, visible))
+            result.resolved_columns.append(self._resolve_column(expression, scope))
             return
         if isinstance(expression, (ast.InSubquery, ast.Exists, ast.QuantifiedComparison, ast.ScalarSubquery)):
             if isinstance(expression, (ast.InSubquery, ast.QuantifiedComparison)):
-                self._validate_expression(expression.operand, visible, result)
-            sub_result = self.validate_select(expression.subquery, outer_bindings=visible)
+                self._validate_expression(expression.operand, scope, result)
+            sub_result = self.validate_select(expression.subquery, outer_bindings=scope.visible)
             result.subquery_results.append(sub_result)
             return
         if isinstance(expression, ast.SelectStatement):  # pragma: no cover - defensive
             result.subquery_results.append(
-                self.validate_select(expression, outer_bindings=visible)
+                self.validate_select(expression, outer_bindings=scope.visible)
             )
             return
         for child in expression.children():
             if isinstance(child, ast.Expression):
-                self._validate_expression(child, visible, result)
+                self._validate_expression(child, scope, result)
 
     def _resolve_column(
-        self, column: ast.ColumnRef, visible: Dict[str, Relation]
+        self, column: ast.ColumnRef, scope: "_Scope"
     ) -> ResolvedColumn:
         if column.table is not None:
-            relation = self._binding_relation(column.table, visible)
-            if not relation.has_attribute(column.column):
+            entry = scope.lowered.get(column.table.lower())
+            if entry is None:
+                raise SqlValidationError(f"unknown table alias {column.table!r}")
+            binding, relation = entry
+            attribute = relation._find(column.column)
+            if attribute is None:
                 raise SqlValidationError(
                     f"relation {relation.name!r} (alias {column.table!r}) has no"
                     f" attribute {column.column!r}"
                 )
             return ResolvedColumn(
-                binding=self._canonical_binding(column.table, visible),
+                binding=binding,
                 relation=relation,
-                attribute_name=relation.attribute(column.column).name,
+                attribute_name=attribute.name,
             )
 
-        matches = [
-            (binding, relation)
-            for binding, relation in visible.items()
-            if relation.has_attribute(column.column)
-        ]
+        matches = scope.owners.get(column.column.lower(), ())
         if not matches:
             raise SqlValidationError(
                 f"column {column.column!r} does not exist in any table of the query"
@@ -170,20 +197,6 @@ class Validator:
             relation=relation,
             attribute_name=relation.attribute(column.column).name,
         )
-
-    def _binding_relation(self, binding: str, visible: Dict[str, Relation]) -> Relation:
-        lowered = binding.lower()
-        for candidate, relation in visible.items():
-            if candidate.lower() == lowered:
-                return relation
-        raise SqlValidationError(f"unknown table alias {binding!r}")
-
-    def _canonical_binding(self, binding: str, visible: Dict[str, Relation]) -> str:
-        lowered = binding.lower()
-        for candidate in visible:
-            if candidate.lower() == lowered:
-                return candidate
-        return binding
 
     # ------------------------------------------------------------------
     # DML statements
@@ -218,7 +231,7 @@ class Validator:
             bindings={binding: relation},
         )
         if statement.where is not None:
-            self._validate_expression(statement.where, {binding: relation}, result)
+            self._validate_expression(statement.where, _Scope({binding: relation}), result)
         return result
 
     def _validate_delete(self, statement: ast.DeleteStatement) -> ValidationResult:
@@ -229,7 +242,7 @@ class Validator:
             bindings={binding: relation},
         )
         if statement.where is not None:
-            self._validate_expression(statement.where, {binding: relation}, result)
+            self._validate_expression(statement.where, _Scope({binding: relation}), result)
         return result
 
     def _require_relation(self, name: str) -> Relation:

@@ -30,6 +30,10 @@ class Table:
         self._next_rowid = 1
         self._version = 0
         self._indexes: Dict[str, HashIndex] = {}
+        #: Per-column NULL tallies, maintained by every mutation.  The
+        #: streaming narrator uses them to prove a heading-only fallback
+        #: clause cannot occur (no row has all narrated attributes NULL).
+        self._null_counts: Dict[str, int] = {a.name: 0 for a in relation.attributes}
         if relation.primary_key_names:
             self.create_index("pk", relation.primary_key_names, unique=True)
 
@@ -92,6 +96,9 @@ class Table:
         self._next_rowid += 1
         self._rows[rowid] = normalised
         self._version += 1
+        for column, value in normalised.items():
+            if value is None:
+                self._null_counts[column] += 1
         for index in self._indexes.values():
             index.add(index.key_for(normalised), rowid)
         return rowid
@@ -106,6 +113,9 @@ class Table:
             values = self._rows.pop(rowid, None)
             if values is None:
                 continue
+            for column, value in values.items():
+                if value is None:
+                    self._null_counts[column] -= 1
             for index in self._indexes.values():
                 index.remove(index.key_for(values), rowid)
             removed += 1
@@ -128,6 +138,11 @@ class Table:
                 )
             self._check_not_null(merged)
             self._check_unique_indexes(merged, ignore_rowid=rowid)
+            for column in merged:
+                was_null = current.get(column) is None
+                is_null = merged[column] is None
+                if was_null != is_null:
+                    self._null_counts[column] += 1 if is_null else -1
             for index in self._indexes.values():
                 index.remove(index.key_for(current), rowid)
                 index.add(index.key_for(merged), rowid)
@@ -141,8 +156,13 @@ class Table:
         """Remove every row (indexes are cleared)."""
         self._rows.clear()
         self._version += 1
+        self._null_counts = {a.name: 0 for a in self.relation.attributes}
         for index in self._indexes.values():
             index.clear()
+
+    def null_count(self, column: str) -> int:
+        """How many rows currently store NULL in ``column``."""
+        return self._null_counts[self.relation.attribute(column).name]
 
     # ------------------------------------------------------------------
     # Indexes
@@ -198,17 +218,15 @@ class Table:
             name = f"{base}~{suffix}"
 
     def lookup(self, columns: Sequence[str], values: Sequence[Any]) -> List[Row]:
-        """Fetch rows whose ``columns`` equal ``values``, using an index when possible."""
-        canonical = tuple(self.relation.attribute(c).name for c in columns)
-        index = self.find_index(canonical)
-        if index is not None:
-            return [self.row_by_id(rowid) for rowid in index.lookup(tuple(values))]
-        wanted = dict(zip(canonical, values))
-        return [
-            Row(row)
-            for row in self._rows.values()
-            if all(row.get(col) == val for col, val in wanted.items())
-        ]
+        """Fetch rows whose ``columns`` equal ``values`` through a hash index.
+
+        Self-tuning like the executor's index scans: the first lookup on a
+        column set builds the index (``ensure_index``), later lookups are
+        O(1) probes.  Rowids are monotonic, so the sorted probe result
+        preserves the insertion order the old linear scan returned.
+        """
+        index = self.ensure_index(columns)
+        return [self.row_by_id(rowid) for rowid in index.lookup(tuple(values))]
 
     def has_key(self, columns: Sequence[str], values: Sequence[Any]) -> bool:
         return bool(self.lookup(columns, values))

@@ -1,5 +1,11 @@
 """Template language: specs, paper-syntax parser and the label registry."""
 
+from repro.templates.compile import (
+    CompiledListTemplate,
+    CompiledTemplate,
+    compile_list_template,
+    compile_template,
+)
 from repro.templates.parser import parse_list_template, parse_template
 from repro.templates.registry import (
     TemplateRegistry,
@@ -20,12 +26,16 @@ from repro.templates.spec import (
 )
 
 __all__ = [
+    "CompiledListTemplate",
+    "CompiledTemplate",
     "ListTemplate",
     "SlotPart",
     "Template",
     "TemplatePart",
     "TemplateRegistry",
     "TextPart",
+    "compile_list_template",
+    "compile_template",
     "default_join_template",
     "default_projection_template",
     "default_registry",

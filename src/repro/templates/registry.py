@@ -24,18 +24,35 @@ from typing import Dict, Optional, Tuple
 from repro.catalog.relation import Relation
 from repro.catalog.schema import Schema
 from repro.errors import MissingTemplateError
+from repro.templates.compile import (
+    CompiledListTemplate,
+    CompiledTemplate,
+)
 from repro.templates.spec import ListTemplate, Template, slot, template
 
 
 class TemplateRegistry:
-    """Template labels for one schema's graph elements."""
+    """Template labels for one schema's graph elements.
 
-    def __init__(self, schema: Schema) -> None:
+    Labels are assigned once (Section 2.2), so the registry also plays the
+    role the compiled-plan cache plays on the execution side: derived
+    default labels are memoized per graph element, and every label —
+    designer-provided or derived — is compiled once into its
+    :class:`~repro.templates.compile.CompiledTemplate` form.  Pass
+    ``compile_templates=False`` to keep the interpreted path (the
+    equivalence suite narrates both ways and diffs the bytes).
+    """
+
+    def __init__(self, schema: Schema, compile_templates: bool = True) -> None:
         self.schema = schema
+        self.compile_templates = compile_templates
         self._relation_templates: Dict[str, Template] = {}
         self._projection_templates: Dict[Tuple[str, str], Template] = {}
         self._join_templates: Dict[Tuple[str, str], Template] = {}
         self._list_templates: Dict[str, ListTemplate] = {}
+        self._default_cache: Dict[Tuple, Optional[Template]] = {}
+        self._compiled: Dict[int, CompiledTemplate] = {}
+        self._compiled_lists: Dict[int, CompiledListTemplate] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -71,7 +88,12 @@ class TemplateRegistry:
         name = self._rel(relation)
         if name in self._relation_templates:
             return self._relation_templates[name]
-        return default_relation_template(self.schema.relation(name))
+        key = ("relation", name)
+        cached = self._default_cache.get(key)
+        if cached is None:
+            cached = default_relation_template(self.schema.relation(name))
+            self._default_cache[key] = cached
+        return cached
 
     def projection_template(self, relation: str, attribute: str) -> Template:
         """The phrase template for a (relation, attribute) projection edge."""
@@ -80,7 +102,12 @@ class TemplateRegistry:
         key = (rel.name, attr.name)
         if key in self._projection_templates:
             return self._projection_templates[key]
-        return default_projection_template(rel, attr.name)
+        cache_key = ("projection", rel.name, attr.name)
+        cached = self._default_cache.get(cache_key)
+        if cached is None:
+            cached = default_projection_template(rel, attr.name)
+            self._default_cache[cache_key] = cached
+        return cached
 
     def has_join_template(self, source: str, target: str) -> bool:
         """True when a designer label exists for exactly this direction."""
@@ -101,7 +128,12 @@ class TemplateRegistry:
         reverse = (key[1], key[0])
         if allow_reverse and reverse in self._join_templates:
             return self._join_templates[reverse]
-        return default_join_template(self.schema, key[0], key[1])
+        cache_key = ("join", key[0], key[1])
+        if cache_key in self._default_cache:
+            return self._default_cache[cache_key]
+        derived = default_join_template(self.schema, key[0], key[1])
+        self._default_cache[cache_key] = derived
+        return derived
 
     def list_template(self, name: str) -> ListTemplate:
         key = name.upper()
@@ -111,6 +143,32 @@ class TemplateRegistry:
 
     def has_list_template(self, name: str) -> bool:
         return name.upper() in self._list_templates
+
+    # ------------------------------------------------------------------
+    # Compiled forms
+    # ------------------------------------------------------------------
+
+    def compiled(self, label: Optional[Template]) -> Optional[CompiledTemplate]:
+        """The compiled form of ``label``, memoized; ``None`` when compilation
+        is disabled (callers then run the interpreted path) or ``label`` is
+        ``None``."""
+        if label is None or not self.compile_templates:
+            return None
+        compiled = self._compiled.get(id(label))
+        if compiled is None or compiled.template is not label:
+            compiled = CompiledTemplate(label)
+            self._compiled[id(label)] = compiled
+        return compiled
+
+    def compiled_list(self, label: Optional[ListTemplate]) -> Optional[CompiledListTemplate]:
+        """The compiled form of a list template (same contract as ``compiled``)."""
+        if label is None or not self.compile_templates:
+            return None
+        compiled = self._compiled_lists.get(id(label))
+        if compiled is None or compiled.template is not label:
+            compiled = CompiledListTemplate(label)
+            self._compiled_lists[id(label)] = compiled
+        return compiled
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
