@@ -1,0 +1,110 @@
+"""PERF — the compiled translation core vs. its interpreted oracles.
+
+Stage-split coverage of the SQL→NL hot path: table-driven Pratt parsing
+vs. the recursive-descent cascade, fused validate+build vs. the
+standalone-validator pipeline, and shape-keyed phrase-plan rendering vs.
+the full category-translator pipeline — asserting byte equivalence
+wherever both paths run.  The JSON artifact twin (with the pre-PR
+reference numbers) lives in ``run_benchmarks.py``.
+"""
+
+import pytest
+
+from repro.datasets import generate_workload, movie_schema
+from repro.query_nl.translator import QueryTranslator
+from repro.querygraph.builder import QueryGraphBuilder, use_reference_validation
+from repro.sql.lexer import tokenize
+from repro.sql.parser import Parser, ReferenceParser, parse_sql
+
+
+@pytest.fixture(scope="module")
+def workload_sql():
+    return [q.sql for q in generate_workload(queries_per_category=10, seed=42)]
+
+
+@pytest.fixture(scope="module")
+def workload_tokens(workload_sql):
+    return [tokenize(sql) for sql in workload_sql]
+
+
+@pytest.fixture(scope="module")
+def workload_statements(workload_sql):
+    return [parse_sql(sql) for sql in workload_sql]
+
+
+def test_pratt_parse_workload(benchmark, workload_tokens):
+    results = benchmark(
+        lambda: [Parser(tokens).parse_statement() for tokens in workload_tokens]
+    )
+    assert len(results) == 50
+
+
+def test_reference_parse_workload_baseline(benchmark, workload_tokens):
+    results = benchmark(
+        lambda: [ReferenceParser(tokens).parse_statement() for tokens in workload_tokens]
+    )
+    assert len(results) == 50
+
+
+def test_parsers_ast_identical(workload_sql):
+    for sql in workload_sql:
+        assert (
+            Parser(tokenize(sql)).parse_statement()
+            == ReferenceParser(tokenize(sql)).parse_statement()
+        )
+
+
+def test_fused_build_workload(benchmark, workload_statements):
+    schema = movie_schema()
+    builder = QueryGraphBuilder(schema)
+    results = benchmark(
+        lambda: [builder.build(statement) for statement in workload_statements]
+    )
+    assert len(results) == 50
+
+
+def test_reference_build_workload_baseline(benchmark, workload_statements):
+    schema = movie_schema()
+
+    def build():
+        builder = QueryGraphBuilder(schema)
+        with use_reference_validation():
+            return [builder.build(statement) for statement in workload_statements]
+
+    results = benchmark(build)
+    assert len(results) == 50
+
+
+def test_plan_translate_workload(benchmark, workload_sql):
+    schema = movie_schema()
+    warm = QueryTranslator(schema, cache_size=None)
+    for sql in workload_sql:
+        warm.translate(sql)  # compile the shape plans once
+
+    def cold():
+        translator = QueryTranslator(schema)
+        return [translator.translate(sql) for sql in workload_sql]
+
+    results = benchmark(cold)
+    assert len(results) == 50
+
+
+def test_full_pipeline_workload_baseline(benchmark, workload_sql):
+    schema = movie_schema()
+
+    def cold():
+        translator = QueryTranslator(schema, phrase_plans=False)
+        return [translator.translate(sql) for sql in workload_sql]
+
+    results = benchmark(cold)
+    assert len(results) == 50
+
+
+def test_plan_path_matches_full_pipeline(workload_sql):
+    schema = movie_schema()
+    fast = QueryTranslator(schema, cache_size=None)
+    oracle = QueryTranslator(schema, cache_size=None, phrase_plans=False)
+    for sql in workload_sql:
+        fast.translate(sql)
+    for sql in workload_sql:
+        assert fast.translate(sql) == oracle.translate(sql)

@@ -41,7 +41,13 @@ from repro.datasets import (  # noqa: E402
 from repro.engine import Executor  # noqa: E402
 from repro.nlg.document import LengthBudget  # noqa: E402
 from repro.query_nl.translator import QueryTranslator  # noqa: E402
+from repro.querygraph.builder import (  # noqa: E402
+    QueryGraphBuilder,
+    use_reference_validation,
+)
+from repro.querygraph.classify import QueryCategory, classify_graph  # noqa: E402
 from repro.sql.lexer import tokenize, tokenize_reference  # noqa: E402
+from repro.sql.parser import Parser, ReferenceParser, parse_sql  # noqa: E402
 
 #: Interpreted baselines measured per mode.  Q6 interpreted at 200 movies
 #: takes ~2 minutes per run; it is only part of the full pass.
@@ -194,6 +200,169 @@ def bench_narration(repeats: int) -> dict:
     return results
 
 
+def bench_translation_core(repeats: int) -> dict:
+    """Stage-split translation benchmark and the compiled-core speedups.
+
+    Reference numbers (``translation_reference``) were measured with this
+    exact procedure at commit 165e2bb (the PR 2 tree, before the compiled
+    translation core landed) on the reference container.  Stages are
+    measured in isolation over the 50-query generated workload: ``lex``
+    tokenizes, ``parse`` parses pre-lexed token lists, ``validate_build``
+    builds query graphs (validation fused) from pre-parsed ASTs, and
+    ``phrase_render`` classifies prebuilt graphs and runs the category
+    translators.  ``cold_translate`` is a fresh translator over the
+    workload (phrase plans are per-schema, like compiled templates);
+    ``warm_repeated_shape`` translates literal-rotated variants so the
+    exact-text LRU never hits and every query exercises the shape-keyed
+    plan path.  The in-run equivalence checks compare each fast path
+    against its interpreted oracle, and a regression guard fails the run
+    if the plan path stops beating the full pipeline.
+    """
+    reference = {
+        "lex_s": 0.0019865,
+        "parse_s": 0.0031214,
+        "validate_build_s": 0.0026911,
+        "phrase_render_s": 0.0018370,
+        "cold_translate_s": 0.0068941,
+        "cold_translate_unique_s": 0.0111934,
+        "warm_repeated_shape_s": 0.0114552,
+    }
+    schema = movie_schema()
+    workload = [q.sql for q in generate_workload(queries_per_category=10, seed=42)]
+    tokens = [tokenize(sql) for sql in workload]
+    statements = [parse_sql(sql) for sql in workload]
+
+    results: dict = {"workload_queries": len(workload)}
+    results["lex_s"] = _median_warm(lambda: [tokenize(sql) for sql in workload], repeats)
+    results["parse_s"] = _median_warm(
+        lambda: [Parser(token_list).parse_statement() for token_list in tokens], repeats
+    )
+    results["parse_reference_s"] = _median_warm(
+        lambda: [ReferenceParser(token_list).parse_statement() for token_list in tokens],
+        repeats,
+    )
+    builder = QueryGraphBuilder(schema)
+    results["validate_build_s"] = _median_warm(
+        lambda: [builder.build(statement) for statement in statements], repeats
+    )
+
+    def build_reference():
+        reference_builder = QueryGraphBuilder(schema)
+        with use_reference_validation():
+            return [reference_builder.build(statement) for statement in statements]
+
+    results["validate_build_reference_s"] = _median_warm(build_reference, repeats)
+
+    translator = QueryTranslator(schema, cache_size=None, phrase_plans=False)
+    graphs = [translator.builder.build(statement) for statement in statements]
+
+    def phrase_render():
+        rendered = []
+        for graph in graphs:
+            category = classify_graph(graph).category
+            if category in (QueryCategory.PATH, QueryCategory.SUBGRAPH, QueryCategory.GRAPH):
+                rendered.append(translator._spj.translate(graph))
+            elif category is QueryCategory.NESTED:
+                rendered.append(translator._nested.translate(graph))
+            elif category is QueryCategory.AGGREGATE:
+                rendered.append(translator._aggregate.translate(graph))
+            else:
+                rendered.append(translator._impossible.translate(graph))
+        return rendered
+
+    results["phrase_render_s"] = _median_warm(phrase_render, repeats)
+
+    results["cold_translate_s"] = _median_warm(
+        lambda: [QueryTranslator(schema).translate(sql) for sql in workload], repeats
+    )
+    results["cold_translate_unique_s"] = _median_warm(
+        lambda: [
+            QueryTranslator(schema, cache_size=None).translate(sql) for sql in workload
+        ],
+        repeats,
+    )
+    results["cold_translate_oracle_s"] = _median_warm(
+        lambda: [
+            QueryTranslator(schema, phrase_plans=False).translate(sql)
+            for sql in workload
+        ],
+        repeats,
+    )
+
+    names = [
+        "Brad Pitt", "Scarlett Johansson", "Mark Hamill",
+        "Morgan Freeman", "Woody Allen", "G. Loucas",
+    ]
+    warm_translator = QueryTranslator(schema, cache_size=None)
+    batches = [
+        [sql.replace("Brad Pitt", names[(round_number + index) % len(names)])
+         for index, sql in enumerate(workload)]
+        for round_number in range(16)
+    ]
+    round_counter = [0]
+
+    def warm_repeated_shape():
+        round_counter[0] = (round_counter[0] + 1) % len(batches)
+        return [warm_translator.translate(sql) for sql in batches[round_counter[0]]]
+
+    results["warm_repeated_shape_s"] = _median_warm(warm_repeated_shape, repeats)
+
+    results["translation_reference"] = reference
+    for key, base in reference.items():
+        results[f"speedup_{key.removesuffix('_s')}"] = round(
+            base / max(results[key], 1e-9), 1
+        )
+    results["equivalence"] = verify_translation_equivalence(schema, workload, batches)
+    # Regression guard: the shape-keyed plan path must keep beating the
+    # full pipeline on the cold workload by a comfortable margin.
+    guard_ratio = results["cold_translate_oracle_s"] / max(
+        results["cold_translate_s"], 1e-9
+    )
+    results["plan_vs_full_ratio"] = round(guard_ratio, 1)
+    if guard_ratio < 1.5:
+        raise AssertionError(
+            "translate-bench regression: plan-path cold translate is only"
+            f" {guard_ratio:.2f}x the full pipeline (expected >= 1.5x)"
+        )
+    return results
+
+
+def verify_translation_equivalence(schema, workload, variant_batches) -> dict:
+    """The translation core's three differential guarantees, checked in-run."""
+    corpus = list(PAPER_QUERIES.values()) + workload
+    for sql in corpus:
+        fast = Parser(tokenize(sql)).parse_statement()
+        slow = ReferenceParser(tokenize(sql)).parse_statement()
+        if fast != slow:
+            raise AssertionError(f"Pratt and reference parsers differ on {sql!r}")
+
+    fused_builder = QueryGraphBuilder(schema)
+    oracle_builder = QueryGraphBuilder(schema)
+    for sql in corpus:
+        fused = fused_builder.build(parse_sql(sql))
+        with use_reference_validation():
+            oracle = oracle_builder.build(parse_sql(sql))
+        if str(fused.statement) != str(oracle.statement) or sorted(
+            fused.classes
+        ) != sorted(oracle.classes):
+            raise AssertionError(f"fused and oracle builds differ on {sql!r}")
+
+    fast_translator = QueryTranslator(schema, cache_size=None)
+    oracle_translator = QueryTranslator(schema, cache_size=None, phrase_plans=False)
+    checked = 0
+    for sql in corpus + variant_batches[0] + variant_batches[1]:
+        fast = fast_translator.translate(sql)
+        slow = oracle_translator.translate(sql)
+        if fast != slow:  # compares every textual field
+            raise AssertionError(f"phrase plans and full pipeline differ on {sql!r}")
+        checked += 1
+    return {
+        "parser": f"AST-identical ({len(corpus)} queries)",
+        "fused_validation": "graphs identical to the standalone-validator pipeline",
+        "phrase_plans": f"byte-identical to the full pipeline ({checked} translations)",
+    }
+
+
 def verify_narration_equivalence(database, spec) -> dict:
     """The three front-end differential guarantees, checked in-run."""
     workload = [q.sql for q in generate_workload(queries_per_category=10, seed=42)]
@@ -283,8 +452,11 @@ def main(argv=None) -> int:
         "equivalence": verify_equivalence(),
         "databases": {},
     }
-    # The narration front end is measured first, before the minutes-long
-    # interpreted executor baselines heat the process up.
+    # The narration front end and translation core are measured first,
+    # before the minutes-long interpreted executor baselines heat the
+    # process up.
+    print("benchmarking translation core ...", flush=True)
+    summary["translation_core"] = bench_translation_core(max(5, args.repeats))
     print("benchmarking narration front end ...", flush=True)
     summary["narration_frontend"] = bench_narration(max(5, args.repeats))
     for movies in sizes:
@@ -312,6 +484,20 @@ def main(argv=None) -> int:
                     f" ({entry['speedup_warm']}x)"
                 )
     print(f"  workload: {summary['workload_50_queries']}")
+    core = summary["translation_core"]
+    print(
+        "  translation core:"
+        f" lex {core['lex_s']*1e3:.2f}ms ({core['speedup_lex']}x);"
+        f" parse {core['parse_s']*1e3:.2f}ms ({core['speedup_parse']}x);"
+        f" validate+build {core['validate_build_s']*1e3:.2f}ms"
+        f" ({core['speedup_validate_build']}x);"
+        f" phrase render {core['phrase_render_s']*1e3:.2f}ms"
+        f" ({core['speedup_phrase_render']}x);"
+        f" cold translate {core['cold_translate_s']*1e3:.2f}ms"
+        f" ({core['speedup_cold_translate']}x vs 165e2bb);"
+        f" warm repeated-shape {core['warm_repeated_shape_s']*1e3:.2f}ms"
+        f" ({core['speedup_warm_repeated_shape']}x)"
+    )
     frontend = summary["narration_frontend"]
     print(
         "  narration front end:"

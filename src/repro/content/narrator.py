@@ -21,7 +21,7 @@ document planner into a handful of high-level calls:
 
 from __future__ import annotations
 
-from typing import Any, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.content.navigation import find_by_heading, non_bridge_path, related_rows
 from repro.content.patterns import (
@@ -62,6 +62,8 @@ class ContentNarrator:
         self.spec = spec or default_spec(database.schema)
         self.profile = profile or DEFAULT_PROFILE
         self.graph = graph_for(database.schema)
+        #: (relation, partner, mode, limit, data version) -> weight histogram.
+        self._histogram_cache: Dict[Tuple, List[Tuple[float, float]]] = {}
 
     # ------------------------------------------------------------------
     # Low-level building blocks
@@ -322,15 +324,21 @@ class ContentNarrator:
             name for name in ordered if allowed is None or name in allowed
         ]
         partners = {name: self._default_partner(name) for name in active}
-        # suffix_bounds[i] = the heaviest clause any relation from i on can
-        # produce; it is the early-exit certificate for the collector.
+        # Per-relation histograms of producible clause weights (with counts)
+        # give the early-exit certificate at clause granularity: the bound
+        # attached to each streamed sentence is the heaviest weight with a
+        # non-exhausted count anywhere after it, so the collector can stop
+        # inside a relation once its heavy clauses have all been produced —
+        # which is what lets varied-weight schemas (the shipped movie spec)
+        # exit early, not only uniform-weight profiles.
+        histograms = [
+            self._clause_weight_histogram(name, partners[name], mode, tuples_limit)
+            for name in active
+        ]
         suffix_bounds: List[float] = [0.0] * (len(active) + 1)
         for index in range(len(active) - 1, -1, -1):
-            name = active[index]
-            suffix_bounds[index] = max(
-                self._max_clause_weight(name, partners[name], mode),
-                suffix_bounds[index + 1],
-            )
+            top = histograms[index][0][0] if histograms[index] else 0.0
+            suffix_bounds[index] = max(top, suffix_bounds[index + 1])
 
         if include_overview:
             text = realize_sentence(self._overview_sentence())
@@ -341,7 +349,8 @@ class ContentNarrator:
                 )
         for index, relation_name in enumerate(active):
             partner = partners[relation_name]
-            bound = suffix_bounds[index]
+            tail_bound = suffix_bounds[index + 1]
+            remaining = dict(histograms[index])
             ranked = rank_tuples(
                 self.database, relation_name, tuples_limit, self.profile
             )
@@ -349,11 +358,18 @@ class ContentNarrator:
                 for clause in self._entity_clauses(relation_name, entry.row, partner, mode):
                     text = realize_sentence(clause)
                     if text:
+                        count = remaining.get(clause.weight)
+                        if count is not None:
+                            if count <= 1:
+                                del remaining[clause.weight]
+                            elif count != float("inf"):
+                                remaining[clause.weight] = count - 1
+                        bound = max(remaining) if remaining else 0.0
                         yield (
                             PlannedSentence(
                                 text=text, weight=clause.weight, about=clause.about
                             ),
-                            bound,
+                            bound if bound > tail_bound else tail_bound,
                         )
 
     def _tuple_clause_bound(
@@ -365,66 +381,123 @@ class ContentNarrator:
         """An upper bound on the weight of any clause one tuple can yield.
 
         Full-style tuples produce attribute clauses weighted by attribute
-        weight; the heading-only fallback (weighted by relation weight)
-        only happens for a tuple whose narrated attributes are all NULL,
-        which the table's NULL tallies can rule out entirely — that is
-        what lets the bound stay at the attribute level and the streaming
-        collector exit early.  ``use_attribute_order`` must be false when
-        bounding tuples narrated *without* the spec's attribute order
-        (procedural-mode child tuples), which fall back to the default
-        descriptive-attribute set.
+        weight; an attribute whose values are currently all NULL produces
+        no clause at all, and the heading-only fallback (weighted by
+        relation weight) only happens for a tuple whose narrated
+        attributes are all NULL — both of which the table's NULL tallies
+        rule in or out without touching a row.  ``use_attribute_order``
+        must be false when bounding tuples narrated *without* the spec's
+        attribute order (procedural-mode child tuples), which fall back to
+        the default descriptive-attribute set.
         """
         relation = self.database.schema.relation(relation_name)
         relation_weight = self.profile.relation_weight(relation)
         if style is TupleStyle.HEADING_ONLY:
             return relation_weight
-        heading_name = self.profile.heading_attribute(relation)
-        order = self.spec.order_for(relation.name) if use_attribute_order else None
-        names = (
-            list(order)
-            if order is not None
-            else [
-                a.name
-                for a in relation.attributes
-                if not a.primary_key and a.name != heading_name
-            ]
-        )
+        names = self._narrated_attributes(relation, use_attribute_order)
         if not names:
             return relation_weight
-        weights = [self.profile.attribute_weight(relation, name) for name in names]
         table = self.database.table(relation.name)
+        rows = len(table)
+        weights = [
+            self.profile.attribute_weight(relation, name)
+            for name in names
+            if rows - table.null_count(name) > 0
+        ]
         fallback_possible = all(table.null_count(name) > 0 for name in names)
-        if fallback_possible:
+        if fallback_possible or not weights:
             weights.append(relation_weight)
         return max(weights)
 
-    def _max_clause_weight(
-        self, relation_name: str, partner_name: Optional[str], mode: SynthesisMode
-    ) -> float:
-        """An upper bound on the weight of any clause a relation can yield.
+    def _narrated_attributes(self, relation, use_attribute_order: bool = True):
+        heading_name = self.profile.heading_attribute(relation)
+        order = self.spec.order_for(relation.name) if use_attribute_order else None
+        if order is not None:
+            return list(order)
+        return [
+            a.name
+            for a in relation.attributes
+            if not a.primary_key and a.name != heading_name
+        ]
 
-        Entity clauses carry a tuple-clause weight of the relation itself,
-        or a relationship-sentence weight — the partner's relation weight,
-        or the narrated relation's own weight when the designer label only
-        exists for the reverse direction and the roles get swapped
-        (``patterns.relationship_sentence``) — or, in procedural mode, the
-        partner's own tuple-clause weights (narrated without the spec's
-        attribute order), so the maximum over all of those dominates
-        everything :meth:`_entity_clauses` can produce.
+    def _clause_weight_histogram(
+        self,
+        relation_name: str,
+        partner_name: Optional[str],
+        mode: SynthesisMode,
+        tuples_limit: Optional[int],
+    ) -> List[Tuple[float, float]]:
+        """``(weight, max count)`` pairs, heaviest first, for one relation.
+
+        An upper bound on the multiset of clause weights narrating the
+        relation can stream: per narrated attribute at most one clause per
+        narrated tuple and never more than its non-NULL population, the
+        heading fallback at most once per potentially all-NULL tuple, and
+        one relationship sentence per tuple (weighted by the partner's or,
+        role-swapped, the relation's own weight) only when the schema path
+        to the partner is populated at all.  Procedural-mode child detail
+        clauses are unbounded per tuple, so their weights carry an
+        infinite count — the certificate then degrades to the old
+        max-weight bound for exactly those weights.  Memoized per
+        ``Database.data_version``.
         """
-        weights = [self._tuple_clause_bound(relation_name, TupleStyle.FULL)]
-        if partner_name is not None:
-            relation = self.database.schema.relation(relation_name)
-            partner = self.database.schema.relation(partner_name)
-            weights.append(self.profile.relation_weight(partner))
-            weights.append(self.profile.relation_weight(relation))
-            if mode is SynthesisMode.PROCEDURAL:
-                weights.append(
-                    self._tuple_clause_bound(
-                        partner.name, TupleStyle.FULL, use_attribute_order=False
-                    )
-                )
-        return max(weights)
+        key = (relation_name, partner_name, mode, tuples_limit, self.database.data_version)
+        cached = self._histogram_cache.get(key)
+        if cached is not None:
+            return cached
+        schema = self.database.schema
+        relation = schema.relation(relation_name)
+        table = self.database.table(relation.name)
+        rows = len(table)
+        narrated = rows if tuples_limit is None else min(tuples_limit, rows)
+        buckets: Dict[float, float] = {}
+
+        def add(weight: float, count: float) -> None:
+            buckets[weight] = buckets.get(weight, 0) + count
+
+        if narrated:
+            names = self._narrated_attributes(relation)
+            if names:
+                min_nulls: Optional[int] = None
+                for name in names:
+                    nulls = table.null_count(name)
+                    if rows - nulls > 0:
+                        add(
+                            self.profile.attribute_weight(relation, name),
+                            min(narrated, rows - nulls),
+                        )
+                    min_nulls = nulls if min_nulls is None else min(min_nulls, nulls)
+                fallback = min(narrated, min_nulls or 0)
+                if fallback:
+                    add(self.profile.relation_weight(relation), fallback)
+            else:
+                add(self.profile.relation_weight(relation), narrated)
+            if partner_name is not None and self._partner_path_populated(
+                relation.name, partner_name
+            ):
+                partner = schema.relation(partner_name)
+                add(self.profile.relation_weight(partner), narrated)
+                add(self.profile.relation_weight(relation), narrated)
+                if mode is SynthesisMode.PROCEDURAL:
+                    infinity = float("inf")
+                    partner_table = self.database.table(partner.name)
+                    partner_rows = len(partner_table)
+                    for name in self._narrated_attributes(partner, use_attribute_order=False):
+                        if partner_rows - partner_table.null_count(name) > 0:
+                            add(self.profile.attribute_weight(partner, name), infinity)
+                    add(self.profile.relation_weight(partner), infinity)
+        histogram = sorted(buckets.items(), key=lambda item: -item[0])
+        self._histogram_cache[key] = histogram
+        if len(self._histogram_cache) > 256:
+            self._histogram_cache.clear()
+        return histogram
+
+    def _partner_path_populated(self, relation_name: str, partner_name: str) -> bool:
+        """Whether any tuple can have related partner rows at all."""
+        path = self.graph.shortest_path(relation_name, partner_name)
+        if not path:
+            return False
+        return all(len(self.database.table(name)) > 0 for name in path[1:])
 
     def narrate_schema(self) -> str:
         """A narrative describing the schema itself (Section 2.1)."""

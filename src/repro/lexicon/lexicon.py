@@ -15,6 +15,7 @@ way.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -22,9 +23,14 @@ from repro.catalog.schema import Schema
 from repro.lexicon.morphology import pluralize
 
 
-@dataclass
+@dataclass(eq=False)
 class Lexicon:
-    """Lexical choices for one schema."""
+    """Lexical choices for one schema.
+
+    Identity-based equality/hash: a lexicon is a mutable per-schema
+    registry (and a weak-dict key for the translator's plan stores), not a
+    value object.
+    """
 
     schema: Schema
     concept_overrides: Dict[str, str] = field(default_factory=dict)
@@ -35,6 +41,10 @@ class Lexicon:
     #: inside the per-constraint narration loops, so the schema/override
     #: resolution runs once per distinct key instead of once per phrase.
     _memo: Dict[Tuple, str] = field(default_factory=dict, compare=False, repr=False)
+    #: Monotonic counter bumped by every setter.  Caches keyed on lexical
+    #: output (the translator's shape-keyed phrase plans) compare versions
+    #: instead of fingerprinting the override dicts.
+    version: int = field(default=0, compare=False, repr=False)
 
     # ------------------------------------------------------------------
     # Relations
@@ -69,6 +79,7 @@ class Lexicon:
         if plural is not None:
             self.plural_overrides[rel.name] = plural
         self._memo.clear()
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Attributes
@@ -93,6 +104,7 @@ class Lexicon:
         attr = rel.attribute(attribute)
         self.caption_overrides[(rel.name, attr.name)] = caption
         self._memo.clear()
+        self.version += 1
 
     def heading_caption(self, relation: str) -> str:
         """The caption of the relation's heading attribute."""
@@ -132,6 +144,7 @@ class Lexicon:
         dst = self.schema.relation(target).name
         self.verb_overrides[(src, dst)] = verb
         self._memo.clear()
+        self.version += 1
 
     # ------------------------------------------------------------------
 
@@ -155,3 +168,24 @@ class Lexicon:
 def default_lexicon(schema: Schema) -> Lexicon:
     """A lexicon containing only metadata-derived defaults."""
     return Lexicon(schema=schema)
+
+
+#: One shared default lexicon per schema, like ``graph_for``/``builder_for``.
+#: The query translator uses this when no explicit lexicon/spec is given,
+#: so its per-schema compiled state (shape-keyed phrase plans, memoized
+#: lookups) is shared across translator instances.  Overrides applied to a
+#: shared default are therefore visible to every translator of the schema;
+#: callers needing a private lexicon should pass ``default_lexicon(schema)``
+#: explicitly.
+_SHARED_DEFAULTS: "weakref.WeakKeyDictionary[Schema, Lexicon]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def default_lexicon_for(schema: Schema) -> Lexicon:
+    """The shared metadata-derived lexicon for ``schema``."""
+    lexicon = _SHARED_DEFAULTS.get(schema)
+    if lexicon is None:
+        lexicon = Lexicon(schema=schema)
+        _SHARED_DEFAULTS[schema] = lexicon
+    return lexicon

@@ -22,7 +22,7 @@ from repro.lexicon.morphology import join_list, pluralize
 from repro.query_nl.phrases import comparison_phrase
 from repro.query_nl.procedural import procedural_translation
 from repro.query_nl.spj import SpjTranslator
-from repro.querygraph.builder import QueryGraphBuilder
+from repro.querygraph.builder import builder_for
 from repro.querygraph.model import QueryGraph
 from repro.rewrite.division import detect_division
 from repro.rewrite.unnest import flatten_in_subqueries
@@ -44,7 +44,7 @@ class NestedTranslator:
     def __init__(self, schema: Schema, lexicon: Lexicon) -> None:
         self.schema = schema
         self.lexicon = lexicon
-        self.builder = QueryGraphBuilder(schema)
+        self.builder = builder_for(schema)
         self.spj = SpjTranslator(schema, lexicon)
 
     # ------------------------------------------------------------------

@@ -6,23 +6,43 @@ category-specific translator, and returns a :class:`QueryTranslation`
 carrying the narrative, the category, the notes explaining how the
 narrative was obtained and, when a rewrite was involved (Q5), the
 rewritten SQL.
+
+Two fast paths sit in front of the full pipeline:
+
+* an exact-text LRU (translation is a pure function of schema, lexicon
+  and SQL text), and
+* shape-keyed phrase plans (:mod:`repro.query_nl.plans`): queries that
+  differ from a previously translated one only in their literal values
+  are rendered by slot substitution — no lexing into tokens, no parse, no
+  graph build.  The query graph and classification of a plan-rendered
+  translation are materialised lazily on first access.
+
+``QueryTranslator(schema, phrase_plans=False)`` is the oracle mode that
+always runs the full pipeline; the differential tests assert both modes
+agree byte-for-byte on every output field.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Union
 
 from repro.catalog.schema import Schema
 from repro.content.presets import NarrationSpec
-from repro.lexicon.lexicon import Lexicon, default_lexicon
+from repro.lexicon.lexicon import Lexicon, default_lexicon_for
 from repro.query_nl.aggregate import AggregateTranslator
 from repro.query_nl.dml import DmlTranslator
 from repro.query_nl.impossible import ImpossibleTranslator
 from repro.query_nl.nested import NestedTranslator
+from repro.query_nl.plans import (
+    UNPLANNABLE,
+    compile_plan,
+    plan_store_for,
+    render_segments,
+    shape_key,
+)
 from repro.query_nl.procedural import procedural_translation
 from repro.query_nl.spj import SpjTranslator
-from repro.querygraph.builder import QueryGraphBuilder
+from repro.querygraph.builder import builder_for
 from repro.querygraph.classify import Classification, QueryCategory, classify_graph
 from repro.querygraph.model import QueryGraph
 from repro.sql import ast
@@ -30,18 +50,66 @@ from repro.sql.parser import parse_sql
 from repro.utils.cache import LRUCache
 
 
-@dataclass
 class QueryTranslation:
-    """The result of translating one statement."""
+    """The result of translating one statement.
 
-    sql: str
-    text: str
-    category: Optional[QueryCategory] = None
-    concise: Optional[str] = None
-    notes: List[str] = field(default_factory=list)
-    rewritten_sql: Optional[str] = None
-    classification: Optional[Classification] = None
-    graph: Optional[QueryGraph] = None
+    ``graph`` and ``classification`` may be materialised lazily: a
+    translation rendered from a compiled phrase plan carries a factory
+    instead of a built graph, and only builds it when a caller actually
+    asks (the translation text itself never needs it).
+    """
+
+    __slots__ = (
+        "sql",
+        "text",
+        "category",
+        "concise",
+        "notes",
+        "rewritten_sql",
+        "_classification",
+        "_graph",
+        "_graph_factory",
+    )
+
+    def __init__(
+        self,
+        sql: str,
+        text: str,
+        category: Optional[QueryCategory] = None,
+        concise: Optional[str] = None,
+        notes: Optional[List[str]] = None,
+        rewritten_sql: Optional[str] = None,
+        classification: Optional[Classification] = None,
+        graph: Optional[QueryGraph] = None,
+        graph_factory=None,
+    ) -> None:
+        self.sql = sql
+        self.text = text
+        self.category = category
+        self.concise = concise
+        self.notes = notes if notes is not None else []
+        self.rewritten_sql = rewritten_sql
+        self._classification = classification
+        self._graph = graph
+        self._graph_factory = graph_factory
+
+    @property
+    def graph(self) -> Optional[QueryGraph]:
+        if self._graph is None and self._graph_factory is not None:
+            self._graph = self._graph_factory()
+            self._graph_factory = None
+        return self._graph
+
+    @property
+    def has_graph(self) -> bool:
+        """Whether a graph is available (built or lazily buildable)."""
+        return self._graph is not None or self._graph_factory is not None
+
+    @property
+    def classification(self) -> Optional[Classification]:
+        if self._classification is None and self.has_graph:
+            self._classification = classify_graph(self.graph)
+        return self._classification
 
     @property
     def variants(self) -> Dict[str, str]:
@@ -50,6 +118,38 @@ class QueryTranslation:
         if self.concise and self.concise != self.text:
             variants["concise"] = self.concise
         return variants
+
+    def copy(self) -> "QueryTranslation":
+        """A shallow copy whose mutable ``notes`` list is the caller's own."""
+        return QueryTranslation(
+            sql=self.sql,
+            text=self.text,
+            category=self.category,
+            concise=self.concise,
+            notes=list(self.notes),
+            rewritten_sql=self.rewritten_sql,
+            classification=self._classification,
+            graph=self._graph,
+            graph_factory=self._graph_factory,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryTranslation):
+            return NotImplemented
+        return (
+            self.sql == other.sql
+            and self.text == other.text
+            and self.category == other.category
+            and self.concise == other.concise
+            and self.notes == other.notes
+            and self.rewritten_sql == other.rewritten_sql
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"QueryTranslation(sql={self.sql!r}, text={self.text!r},"
+            f" category={self.category!r})"
+        )
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.text
@@ -64,6 +164,8 @@ class QueryTranslator:
         spec: Optional[NarrationSpec] = None,
         lexicon: Optional[Lexicon] = None,
         cache_size: Optional[int] = 512,
+        phrase_plans: bool = True,
+        verify_plans: bool = False,
     ) -> None:
         self.schema = schema
         # Translation is a pure function of (schema, lexicon, SQL text), so
@@ -77,13 +179,18 @@ class QueryTranslator:
         elif spec is not None:
             self.lexicon = spec.lexicon
         else:
-            self.lexicon = default_lexicon(schema)
-        self.builder = QueryGraphBuilder(schema)
+            # The shared per-schema default, so compiled per-schema state
+            # (phrase plans, lexicon memos) persists across translators.
+            self.lexicon = default_lexicon_for(schema)
+        self.builder = builder_for(schema)
         self._spj = SpjTranslator(schema, self.lexicon)
         self._nested = NestedTranslator(schema, self.lexicon)
         self._aggregate = AggregateTranslator(schema, self.lexicon)
         self._impossible = ImpossibleTranslator(schema, self.lexicon)
         self._dml = DmlTranslator(schema, self.lexicon)
+        self.verify_plans = verify_plans
+        self._plans = plan_store_for(self.lexicon) if phrase_plans else None
+        self._cache_lexicon_version = self.lexicon.version
 
     # ------------------------------------------------------------------
 
@@ -92,30 +199,27 @@ class QueryTranslator:
         if isinstance(sql_or_statement, str):
             sql = sql_or_statement
             if self._cache is not None:
+                # Translations are lexical output: vocabulary overrides on
+                # the (possibly shared) lexicon invalidate the exact-text
+                # LRU just like they invalidate the phrase-plan store.
+                if self._cache_lexicon_version != self.lexicon.version:
+                    self._cache.clear()
+                    self._cache_lexicon_version = self.lexicon.version
                 cached = self._cache.get(sql)
                 if cached is not None:
                     # Shallow-copy the mutable list so callers cannot
                     # corrupt the cached translation.
-                    return replace(cached, notes=list(cached.notes))
-            statement = parse_sql(sql_or_statement)
-        else:
-            statement = sql_or_statement
-            sql = str(statement) if isinstance(statement, ast.SelectStatement) else ""
-
-        if not isinstance(statement, ast.SelectStatement):
-            translation = QueryTranslation(
-                sql=sql,
-                text=self._dml.translate(statement),
-                notes=["data-manipulation statement"],
-            )
-        else:
-            translation = self._translate_select(sql, statement)
-        if self._cache is not None and isinstance(sql_or_statement, str):
-            # Cache the pristine original and hand the caller the copy, so
-            # every lookup — hit or miss — performs exactly one copy.
-            self._cache.put(sql, translation)
-            return replace(translation, notes=list(translation.notes))
-        return translation
+                    return cached.copy()
+            translation = self._translate_text(sql)
+            if self._cache is not None:
+                # Cache the pristine original and hand the caller the copy, so
+                # every lookup — hit or miss — performs exactly one copy.
+                self._cache.put(sql, translation)
+                return translation.copy()
+            return translation
+        statement = sql_or_statement
+        sql = str(statement) if isinstance(statement, ast.SelectStatement) else ""
+        return self._translate_statement(sql, statement)
 
     def translate_procedurally(
         self, sql_or_statement: Union[str, ast.SelectStatement]
@@ -138,6 +242,75 @@ class QueryTranslator:
         )
 
     # ------------------------------------------------------------------
+    # Shape-keyed phrase plans
+    # ------------------------------------------------------------------
+
+    def _translate_text(self, sql: str) -> QueryTranslation:
+        plans = self._plans
+        compile_key = None
+        if plans is not None:
+            keyed = shape_key(sql)
+            if keyed is not None:
+                shape, guards, literals = keyed
+                key = (shape, guards)
+                plan = plans.lookup(self.lexicon, key)
+                if plan is not None and plan is not UNPLANNABLE:
+                    plans.hits += 1
+                    rendered = self._render_plan(plan, sql, literals)
+                    if self.verify_plans:
+                        self._verify_plan_hit(rendered, sql)
+                    return rendered
+                plans.misses += 1
+                if plan is None:
+                    compile_key = (key, shape, guards, literals)
+        translation = self._translate_statement(sql, parse_sql(sql))
+        if compile_key is not None:
+            key, shape, guards, literals = compile_key
+            plan = compile_plan(translation, literals, guards, shape, self._probe_translate)
+            plans.store(self.lexicon, key, plan if plan is not None else UNPLANNABLE)
+        return translation
+
+    def _probe_translate(self, sql: str) -> QueryTranslation:
+        """One full-pipeline translation (no caches, no plans) for the probe."""
+        return self._translate_statement(sql, parse_sql(sql))
+
+    def _render_plan(self, plan, sql: str, literals) -> QueryTranslation:
+        graph_factory = None
+        if plan.had_graph:
+            builder = self.builder
+
+            def graph_factory(_sql=sql, _builder=builder):
+                return _builder.build(parse_sql(_sql))
+
+        return QueryTranslation(
+            sql=sql,
+            text=render_segments(plan.text, literals),
+            category=plan.category,
+            concise=render_segments(plan.concise, literals),
+            notes=[render_segments(note, literals) for note in plan.notes],
+            rewritten_sql=render_segments(plan.rewritten_sql, literals),
+            graph_factory=graph_factory,
+        )
+
+    def _verify_plan_hit(self, rendered: QueryTranslation, sql: str) -> None:
+        """Assert a plan-rendered translation equals the full pipeline's."""
+        oracle = self._probe_translate(sql)
+        if rendered != oracle:  # compares every textual field
+            raise AssertionError(
+                f"phrase plan diverged from the full pipeline on {sql!r}:"
+                f" {rendered!r} != {oracle!r}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def _translate_statement(self, sql: str, statement: ast.Statement) -> QueryTranslation:
+        if not isinstance(statement, ast.SelectStatement):
+            return QueryTranslation(
+                sql=sql,
+                text=self._dml.translate(statement),
+                notes=["data-manipulation statement"],
+            )
+        return self._translate_select(sql, statement)
 
     def _translate_select(self, sql: str, statement: ast.SelectStatement) -> QueryTranslation:
         graph = self.builder.build(statement)

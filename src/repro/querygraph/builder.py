@@ -1,9 +1,22 @@
-"""Build a :class:`QueryGraph` from a parsed (and validated) SELECT statement."""
+"""Build a :class:`QueryGraph` from a parsed SELECT statement.
+
+Validation is *fused* into the graph-build pass: the builder used to run
+:class:`repro.sql.validator.Validator` over every expression and then walk
+the exact same expressions again to distribute them over the graph.  The
+fused pass resolves each column reference once — the probe that decides
+where a conjunct belongs is the same probe that raises the validator's
+errors — and nested subqueries are validated by their own (nested) build.
+The standalone validator is retained as the differential oracle:
+``use_reference_validation()`` switches a scope back to the two-pass
+pipeline, and the test suite asserts that both modes produce identical
+graphs on valid statements and identical error objects on invalid ones.
+"""
 
 from __future__ import annotations
 
 import weakref
-from typing import Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.catalog.schema import Schema
 from repro.errors import SqlValidationError
@@ -11,6 +24,7 @@ from repro.sql import ast
 from repro.sql.parser import parse_select
 from repro.sql.printer import expression_to_sql
 from repro.sql.validator import Validator
+from repro.utils.cache import LRUCache
 from repro.querygraph.model import (
     Constraint,
     NestingEdge,
@@ -20,15 +34,58 @@ from repro.querygraph.model import (
     SelectEntry,
 )
 
+_REFERENCE_VALIDATION = False
+
+
+@contextmanager
+def use_reference_validation() -> Iterator[None]:
+    """Route graph builds through the standalone-validator oracle for a scope.
+
+    Used by the benchmarks to measure the two-pass front end and by the
+    differential tests that compare fused and oracle error objects.
+    """
+    global _REFERENCE_VALIDATION
+    previous = _REFERENCE_VALIDATION
+    _REFERENCE_VALIDATION = True
+    try:
+        yield
+    finally:
+        _REFERENCE_VALIDATION = previous
+
+
+class _FusedScope:
+    """Precomputed lookup maps for one SELECT's *visible* bindings.
+
+    Mirrors ``repro.sql.validator._Scope`` exactly (construction order and
+    all), but is memoized per visible-binding shape by the builder, so
+    queries repeating a FROM shape skip map construction entirely.
+    """
+
+    __slots__ = ("visible_items", "lowered", "owners")
+
+    def __init__(self, visible_items: Tuple[Tuple[str, object], ...]) -> None:
+        self.visible_items = visible_items
+        lowered: Dict[str, Tuple[str, object]] = {}
+        for binding, relation in visible_items:
+            lowered.setdefault(binding.lower(), (binding, relation))
+        self.lowered = lowered
+        owners: Dict[str, List[Tuple[str, object]]] = {}
+        for binding, relation in visible_items:
+            for attribute in relation.attribute_names:
+                bucket = owners.setdefault(attribute.lower(), [])
+                if not bucket or bucket[-1][0] != binding:
+                    bucket.append((binding, relation))
+        self.owners = owners
+
 
 class QueryGraphBuilder:
     """Translate SELECT ASTs into the UML-style query graph of Section 3.2.
 
-    The builder is stateful per schema: relation lookups are memoized and
-    each ``build`` precomputes the statement's binding maps (lowered
-    alias table, unqualified-column ownership) once instead of re-deriving
-    them per conjunct — the front-end analogue of the executor's
-    pre-resolved column slots.
+    The builder is stateful per schema: relation lookups, FK pairs,
+    per-FROM-shape binding maps and per-visible-shape validation scopes
+    are all memoized, and each ``build`` performs the fused
+    validate-and-distribute pass described in the module docstring — the
+    front-end analogue of the executor's pre-resolved column slots.
     """
 
     def __init__(self, schema: Schema) -> None:
@@ -37,6 +94,12 @@ class QueryGraphBuilder:
         self._relation_cache: Dict[str, object] = {}
         self._fk_pair_cache: Dict[Tuple[str, str], frozenset] = {}
         self._binding_state: List[Tuple[Dict[str, str], Dict[str, List[str]]]] = []
+        # Bounded: the convenience builder is shared process-wide per
+        # schema, so unbounded per-shape memos would be a slow leak
+        # under workloads with ever-fresh alias sets.
+        self._binding_state_cache = LRUCache(512)
+        self._scopes: List[_FusedScope] = []
+        self._scope_cache = LRUCache(512)
 
     def _relation(self, name: str):
         relation = self._relation_cache.get(name)
@@ -55,51 +118,202 @@ class QueryGraphBuilder:
               _validated: bool = False) -> QueryGraph:
         """Build the query graph; nested queries become nested graphs.
 
-        ``_validated`` is set by :meth:`_nesting_edge` for subqueries: the
-        outer ``validate_select`` already validated them recursively with
-        the same visible bindings, so re-validating would only repeat work.
+        In fused mode (the default) semantic validation happens inside the
+        distribution walk below.  In reference mode the standalone
+        validator runs first; ``_validated`` is then set by
+        :meth:`_nesting_edge` for subqueries, whose outer
+        ``validate_select`` already validated them recursively.
         """
-        if not _validated:
+        fused = not _REFERENCE_VALIDATION
+        if not fused and not _validated:
             self.validator.validate_select(
                 statement, outer_bindings=self._outer_relations(outer_bindings)
             )
         graph = QueryGraph(statement=statement, depth=depth)
 
+        binding_map = self._collect_bindings_checked(statement)
         binding_relations: Dict[str, str] = {}
-        for table in statement.from_tables:
-            relation = self._relation(table.name)
-            binding = table.binding
+        for binding, relation in binding_map.items():
             binding_relations[binding] = relation.name
             graph.classes[binding] = QueryClass(binding=binding, relation_name=relation.name)
         self._push_binding_state(binding_relations)
+        if fused:
+            outer_items = self._outer_scope_items(outer_bindings)
+            self._scopes.append(self._scope_for(outer_items, binding_map))
 
+        # Clause order matches the validator's traversal (select, where,
+        # group, having, order) so the fused pass surfaces the same first
+        # error the two-pass pipeline would.
         try:
             self._distribute_select(statement, graph, binding_relations)
             self._distribute_where(statement, graph, binding_relations, outer_bindings)
-            self._distribute_group_order(statement, graph, binding_relations)
+            self._distribute_group(statement, graph, binding_relations)
             self._distribute_having(statement, graph, binding_relations, outer_bindings)
+            self._distribute_order(statement, graph, binding_relations)
         finally:
             self._pop_binding_state()
+            if fused:
+                self._scopes.pop()
         return graph
 
     # ------------------------------------------------------------------
-    # Per-statement binding state
+    # Fused validation: scopes, column checks and the combined walk
+    # ------------------------------------------------------------------
+
+    def _collect_bindings_checked(self, statement: ast.SelectStatement) -> Dict[str, object]:
+        """FROM-clause bindings with the validator's exact error objects."""
+        bindings: Dict[str, object] = {}
+        seen: set = set()
+        for table in statement.from_tables:
+            if not self.schema.has_relation(table.name):
+                raise SqlValidationError(
+                    f"unknown relation {table.name!r} in FROM clause"
+                )
+            relation = self._relation(table.name)
+            binding = table.binding
+            lowered = binding.lower()
+            if lowered in seen:
+                raise SqlValidationError(
+                    f"duplicate table alias {binding!r} in FROM clause"
+                )
+            seen.add(lowered)
+            bindings[binding] = relation
+        return bindings
+
+    def _outer_scope_items(
+        self, outer_bindings: Optional[Dict[str, str]]
+    ) -> Tuple[Tuple[str, object], ...]:
+        if not outer_bindings:
+            return ()
+        return tuple(
+            (binding, self._relation(relation))
+            for binding, relation in outer_bindings.items()
+        )
+
+    def _scope_for(
+        self,
+        outer_items: Tuple[Tuple[str, object], ...],
+        local_map: Dict[str, object],
+    ) -> _FusedScope:
+        merged: Dict[str, object] = dict(outer_items)
+        merged.update(local_map)
+        items = tuple(merged.items())
+        key = tuple((binding, relation.name) for binding, relation in items)
+        scope = self._scope_cache.get(key)
+        if scope is None:
+            scope = _FusedScope(items)
+            self._scope_cache.put(key, scope)
+        return scope
+
+    def _check_column(self, column: ast.ColumnRef, scope: _FusedScope) -> None:
+        """Resolve one column reference, raising the validator's errors."""
+        if column.table is not None:
+            entry = scope.lowered.get(column.table.lower())
+            if entry is None:
+                raise SqlValidationError(f"unknown table alias {column.table!r}")
+            binding, relation = entry
+            if relation._find(column.column) is None:
+                raise SqlValidationError(
+                    f"relation {relation.name!r} (alias {column.table!r}) has no"
+                    f" attribute {column.column!r}"
+                )
+            return
+        matches = scope.owners.get(column.column.lower(), ())
+        if not matches:
+            raise SqlValidationError(
+                f"column {column.column!r} does not exist in any table of the query"
+            )
+        if len(matches) > 1:
+            candidates = ", ".join(f"{b}.{column.column}" for b, _ in matches)
+            raise SqlValidationError(
+                f"column reference {column.column!r} is ambiguous ({candidates})"
+            )
+
+    def _walk_validate(
+        self,
+        expression: ast.Expression,
+        scope: _FusedScope,
+        collector: List[ast.ColumnRef],
+    ) -> None:
+        """One walk doing the validator's checks *and* column collection."""
+        if isinstance(expression, ast.ColumnRef):
+            self._check_column(expression, scope)
+            collector.append(expression)
+            return
+        if isinstance(
+            expression,
+            (ast.InSubquery, ast.Exists, ast.QuantifiedComparison, ast.ScalarSubquery),
+        ):
+            if isinstance(expression, (ast.InSubquery, ast.QuantifiedComparison)):
+                self._walk_validate(expression.operand, scope, collector)
+            self._validate_subselect(expression.subquery, scope, collector)
+            return
+        if isinstance(expression, ast.SelectStatement):  # pragma: no cover - defensive
+            self._validate_subselect(expression, scope, collector)
+            return
+        for child in expression.children():
+            if isinstance(child, ast.Expression):
+                self._walk_validate(child, scope, collector)
+
+    def _validate_subselect(
+        self,
+        statement: ast.SelectStatement,
+        outer_scope: _FusedScope,
+        collector: List[ast.ColumnRef],
+    ) -> None:
+        """Validate a subquery that does not become a nested graph.
+
+        Conjunct-level subqueries (IN/EXISTS/quantified/scalar connectors)
+        are validated by their own nested ``build``; this path covers
+        subqueries in other positions (select list, inside OR, order by).
+        The collector keeps accumulating column references so the outer
+        placement walk sees exactly what ``ast.column_refs`` used to see.
+        """
+        bindings = self._collect_bindings_checked(statement)
+        scope = self._scope_for(outer_scope.visible_items, bindings)
+        for item in statement.select_items:
+            self._walk_validate(item.expression, scope, collector)
+        if statement.where is not None:
+            self._walk_validate(statement.where, scope, collector)
+        for expression in statement.group_by:
+            self._walk_validate(expression, scope, collector)
+        if statement.having is not None:
+            self._walk_validate(statement.having, scope, collector)
+        for order in statement.order_by:
+            self._walk_validate(order.expression, scope, collector)
+
+    def _analyse(self, expression: ast.Expression) -> List[ast.ColumnRef]:
+        """Column references of ``expression``, validating them in fused mode."""
+        if self._scopes:
+            collector: List[ast.ColumnRef] = []
+            self._walk_validate(expression, self._scopes[-1], collector)
+            return collector
+        return list(ast.column_refs(expression))
+
+    # ------------------------------------------------------------------
+    # Per-statement binding state (placement maps, local bindings only)
     # ------------------------------------------------------------------
 
     def _push_binding_state(self, binding_relations: Dict[str, str]) -> None:
         """Precompute the lowered alias map and unqualified-column owners.
 
         Nested queries build their own graphs re-entrantly while the outer
-        build is in flight, so the state lives on a stack.
+        build is in flight, so the state lives on a stack.  States are
+        memoized per FROM shape: the maps are read-only after construction.
         """
-        lowered = {binding.lower(): binding for binding in binding_relations}
-        owners: Dict[str, List[str]] = {}
-        for binding, relation_name in binding_relations.items():
-            for attribute in self._relation(relation_name).attribute_names:
-                bucket = owners.setdefault(attribute.lower(), [])
-                if not bucket or bucket[-1] != binding:
-                    bucket.append(binding)
-        self._binding_state.append((lowered, owners))
+        key = tuple(binding_relations.items())
+        state = self._binding_state_cache.get(key)
+        if state is None:
+            lowered = {binding.lower(): binding for binding in binding_relations}
+            owners: Dict[str, List[str]] = {}
+            for binding, relation_name in binding_relations.items():
+                for attribute in self._relation(relation_name).attribute_names:
+                    bucket = owners.setdefault(attribute.lower(), [])
+                    if not bucket or bucket[-1] != binding:
+                        bucket.append(binding)
+            state = (lowered, owners)
+            self._binding_state_cache.put(key, state)
+        self._binding_state.append(state)
 
     def _pop_binding_state(self) -> None:
         self._binding_state.pop()
@@ -117,7 +331,8 @@ class QueryGraphBuilder:
         for item in statement.select_items:
             expression = item.expression
             if isinstance(expression, ast.ColumnRef):
-                binding = self._binding_of(expression, binding_relations)
+                self._analyse(expression)
+                binding = self._binding_of(expression)
                 if binding is None:
                     graph.other_constraints.append(Constraint.from_expression(expression))
                     continue
@@ -132,8 +347,9 @@ class QueryGraphBuilder:
                     )
                 )
             elif isinstance(expression, ast.FunctionCall) and expression.is_aggregate:
+                columns = self._analyse(expression)
                 rendered = str(expression)
-                target = self._aggregate_binding(expression, binding_relations)
+                target = self._aggregate_binding(columns, binding_relations)
                 if target is not None:
                     graph.classes[target].aggregate_entries.append(rendered)
                 else:
@@ -153,10 +369,11 @@ class QueryGraphBuilder:
                             )
                         )
             else:
+                self._analyse(expression)
                 graph.other_constraints.append(Constraint.from_expression(expression))
 
     def _aggregate_binding(
-        self, aggregate: ast.FunctionCall, binding_relations: Dict[str, str]
+        self, columns: List[ast.ColumnRef], binding_relations: Dict[str, str]
     ) -> Optional[str]:
         """The class an aggregate belongs to: the single binding it references.
 
@@ -165,11 +382,9 @@ class QueryGraphBuilder:
         only when the argument names it.
         """
         referenced = {
-            column.table
-            for column in ast.column_refs(aggregate)
-            if column.table is not None
+            column.table.lower() for column in columns if column.table is not None
         }
-        matches = [b for b in binding_relations if b.lower() in {r.lower() for r in referenced}]
+        matches = [b for b in binding_relations if b.lower() in referenced]
         if len(matches) == 1:
             return matches[0]
         return None
@@ -211,7 +426,8 @@ class QueryGraphBuilder:
             graph.nesting_edges.append(nested)
             return
 
-        referenced = self._referenced_bindings(conjunct, binding_relations)
+        columns = self._analyse(conjunct)
+        referenced = self._referenced_bindings(columns)
 
         if len(referenced) == 2 and isinstance(conjunct, ast.BinaryOp) and not in_having:
             left, right = sorted(referenced)
@@ -244,39 +460,49 @@ class QueryGraphBuilder:
         outer_bindings: Optional[Dict[str, str]],
         in_having: bool,
     ) -> Optional[NestingEdge]:
-        """Build a nesting edge when the conjunct contains a subquery connector."""
+        """Build a nesting edge when the conjunct contains a subquery connector.
+
+        Operands and subqueries are analysed in the validator's traversal
+        order (left before right, operand before subquery) so the fused
+        pass reports the same first error the oracle would.
+        """
+        visible = dict(outer_bindings or {})
+        visible.update(binding_relations)
+
         connector: Optional[str] = None
-        subquery: Optional[ast.SelectStatement] = None
+        subgraph: Optional[QueryGraph] = None
         outer_binding: Optional[str] = None
+
+        def nested_build(subquery: ast.SelectStatement) -> QueryGraph:
+            return self.build(
+                subquery, depth=graph.depth + 1, outer_bindings=visible, _validated=True
+            )
 
         if isinstance(conjunct, ast.InSubquery):
             connector = "NOT IN" if conjunct.negated else "IN"
-            subquery = conjunct.subquery
-            outer_binding = self._first_binding(conjunct.operand, binding_relations)
+            outer_binding = self._first_binding(self._analyse(conjunct.operand))
+            subgraph = nested_build(conjunct.subquery)
         elif isinstance(conjunct, ast.Exists):
             connector = "NOT EXISTS" if conjunct.negated else "EXISTS"
-            subquery = conjunct.subquery
+            subgraph = nested_build(conjunct.subquery)
         elif isinstance(conjunct, ast.QuantifiedComparison):
             connector = f"{conjunct.op} {conjunct.quantifier}"
-            subquery = conjunct.subquery
-            outer_binding = self._first_binding(conjunct.operand, binding_relations)
+            outer_binding = self._first_binding(self._analyse(conjunct.operand))
+            subgraph = nested_build(conjunct.subquery)
         elif isinstance(conjunct, ast.BinaryOp):
-            for side in (conjunct.left, conjunct.right):
-                if isinstance(side, ast.ScalarSubquery):
-                    connector = f"SCALAR {conjunct.op}"
-                    subquery = side.subquery
-                    other_side = conjunct.left if side is conjunct.right else conjunct.right
-                    outer_binding = self._first_binding(other_side, binding_relations)
-                    break
+            left, right = conjunct.left, conjunct.right
+            if isinstance(left, ast.ScalarSubquery):
+                connector = f"SCALAR {conjunct.op}"
+                subgraph = nested_build(left.subquery)
+                outer_binding = self._first_binding(self._analyse(right))
+            elif isinstance(right, ast.ScalarSubquery):
+                connector = f"SCALAR {conjunct.op}"
+                outer_binding = self._first_binding(self._analyse(left))
+                subgraph = nested_build(right.subquery)
 
-        if connector is None or subquery is None:
+        if connector is None or subgraph is None:
             return None
 
-        visible = dict(outer_bindings or {})
-        visible.update(binding_relations)
-        subgraph = self.build(
-            subquery, depth=graph.depth + 1, outer_bindings=visible, _validated=True
-        )
         return NestingEdge(
             connector=connector,
             subgraph=subgraph,
@@ -289,21 +515,28 @@ class QueryGraphBuilder:
     # GROUP BY / ORDER BY notes
     # ------------------------------------------------------------------
 
-    def _distribute_group_order(
+    def _distribute_group(
         self,
         statement: ast.SelectStatement,
         graph: QueryGraph,
         binding_relations: Dict[str, str],
     ) -> None:
         for expression in statement.group_by:
-            binding = self._first_binding(expression, binding_relations)
+            binding = self._first_binding(self._analyse(expression))
             rendered = expression_to_sql(expression, top_level=True)
             if binding is not None:
                 graph.classes[binding].group_by.append(rendered)
             else:
                 graph.other_constraints.append(Constraint.from_expression(expression))
+
+    def _distribute_order(
+        self,
+        statement: ast.SelectStatement,
+        graph: QueryGraph,
+        binding_relations: Dict[str, str],
+    ) -> None:
         for order in statement.order_by:
-            binding = self._first_binding(order.expression, binding_relations)
+            binding = self._first_binding(self._analyse(order.expression))
             rendered = expression_to_sql(order.expression, top_level=True)
             if order.descending:
                 rendered += " DESC"
@@ -322,12 +555,10 @@ class QueryGraphBuilder:
             for binding, relation in outer_bindings.items()
         }
 
-    def _referenced_bindings(
-        self, expression: ast.Expression, binding_relations: Dict[str, str]
-    ) -> set:
+    def _referenced_bindings(self, columns: List[ast.ColumnRef]) -> set:
         lowered, owners = self._binding_state[-1]
         found = set()
-        for column in ast.column_refs(expression):
+        for column in columns:
             if column.table is not None:
                 binding = lowered.get(column.table.lower())
                 if binding is not None:
@@ -338,9 +569,7 @@ class QueryGraphBuilder:
                     found.add(owning[0])
         return found
 
-    def _binding_of(
-        self, column: ast.ColumnRef, binding_relations: Dict[str, str]
-    ) -> Optional[str]:
+    def _binding_of(self, column: ast.ColumnRef) -> Optional[str]:
         lowered, owners = self._binding_state[-1]
         if column.table is not None:
             return lowered.get(column.table.lower())
@@ -351,11 +580,9 @@ class QueryGraphBuilder:
             return owning[0]
         raise SqlValidationError(f"ambiguous column {column.column!r}")
 
-    def _first_binding(
-        self, expression: ast.Expression, binding_relations: Dict[str, str]
-    ) -> Optional[str]:
-        for column in ast.column_refs(expression):
-            binding = self._binding_of(column, binding_relations)
+    def _first_binding(self, columns: List[ast.ColumnRef]) -> Optional[str]:
+        for column in columns:
+            binding = self._binding_of(column)
             if binding is not None:
                 return binding
         return None
@@ -369,8 +596,8 @@ class QueryGraphBuilder:
         left = condition.left
         right = condition.right
         assert isinstance(left, ast.ColumnRef) and isinstance(right, ast.ColumnRef)
-        left_binding = self._binding_of(left, binding_relations)
-        right_binding = self._binding_of(right, binding_relations)
+        left_binding = self._binding_of(left)
+        right_binding = self._binding_of(right)
         if left_binding is None or right_binding is None:
             return False
         left_relation = binding_relations[left_binding]

@@ -344,6 +344,102 @@ class RegexLexer:
 
 
 # ---------------------------------------------------------------------------
+# Shape extraction (for the translator's shape-keyed phrase plans)
+# ---------------------------------------------------------------------------
+
+#: Placeholder markers for literal positions inside a shape key.  ``\x00``
+#: cannot appear in identifiers/keywords/operators, so markers never
+#: collide with real lexemes.
+NUMBER_MARK = "\x00N"
+STRING_MARK = "\x00S"
+
+#: Group indices for the integer dispatch in :func:`shape_of` (cheaper than
+#: the name lookup the token-building loop performs).
+_IDX_WORD = _MASTER_RE.groupindex["word"]
+_IDX_PUNCT = _MASTER_RE.groupindex["punct"]
+_IDX_NUMBER = _MASTER_RE.groupindex["number"]
+_IDX_DOT = _MASTER_RE.groupindex["dot"]
+_IDX_STRING = _MASTER_RE.groupindex["string"]
+_IDX_QIDENT = _MASTER_RE.groupindex["qident"]
+_IDX_LCOMMENT = _MASTER_RE.groupindex["lcomment"]
+_IDX_BCOMMENT = _MASTER_RE.groupindex["bcomment"]
+_IDX_OP = _MASTER_RE.groupindex["op"]
+
+#: Lexeme → canonical shape part for words (interned keyword spelling or
+#: the identifier itself).  SQL workloads reuse a small vocabulary, so the
+#: upper-case/keyword resolution runs once per distinct word; bounded to
+#: stay a cache rather than a leak under adversarial input.
+_WORD_CANON: dict = {}
+_WORD_CANON_LIMIT = 8192
+
+
+def shape_of(text: str):
+    """``(shape, literals)`` for ``text``, or ``None`` when it does not lex.
+
+    The *shape* is the token stream with every NUMBER/STRING literal
+    replaced by a placeholder marker — two queries with equal shapes parse
+    into identical ASTs up to literal values, which is what keys the
+    translator's compiled phrase plans.  Runs the same master regex as
+    :class:`RegexLexer` in a single pass, but skips ``Token`` construction
+    and line/column bookkeeping entirely; any input the lexer would reject
+    yields ``None`` so callers fall back to the full (error-reporting)
+    pipeline.
+    """
+    length = len(text)
+    parts = []
+    literals = []
+    append = parts.append
+    match = _MASTER_RE.match
+    canon = _WORD_CANON
+    pos = 0
+    while pos < length:
+        m = match(text, pos)
+        if m is None:
+            if text[pos:].isspace():
+                break
+            return None
+        index = m.lastindex
+        if index == _IDX_WORD:
+            lexeme = m.group(index)
+            canonical = canon.get(lexeme)
+            if canonical is None:
+                canonical = KEYWORD_SPELLINGS.get(lexeme)
+                if canonical is None:
+                    upper = lexeme.upper()
+                    canonical = upper if upper in KEYWORDS else lexeme
+                if len(canon) < _WORD_CANON_LIMIT:
+                    canon[lexeme] = canonical
+            append(canonical)
+        elif index == _IDX_PUNCT or index == _IDX_DOT or index == _IDX_OP:
+            append(m.group(index))
+        elif index == _IDX_NUMBER:
+            lexeme = m.group(index)
+            literals.append(float(lexeme) if "." in lexeme else int(lexeme))
+            append(NUMBER_MARK)
+        elif index == _IDX_STRING:
+            body = m.group(index)[1:-1]
+            if "''" in body:
+                body = body.replace("''", "'")
+            literals.append(body)
+            append(STRING_MARK)
+        elif index == _IDX_QIDENT:
+            body = m.group(index)[1:-1]
+            if "\x00" in body:  # cannot collide with the literal markers
+                return None
+            append(body)
+        elif index == _IDX_LCOMMENT or index == _IDX_BCOMMENT:
+            pass
+        elif index is None:
+            if text[pos:].isspace():
+                break
+            return None
+        else:  # bcomment_open: unterminated block comment
+            return None
+        pos = m.end()
+    return tuple(parts), tuple(literals)
+
+
+# ---------------------------------------------------------------------------
 # Entry points
 # ---------------------------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Recursive-descent parser for the SQL dialect of the paper's examples.
+"""Parsers for the SQL dialect of the paper's examples.
 
 The grammar covers SELECT (with DISTINCT, joins expressed in the FROM/WHERE
 style used by the paper, explicit ``JOIN ... ON``, GROUP BY, HAVING,
@@ -7,11 +7,27 @@ quantified comparisons (``= ALL``, ``<= ALL``, ``> ANY`` ...), scalar
 subqueries, aggregates (``count(*)``, ``count(distinct x)``, ``sum``,
 ``avg``, ``min``, ``max``), CASE expressions, plus INSERT / UPDATE /
 DELETE / CREATE VIEW statements.
+
+Two expression cores produce identical ASTs and identical errors:
+
+* :class:`Parser` — the production parser.  Expressions go through a
+  table-driven Pratt loop: one binding-power lookup per token (keyed on
+  the lexer's interned token values) replaces the eight-deep
+  ``_parse_or``/``_parse_and``/... call cascade per operand.
+* :class:`ReferenceParser` — the original precedence-climbing cascade,
+  retained as the differential oracle (the parser analogue of the
+  character lexer kept next to :class:`repro.sql.lexer.RegexLexer`).
+
+``parse_sql``/``parse_select`` use the Pratt parser;
+``parse_sql_reference`` uses the cascade, and ``use_reference_parser()``
+switches the default for a scope, which the benchmarks and the
+differential fuzz suite use.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
 
 from repro.errors import SqlParseError
 from repro.sql import ast
@@ -19,6 +35,52 @@ from repro.sql.lexer import tokenize
 from repro.sql.tokens import Token, TokenType
 
 _COMPARISON_OPS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+# ---------------------------------------------------------------------------
+# Binding powers for the table-driven expression core.  The levels mirror
+# the reference cascade exactly: OR < AND < NOT < predicate < additive <
+# multiplicative < unary prefix.  Predicates (comparisons, IN, BETWEEN,
+# LIKE, IS, quantified comparisons, EXISTS) are non-associative: once one
+# has been consumed, the *ceiling* drops so that only AND/OR may follow —
+# which is precisely what the cascade's single-shot ``_parse_predicate``
+# enforces structurally.
+# ---------------------------------------------------------------------------
+
+_BP_OR = 10
+_BP_AND = 20
+_BP_NOT = 25
+_BP_PREDICATE = 30
+_BP_ADD = 40
+_BP_MUL = 50
+_NO_CEILING = 1000
+_PREDICATE_CEILING = _BP_PREDICATE - 1
+
+#: Left binding power per interned keyword value.
+_KEYWORD_BP = {
+    "OR": _BP_OR,
+    "AND": _BP_AND,
+    "IN": _BP_PREDICATE,
+    "BETWEEN": _BP_PREDICATE,
+    "LIKE": _BP_PREDICATE,
+    "IS": _BP_PREDICATE,
+}
+
+#: Left binding power per operator lexeme.
+_OPERATOR_BP = {
+    "=": _BP_PREDICATE,
+    "<>": _BP_PREDICATE,
+    "!=": _BP_PREDICATE,
+    "<": _BP_PREDICATE,
+    "<=": _BP_PREDICATE,
+    ">": _BP_PREDICATE,
+    ">=": _BP_PREDICATE,
+    "+": _BP_ADD,
+    "-": _BP_ADD,
+    "||": _BP_ADD,
+    "*": _BP_MUL,
+    "/": _BP_MUL,
+    "%": _BP_MUL,
+}
 
 
 class Parser:
@@ -276,70 +338,119 @@ class Parser:
         return expressions
 
     # ------------------------------------------------------------------
-    # Expressions (precedence climbing: OR < AND < NOT < predicate < add < mul < unary)
+    # Expressions (table-driven Pratt loop over the binding-power tables)
     # ------------------------------------------------------------------
 
     def _parse_expression(self) -> ast.Expression:
-        return self._parse_or()
+        expression, _ceiling = self._parse_binding(0)
+        return expression
 
-    def _parse_or(self) -> ast.Expression:
-        left = self._parse_and()
-        while self._accept_keyword("OR"):
-            right = self._parse_and()
-            left = ast.BinaryOp("OR", left, right)
-        return left
+    def _parse_additive(self) -> ast.Expression:
+        """An operand at predicate-argument level (no predicates inside)."""
+        expression, _ceiling = self._parse_binding(_BP_PREDICATE)
+        return expression
 
-    def _parse_and(self) -> ast.Expression:
-        left = self._parse_not()
-        while self._accept_keyword("AND"):
-            right = self._parse_not()
-            left = ast.BinaryOp("AND", left, right)
-        return left
+    def _parse_binding(self, min_bp: int) -> Tuple[ast.Expression, int]:
+        """The Pratt core: prefix production, then infix loop.
 
-    def _parse_not(self) -> ast.Expression:
-        if self._check_keyword("NOT") and not self._peek(1).is_keyword("EXISTS", "IN", "BETWEEN", "LIKE"):
-            self._advance()
-            operand = self._parse_not()
-            return ast.UnaryOp("NOT", operand)
-        return self._parse_predicate()
+        Returns ``(expression, ceiling)`` where ``ceiling`` is the highest
+        binding power an operator following this expression may have —
+        after a predicate only AND/OR may attach, matching the cascade's
+        non-associative ``_parse_predicate``.
+        """
+        left, ceiling = self._parse_prefix(min_bp)
+        tokens = self.tokens
+        while True:
+            token = tokens[self.pos]
+            token_type = token.type
+            if token_type is TokenType.OPERATOR:
+                bp = _OPERATOR_BP.get(token.value, 0)
+            elif token_type is TokenType.KEYWORD:
+                value = token.value
+                bp = _KEYWORD_BP.get(value, 0)
+                if (
+                    bp == 0
+                    and value == "NOT"
+                    and self._peek(1).is_keyword("IN", "BETWEEN", "LIKE")
+                ):
+                    bp = _BP_PREDICATE
+            else:
+                break
+            if bp <= min_bp or bp > ceiling:
+                break
+            if bp == _BP_PREDICATE:
+                left = self._parse_predicate_tail(left)
+                ceiling = _PREDICATE_CEILING
+            elif bp <= _BP_AND:
+                self.pos += 1
+                right, right_ceiling = self._parse_binding(bp)
+                left = ast.BinaryOp("AND" if bp == _BP_AND else "OR", left, right)
+                ceiling = right_ceiling
+            else:  # additive / multiplicative, left-associative
+                op = token.value
+                self.pos += 1
+                right, _ = self._parse_binding(bp)
+                left = ast.BinaryOp(op if type(op) is str else str(op), left, right)
+        return left, ceiling
 
-    def _parse_predicate(self) -> ast.Expression:
-        if self._check_keyword("EXISTS") or (
-            self._check_keyword("NOT") and self._peek(1).is_keyword("EXISTS")
-        ):
-            negated = self._accept_keyword("NOT")
-            self._expect_keyword("EXISTS")
-            self._expect_punct("(")
-            subquery = self.parse_select()
-            self._expect_punct(")")
-            return ast.Exists(subquery=subquery, negated=negated)
+    def _parse_prefix(self, min_bp: int) -> Tuple[ast.Expression, int]:
+        """Null denotations: literals, unary operators, EXISTS, primaries.
 
-        left = self._parse_additive()
+        NOT and EXISTS are boolean-level productions: the cascade reaches
+        them only through ``_parse_not``/``_parse_predicate``, never inside
+        predicate operands, so they apply only when ``min_bp`` sits below
+        the predicate level.
+        """
+        token = self.tokens[self.pos]
+        token_type = token.type
+        if token_type is TokenType.OPERATOR:
+            value = token.value
+            if value == "-":
+                self.pos += 1
+                operand, _ = self._parse_binding(_BP_MUL)
+                if isinstance(operand, ast.Literal) and isinstance(
+                    operand.value, (int, float)
+                ):
+                    return ast.Literal(-operand.value), _NO_CEILING
+                return ast.UnaryOp("-", operand), _NO_CEILING
+            if value == "+":
+                # Unary plus: the cascade parses its operand at unary level,
+                # where NOT/EXISTS are not valid productions.
+                self.pos += 1
+                return self._parse_prefix(_BP_MUL)
+        elif token_type is TokenType.KEYWORD and min_bp < _BP_PREDICATE:
+            value = token.value
+            if value == "NOT":
+                follower = self._peek(1)
+                if follower.is_keyword("EXISTS"):
+                    self._advance()
+                    self._expect_keyword("EXISTS")
+                    return self._parse_exists(negated=True), _PREDICATE_CEILING
+                if not follower.is_keyword("IN", "BETWEEN", "LIKE"):
+                    self._advance()
+                    operand, _ = self._parse_binding(_BP_NOT)
+                    return ast.UnaryOp("NOT", operand), _PREDICATE_CEILING
+                # NOT immediately followed by IN/BETWEEN/LIKE: fall through to
+                # the primary parser, which raises the cascade's exact error.
+            elif value == "EXISTS":
+                self._advance()
+                return self._parse_exists(negated=False), _PREDICATE_CEILING
+        return self._parse_primary(), _NO_CEILING
 
-        negated = False
-        if self._check_keyword("NOT") and self._peek(1).is_keyword("IN", "BETWEEN", "LIKE"):
-            self._advance()
-            negated = True
+    def _parse_exists(self, negated: bool) -> ast.Expression:
+        self._expect_punct("(")
+        subquery = self.parse_select()
+        self._expect_punct(")")
+        return ast.Exists(subquery=subquery, negated=negated)
 
-        if self._accept_keyword("IN"):
-            return self._parse_in_tail(left, negated)
-        if self._accept_keyword("BETWEEN"):
-            low = self._parse_additive()
-            self._expect_keyword("AND")
-            high = self._parse_additive()
-            return ast.Between(operand=left, low=low, high=high, negated=negated)
-        if self._accept_keyword("LIKE"):
-            pattern = self._parse_additive()
-            op = "NOT LIKE" if negated else "LIKE"
-            return ast.BinaryOp(op, left, pattern)
-        if self._accept_keyword("IS"):
-            is_negated = self._accept_keyword("NOT")
-            self._expect_keyword("NULL")
-            return ast.IsNull(operand=left, negated=is_negated)
-
-        token = self._peek()
-        if token.type is TokenType.OPERATOR and token.value in _COMPARISON_OPS:
-            op = str(self._advance().value)
+    def _parse_predicate_tail(self, left: ast.Expression) -> ast.Expression:
+        """One predicate-level infix: comparison, IN, BETWEEN, LIKE or IS."""
+        token = self.tokens[self.pos]
+        if token.type is TokenType.OPERATOR:
+            self.pos += 1
+            op = token.value
+            if type(op) is not str:
+                op = str(op)
             if op == "!=":
                 op = "<>"
             if self._check_keyword("ALL", "ANY", "SOME"):
@@ -350,10 +461,28 @@ class Parser:
                 return ast.QuantifiedComparison(
                     operand=left, op=op, quantifier=quantifier, subquery=subquery
                 )
-            right = self._parse_additive()
+            right, _ = self._parse_binding(_BP_PREDICATE)
             return ast.BinaryOp(op, left, right)
 
-        return left
+        negated = False
+        if token.value == "NOT":
+            self.pos += 1
+            negated = True
+        if self._accept_keyword("IN"):
+            return self._parse_in_tail(left, negated)
+        if self._accept_keyword("BETWEEN"):
+            low, _ = self._parse_binding(_BP_PREDICATE)
+            self._expect_keyword("AND")
+            high, _ = self._parse_binding(_BP_PREDICATE)
+            return ast.Between(operand=left, low=low, high=high, negated=negated)
+        if self._accept_keyword("LIKE"):
+            pattern, _ = self._parse_binding(_BP_PREDICATE)
+            op = "NOT LIKE" if negated else "LIKE"
+            return ast.BinaryOp(op, left, pattern)
+        self._expect_keyword("IS")
+        is_negated = self._accept_keyword("NOT")
+        self._expect_keyword("NULL")
+        return ast.IsNull(operand=left, negated=is_negated)
 
     def _parse_in_tail(self, operand: ast.Expression, negated: bool) -> ast.Expression:
         self._expect_punct("(")
@@ -366,41 +495,6 @@ class Parser:
             values.append(self._parse_additive())
         self._expect_punct(")")
         return ast.InList(operand=operand, values=tuple(values), negated=negated)
-
-    def _parse_additive(self) -> ast.Expression:
-        left = self._parse_multiplicative()
-        while True:
-            token = self._peek()
-            if token.type is TokenType.OPERATOR and token.value in ("+", "-", "||"):
-                op = str(self._advance().value)
-                right = self._parse_multiplicative()
-                left = ast.BinaryOp(op, left, right)
-            else:
-                return left
-
-    def _parse_multiplicative(self) -> ast.Expression:
-        left = self._parse_unary()
-        while True:
-            token = self._peek()
-            if token.type is TokenType.OPERATOR and token.value in ("*", "/", "%"):
-                op = str(self._advance().value)
-                right = self._parse_unary()
-                left = ast.BinaryOp(op, left, right)
-            else:
-                return left
-
-    def _parse_unary(self) -> ast.Expression:
-        token = self._peek()
-        if token.type is TokenType.OPERATOR and token.value == "-":
-            self._advance()
-            operand = self._parse_unary()
-            if isinstance(operand, ast.Literal) and isinstance(operand.value, (int, float)):
-                return ast.Literal(-operand.value)
-            return ast.UnaryOp("-", operand)
-        if token.type is TokenType.OPERATOR and token.value == "+":
-            self._advance()
-            return self._parse_unary()
-        return self._parse_primary()
 
     def _parse_primary(self) -> ast.Expression:
         token = self._peek()
@@ -562,9 +656,164 @@ class Parser:
         return ast.CreateViewStatement(name=name, query=query)
 
 
+class ReferenceParser(Parser):
+    """The original precedence-climbing expression cascade.
+
+    Statement-level parsing is shared with :class:`Parser`; only the
+    expression core differs.  Kept verbatim as the differential oracle for
+    the table-driven Pratt parser — the fuzz suite asserts AST and error
+    equality between the two on every query the repository ships plus
+    randomly mutated inputs.
+    """
+
+    # -- Expressions (precedence climbing: OR < AND < NOT < predicate <
+    #    add < mul < unary) ------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expression:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            right = self._parse_and()
+            left = ast.BinaryOp("OR", left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expression:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            right = self._parse_not()
+            left = ast.BinaryOp("AND", left, right)
+        return left
+
+    def _parse_not(self) -> ast.Expression:
+        if self._check_keyword("NOT") and not self._peek(1).is_keyword("EXISTS", "IN", "BETWEEN", "LIKE"):
+            self._advance()
+            operand = self._parse_not()
+            return ast.UnaryOp("NOT", operand)
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Expression:
+        if self._check_keyword("EXISTS") or (
+            self._check_keyword("NOT") and self._peek(1).is_keyword("EXISTS")
+        ):
+            negated = self._accept_keyword("NOT")
+            self._expect_keyword("EXISTS")
+            self._expect_punct("(")
+            subquery = self.parse_select()
+            self._expect_punct(")")
+            return ast.Exists(subquery=subquery, negated=negated)
+
+        left = self._parse_additive()
+
+        negated = False
+        if self._check_keyword("NOT") and self._peek(1).is_keyword("IN", "BETWEEN", "LIKE"):
+            self._advance()
+            negated = True
+
+        if self._accept_keyword("IN"):
+            return self._parse_in_tail(left, negated)
+        if self._accept_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            return ast.Between(operand=left, low=low, high=high, negated=negated)
+        if self._accept_keyword("LIKE"):
+            pattern = self._parse_additive()
+            op = "NOT LIKE" if negated else "LIKE"
+            return ast.BinaryOp(op, left, pattern)
+        if self._accept_keyword("IS"):
+            is_negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return ast.IsNull(operand=left, negated=is_negated)
+
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in _COMPARISON_OPS:
+            op = str(self._advance().value)
+            if op == "!=":
+                op = "<>"
+            if self._check_keyword("ALL", "ANY", "SOME"):
+                quantifier = "ANY" if self._advance().upper in ("ANY", "SOME") else "ALL"
+                self._expect_punct("(")
+                subquery = self.parse_select()
+                self._expect_punct(")")
+                return ast.QuantifiedComparison(
+                    operand=left, op=op, quantifier=quantifier, subquery=subquery
+                )
+            right = self._parse_additive()
+            return ast.BinaryOp(op, left, right)
+
+        return left
+
+    def _parse_additive(self) -> ast.Expression:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-", "||"):
+                op = str(self._advance().value)
+                right = self._parse_multiplicative()
+                left = ast.BinaryOp(op, left, right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.Expression:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("*", "/", "%"):
+                op = str(self._advance().value)
+                right = self._parse_unary()
+                left = ast.BinaryOp(op, left, right)
+            else:
+                return left
+
+    def _parse_unary(self) -> ast.Expression:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            operand = self._parse_unary()
+            if isinstance(operand, ast.Literal) and isinstance(operand.value, (int, float)):
+                return ast.Literal(-operand.value)
+            return ast.UnaryOp("-", operand)
+        if token.type is TokenType.OPERATOR and token.value == "+":
+            self._advance()
+            return self._parse_unary()
+        return self._parse_primary()
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+_USE_REFERENCE_PARSER = False
+
+
 def parse_sql(text: str) -> ast.Statement:
-    """Parse SQL ``text`` into a statement AST."""
+    """Parse SQL ``text`` into a statement AST (table-driven parser)."""
+    if _USE_REFERENCE_PARSER:
+        return ReferenceParser(tokenize(text)).parse_statement()
     return Parser(tokenize(text)).parse_statement()
+
+
+def parse_sql_reference(text: str) -> ast.Statement:
+    """Parse with the recursive-descent oracle parser."""
+    return ReferenceParser(tokenize(text)).parse_statement()
+
+
+@contextmanager
+def use_reference_parser() -> Iterator[None]:
+    """Route :func:`parse_sql` through the oracle parser for a scope.
+
+    Used by the benchmarks to measure the interpreted expression core and
+    by tests that exercise the whole pipeline against the oracle.
+    """
+    global _USE_REFERENCE_PARSER
+    previous = _USE_REFERENCE_PARSER
+    _USE_REFERENCE_PARSER = True
+    try:
+        yield
+    finally:
+        _USE_REFERENCE_PARSER = previous
 
 
 def parse_select(text: str) -> ast.SelectStatement:

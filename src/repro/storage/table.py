@@ -34,6 +34,10 @@ class Table:
         #: streaming narrator uses them to prove a heading-only fallback
         #: clause cannot occur (no row has all narrated attributes NULL).
         self._null_counts: Dict[str, int] = {a.name: 0 for a in relation.attributes}
+        #: Mutation observers (maintained ranking structures, like the
+        #: indexes but cross-table).  Notified after the row store and
+        #: indexes reflect the change.
+        self._observers: List[Any] = []
         if relation.primary_key_names:
             self.create_index("pk", relation.primary_key_names, unique=True)
 
@@ -101,6 +105,9 @@ class Table:
                 self._null_counts[column] += 1
         for index in self._indexes.values():
             index.add(index.key_for(normalised), rowid)
+        if self._observers:
+            for observer in self._observers:
+                observer.row_inserted(self, rowid, normalised)
         return rowid
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]], coerce: bool = False) -> List[int]:
@@ -118,6 +125,9 @@ class Table:
                     self._null_counts[column] -= 1
             for index in self._indexes.values():
                 index.remove(index.key_for(values), rowid)
+            if self._observers:
+                for observer in self._observers:
+                    observer.row_deleted(self, rowid, values)
             removed += 1
         if removed:
             self._version += 1
@@ -147,6 +157,9 @@ class Table:
                 index.remove(index.key_for(current), rowid)
                 index.add(index.key_for(merged), rowid)
             self._rows[rowid] = merged
+            if self._observers:
+                for observer in self._observers:
+                    observer.row_updated(self, rowid, current, merged)
             updated += 1
         if updated:
             self._version += 1
@@ -159,10 +172,22 @@ class Table:
         self._null_counts = {a.name: 0 for a in self.relation.attributes}
         for index in self._indexes.values():
             index.clear()
+        if self._observers:
+            for observer in self._observers:
+                observer.table_truncated(self)
 
     def null_count(self, column: str) -> int:
         """How many rows currently store NULL in ``column``."""
         return self._null_counts[self.relation.attribute(column).name]
+
+    def add_observer(self, observer: Any) -> None:
+        """Register a mutation observer (idempotent per object)."""
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer: Any) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
 
     # ------------------------------------------------------------------
     # Indexes
