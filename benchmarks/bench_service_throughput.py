@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Throughput benchmark for the concurrent narration service.
+
+Measures requests/second for SQL→NL translation served by
+:class:`repro.service.NarrationService` at 1, 8 and 64 concurrent
+clients, against a *naive one-thread-per-request baseline*: N concurrent
+client threads, each of whose requests is handled by a freshly spawned
+thread running the full uncached pipeline (fresh translator, no
+exact-text LRU, no phrase plans) — what a stateless per-request server
+would do.
+
+Two service streams are measured warm:
+
+* ``repeated_text`` — clients replay the 50-query workload verbatim, so
+  requests are served by the exact-text LRU and the direct-await fast
+  path (the steady state of real "talk back" traffic);
+* ``literal_variants`` — every request rotates the literal values, so
+  the exact-text LRU never hits and every request exercises the
+  shape-keyed phrase-plan path through the batching queue.
+
+The in-run equivalence check asserts concurrent output is byte-identical
+to sequential synchronous translation before any number is recorded, and
+the run fails if warm batched throughput at 64 clients drops below 5x
+the naive baseline (the service's reason to exist).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py [--quick]
+
+``benchmarks/run_benchmarks.py`` imports :func:`bench_service_throughput`
+and records the result under ``service_throughput`` in ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import threading
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datasets import generate_workload, movie_schema  # noqa: E402
+from repro.query_nl.translator import QueryTranslator  # noqa: E402
+from repro.service import NarrationService  # noqa: E402
+
+CLIENT_COUNTS = (1, 8, 64)
+
+_NAMES = [
+    "Brad Pitt", "Scarlett Johansson", "Mark Hamill",
+    "Morgan Freeman", "Woody Allen", "G. Loucas",
+]
+
+
+def _workload():
+    return [q.sql for q in generate_workload(queries_per_category=10, seed=42)]
+
+
+def _variant_batches(workload, rounds):
+    """Literal-rotated copies of the workload (never the same text twice)."""
+    return [
+        [sql.replace("Brad Pitt", _NAMES[(r + i) % len(_NAMES)])
+         for i, sql in enumerate(workload)]
+        for r in range(rounds)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The two servers under measurement
+# ---------------------------------------------------------------------------
+
+
+def _service_rps(
+    schema, warm_batches, measure_batches, clients, max_workers, cache_size=512
+) -> tuple:
+    """Warm requests/second through one NarrationService session.
+
+    ``warm_batches`` are translated once untimed (compiling every shape's
+    phrase plan); every client then replays ``measure_batches``.  When the
+    measured texts equal the warm ones the steady state is the exact-text
+    LRU + direct-await path; when they only share *shapes* every request
+    is a phrase-plan render through the batching queue.
+    """
+
+    async def client(session, batches):
+        for batch in batches:
+            for sql in batch:
+                await session.translate(sql)
+
+    async def main():
+        async with NarrationService(max_workers=max_workers) as service:
+            session = service.session(schema=schema, cache_size=cache_size)
+            for batch in warm_batches:
+                for sql in batch:
+                    await session.translate(sql)
+            requests = clients * sum(len(b) for b in measure_batches)
+            start = time.perf_counter()
+            await asyncio.gather(
+                *[client(session, measure_batches) for _ in range(clients)]
+            )
+            elapsed = time.perf_counter() - start
+            return requests / elapsed, session.stats()
+
+    return asyncio.run(main())
+
+
+def _naive_rps(schema, workload, clients) -> float:
+    """The one-thread-per-request baseline's requests/second.
+
+    Each of ``clients`` concurrent client threads issues the workload
+    sequentially; every single request spawns a fresh handler thread
+    running the full pipeline with no shared translator state.
+    """
+
+    def handle(sql):
+        QueryTranslator(schema, cache_size=None, phrase_plans=False).translate(sql)
+
+    def client():
+        for sql in workload:
+            handler = threading.Thread(target=handle, args=(sql,))
+            handler.start()
+            handler.join()
+
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    return clients * len(workload) / elapsed
+
+
+# ---------------------------------------------------------------------------
+# Equivalence (checked before any number is recorded)
+# ---------------------------------------------------------------------------
+
+
+def verify_service_equivalence(schema, workload, clients: int = 64) -> str:
+    """Concurrent results must equal sequential synchronous translation."""
+    sync = QueryTranslator(schema, cache_size=None, phrase_plans=True)
+    expected = [sync.translate(sql) for sql in workload]
+
+    async def replay(session):
+        return await asyncio.gather(*[session.translate(sql) for sql in workload])
+
+    async def main():
+        async with NarrationService(max_workers=4) as service:
+            session = service.session(schema=schema)
+            return await asyncio.gather(*[replay(session) for _ in range(clients)])
+
+    for results in asyncio.run(main()):
+        for fast, slow in zip(results, expected):
+            if fast != slow:  # compares every textual field
+                raise AssertionError(
+                    f"concurrent translation diverged from sync on {slow.sql!r}"
+                )
+    return (
+        f"byte-identical to the synchronous pipeline"
+        f" ({clients} clients x {len(workload)} queries)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def bench_service_throughput(quick: bool = False, max_workers: int = 4) -> dict:
+    schema = movie_schema()
+    workload = _workload()
+    rounds = 1 if quick else 4
+    results: dict = {
+        "workload_queries": len(workload),
+        "max_workers": max_workers,
+        "baseline": (
+            "one thread per request, each running the full uncached pipeline"
+            " (fresh translator, no LRU, no phrase plans)"
+        ),
+        "equivalence": verify_service_equivalence(schema, workload),
+        "clients": {},
+    }
+    variant_batches = _variant_batches(workload, 1 + max(2, rounds))
+    for clients in CLIENT_COUNTS:
+        repeated_rps, stats = _service_rps(
+            schema, [workload], [workload] * rounds, clients, max_workers
+        )
+        naive = _naive_rps(schema, workload, clients)
+        results["clients"][str(clients)] = {
+            "service_rps": round(repeated_rps, 1),
+            "naive_rps": round(naive, 1),
+            "speedup": round(repeated_rps / max(naive, 1e-9), 1),
+        }
+        if clients == CLIENT_COUNTS[-1]:
+            results["batching_stats"] = stats["requests"]
+    # Fresh texts over warm *plans*, with the exact-text LRU disabled: every
+    # request is a shape-keyed plan render through the batching queue.
+    variants_rps, variant_stats = _service_rps(
+        schema,
+        variant_batches[:1],
+        variant_batches[1:],
+        CLIENT_COUNTS[-1],
+        max_workers,
+        cache_size=None,
+    )
+    results["literal_variants_rps_64"] = round(variants_rps, 1)
+    results["literal_variants_plan_store"] = variant_stats["translator"]["plan_store"]
+
+    top = results["clients"][str(CLIENT_COUNTS[-1])]
+    if top["speedup"] < 5:
+        raise AssertionError(
+            "service-bench regression: warm batched throughput at"
+            f" {CLIENT_COUNTS[-1]} clients is only {top['speedup']}x the naive"
+            " one-thread-per-request baseline (expected >= 5x)"
+        )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="single warm round")
+    parser.add_argument("--max-workers", type=int, default=4)
+    args = parser.parse_args(argv)
+    results = bench_service_throughput(quick=args.quick, max_workers=args.max_workers)
+    print(f"equivalence: {results['equivalence']}")
+    for clients, entry in results["clients"].items():
+        print(
+            f"  {clients:>2} clients: service {entry['service_rps']:>9.1f} req/s,"
+            f" naive {entry['naive_rps']:>7.1f} req/s ({entry['speedup']}x)"
+        )
+    print(f"  64 clients, literal variants: {results['literal_variants_rps_64']:.1f} req/s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,6 +28,8 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from bench_service_throughput import bench_service_throughput  # noqa: E402
+
 from repro.content.narrator import ContentNarrator  # noqa: E402
 from repro.content.presets import movie_spec  # noqa: E402
 from repro.datasets import (  # noqa: E402
@@ -455,6 +457,8 @@ def main(argv=None) -> int:
     # The narration front end and translation core are measured first,
     # before the minutes-long interpreted executor baselines heat the
     # process up.
+    print("benchmarking concurrent service ...", flush=True)
+    summary["service_throughput"] = bench_service_throughput(quick=args.quick)
     print("benchmarking translation core ...", flush=True)
     summary["translation_core"] = bench_translation_core(max(5, args.repeats))
     print("benchmarking narration front end ...", flush=True)
@@ -497,6 +501,14 @@ def main(argv=None) -> int:
         f" ({core['speedup_cold_translate']}x vs 165e2bb);"
         f" warm repeated-shape {core['warm_repeated_shape_s']*1e3:.2f}ms"
         f" ({core['speedup_warm_repeated_shape']}x)"
+    )
+    service = summary["service_throughput"]
+    top = service["clients"]["64"]
+    print(
+        "  concurrent service:"
+        f" 64 clients {top['service_rps']:.0f} req/s vs naive"
+        f" {top['naive_rps']:.0f} req/s ({top['speedup']}x);"
+        f" plan-path variants {service['literal_variants_rps_64']:.0f} req/s"
     )
     frontend = summary["narration_frontend"]
     print(

@@ -3,6 +3,11 @@
 The project is normally installed with ``pip install -e .`` (or
 ``python setup.py develop`` on machines without the ``wheel`` package);
 this fallback keeps ``pytest`` working straight from a source checkout.
+
+``REPRO_ORACLE=1`` additionally runs the whole suite in oracle mode (see
+:mod:`repro.oracle`): the reference lexer, parser and validator are
+forced for the session here, and the compiled-path constructor defaults
+(executor, phrase plans, templates) flip inside the library itself.
 """
 
 import sys
@@ -11,3 +16,23 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+from repro.oracle import oracle_enabled  # noqa: E402  (needs the path above)
+
+if oracle_enabled():
+    from contextlib import ExitStack
+
+    import pytest
+
+    @pytest.fixture(autouse=True, scope="session")
+    def _repro_oracle_mode():
+        """Force every reference algorithm path for the whole session."""
+        from repro.querygraph.builder import use_reference_validation
+        from repro.sql.lexer import use_reference_lexer
+        from repro.sql.parser import use_reference_parser
+
+        with ExitStack() as stack:
+            stack.enter_context(use_reference_lexer())
+            stack.enter_context(use_reference_parser())
+            stack.enter_context(use_reference_validation())
+            yield

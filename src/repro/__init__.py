@@ -33,6 +33,7 @@ Package map
 ``repro.querygraph``  the query graph and the difficulty taxonomy (Section 3)
 ``repro.rewrite``     unnesting, division and idiom detection
 ``repro.query_nl``    query-to-text translation (Section 3)
+``repro.service``     the concurrent (asyncio) narration service
 ``repro.datasets``    the paper's schemas, seed data and workload generators
 ``repro.evaluation``  metrics and the experiment registry
 """
@@ -75,6 +76,7 @@ from repro.lexicon import Lexicon, default_lexicon
 from repro.nlg import LengthBudget
 from repro.query_nl import AnswerExplainer, QueryTranslation, QueryTranslator, translate_query
 from repro.querygraph import QueryCategory, QueryGraph, build_query_graph, classify_query
+from repro.service import NarrationService, NarrationSession, ServiceClosed
 from repro.sql import parse_select, parse_sql, to_sql
 from repro.storage import Database, Row, Table
 from repro.templates import TemplateRegistry, parse_list_template, parse_template
@@ -92,6 +94,8 @@ __all__ = [
     "LengthBudget",
     "Lexicon",
     "MANAGER_QUERY",
+    "NarrationService",
+    "NarrationSession",
     "NarrationSpec",
     "PAPER_NARRATIVES",
     "PAPER_QUERIES",
@@ -106,6 +110,7 @@ __all__ = [
     "Schema",
     "SchemaBuilder",
     "SchemaGraph",
+    "ServiceClosed",
     "SynthesisMode",
     "Table",
     "TemplateRegistry",

@@ -36,6 +36,7 @@ from repro.engine.plan import (
 )
 from repro.engine.result import DmlResult, QueryResult
 from repro.errors import EvaluationError, UnknownAttributeError, UnsupportedQueryError
+from repro.oracle import resolve_compiled_default
 from repro.sql import ast
 from repro.sql.parser import parse_sql
 from repro.storage.database import Database
@@ -90,17 +91,20 @@ class Executor:
     def __init__(
         self,
         database: Database,
-        compiled: bool = True,
-        use_caches: bool = True,
-        index_scans: bool = True,
+        compiled: Optional[bool] = None,
+        use_caches: Optional[bool] = None,
+        index_scans: Optional[bool] = None,
         plan_cache_size: int = 256,
         parse_cache_size: int = 512,
     ) -> None:
         self.database = database
         self.planner = Planner()
-        self.compiled = compiled
-        self.use_caches = use_caches
-        self.index_scans = index_scans
+        # The three flags default to the compiled configuration, unless
+        # REPRO_ORACLE forces the interpreted defaults for the whole
+        # process (explicit arguments always win either way).
+        self.compiled = resolve_compiled_default(compiled)
+        self.use_caches = resolve_compiled_default(use_caches)
+        self.index_scans = resolve_compiled_default(index_scans)
         self._evaluator = ExpressionEvaluator(subquery_runner=self._run_subquery)
         self._compiler = ExpressionCompiler(subquery_runner=self._run_subquery)
         # Caches.  Parse and plan caches hold data-independent artefacts;

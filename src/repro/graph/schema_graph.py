@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -275,15 +276,23 @@ class SchemaGraph:
 _SHARED_GRAPHS: "weakref.WeakKeyDictionary[Schema, SchemaGraph]" = (
     weakref.WeakKeyDictionary()
 )
+_SHARED_GRAPHS_LOCK = threading.Lock()
 
 
 def graph_for(schema: Schema) -> SchemaGraph:
-    """The shared (memoizing) schema graph for ``schema``."""
-    graph = _SHARED_GRAPHS.get(schema)
-    if graph is None:
-        graph = SchemaGraph(schema)
-        _SHARED_GRAPHS[schema] = graph
-    return graph
+    """The shared (memoizing) schema graph for ``schema``.
+
+    The graph's adjacency is precomputed and immutable; its path memos
+    are filled by single-key dict writes, which are safe to race (the
+    worst case is a duplicate computation of the same path).  Only the
+    schema → graph map itself needs the lock.
+    """
+    with _SHARED_GRAPHS_LOCK:
+        graph = _SHARED_GRAPHS.get(schema)
+        if graph is None:
+            graph = SchemaGraph(schema)
+            _SHARED_GRAPHS[schema] = graph
+        return graph
 
 
 def build_schema_graph(schema: Schema) -> SchemaGraph:

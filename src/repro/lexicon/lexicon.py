@@ -15,6 +15,7 @@ way.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -180,12 +181,14 @@ def default_lexicon(schema: Schema) -> Lexicon:
 _SHARED_DEFAULTS: "weakref.WeakKeyDictionary[Schema, Lexicon]" = (
     weakref.WeakKeyDictionary()
 )
+_SHARED_DEFAULTS_LOCK = threading.Lock()
 
 
 def default_lexicon_for(schema: Schema) -> Lexicon:
     """The shared metadata-derived lexicon for ``schema``."""
-    lexicon = _SHARED_DEFAULTS.get(schema)
-    if lexicon is None:
-        lexicon = Lexicon(schema=schema)
-        _SHARED_DEFAULTS[schema] = lexicon
-    return lexicon
+    with _SHARED_DEFAULTS_LOCK:
+        lexicon = _SHARED_DEFAULTS.get(schema)
+        if lexicon is None:
+            lexicon = Lexicon(schema=schema)
+            _SHARED_DEFAULTS[schema] = lexicon
+        return lexicon

@@ -40,10 +40,17 @@ class EmptyAnswerExplanation:
 class AnswerExplainer:
     """Explain why a query returned nothing (or too much)."""
 
-    def __init__(self, database: Database, lexicon: Optional[Lexicon] = None) -> None:
+    def __init__(
+        self,
+        database: Database,
+        lexicon: Optional[Lexicon] = None,
+        executor: Optional[Executor] = None,
+    ) -> None:
         self.database = database
         self.lexicon = lexicon or default_lexicon(database.schema)
-        self.executor = Executor(database)
+        # An injected executor lets a session share one executor (and its
+        # plan/scan/subquery caches) between explanation and execution.
+        self.executor = executor if executor is not None else Executor(database)
 
     # ------------------------------------------------------------------
 

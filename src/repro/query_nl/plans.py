@@ -39,6 +39,7 @@ invalidated by the lexicon's ``version`` counter.
 from __future__ import annotations
 
 import re
+import threading
 import weakref
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -81,8 +82,11 @@ _MASK_RE = re.compile(
 )
 
 #: masked text -> (shape tuple, literal count).  Shapes are pure text
-#: properties, so one process-wide cache serves every schema and lexicon.
+#: properties, so one process-wide cache serves every schema and lexicon;
+#: the lock makes the LRU's recency bookkeeping safe under the service's
+#: worker threads (sessions of *different* schemas share this cache).
 _MASK_CACHE = LRUCache(2048)
+_MASK_LOCK = threading.Lock()
 
 
 def _mask(sql: str):
@@ -112,12 +116,25 @@ def _mask(sql: str):
     return "".join(pieces), literals
 
 
+def batch_key(sql: str) -> str:
+    """A grouping key that is equal exactly for mask-equal SQL texts.
+
+    The concurrent service groups same-shape translate requests with this
+    (one phrase-plan compile then serves the whole group).  Unlike
+    :func:`shape_key` it touches no shared cache and never tokenizes, so
+    it is safe and cheap to call on the event-loop thread.
+    """
+    masked = _mask(sql)
+    return masked[0] if masked is not None else sql
+
+
 def shape_key(sql: str):
     """``(shape, guards, literals)`` for ``sql``, or ``None`` when unlexable."""
     masked = _mask(sql)
     if masked is not None:
         masked_text, extracted = masked
-        entry = _MASK_CACHE.get(masked_text)
+        with _MASK_LOCK:
+            entry = _MASK_CACHE.get(masked_text)
         if entry is not None:
             shape, count = entry
             if count == len(extracted):
@@ -130,7 +147,8 @@ def shape_key(sql: str):
         # The masker reproduced the tokenizer's literals exactly for this
         # text, so mask-equal texts (identical outside literal spans) are
         # safe to serve from the cached shape.
-        _MASK_CACHE.put(masked[0], (shape, len(literals)))
+        with _MASK_LOCK:
+            _MASK_CACHE.put(masked[0], (shape, len(literals)))
     return shape, guards_for(literals), literals
 
 
@@ -411,41 +429,94 @@ def compile_plan(
     return plan
 
 
-class PlanStore:
-    """Shape-keyed plans for one lexicon, invalidated by lexicon version."""
+#: How many unplannable-shape examples the report keeps.
+_UNPLANNABLE_SAMPLES = 32
 
-    __slots__ = ("plans", "lexicon_version", "hits", "misses")
+
+class PlanStore:
+    """Shape-keyed plans for one lexicon, invalidated by lexicon version.
+
+    The store is shared by every translator of the lexicon — across
+    threads when the concurrent service serves several sessions of the
+    same schema — so every access runs under an internal lock (the LRU's
+    recency bookkeeping is not otherwise safe to interleave).
+
+    Besides hit/miss counters the store keeps the *unplannable-shape
+    report*: how many shapes the two-probe compiler refused (value-driven
+    branches the guards could not pin) and a bounded sample of the SQL
+    texts that produced them, so a deployment can see whether any hot
+    production shape permanently falls back to the full pipeline.
+    """
+
+    __slots__ = (
+        "plans",
+        "lexicon_version",
+        "hits",
+        "misses",
+        "unplannable",
+        "_unplannable_samples",
+        "_lock",
+    )
 
     def __init__(self) -> None:
         self.plans = LRUCache(512)
         self.lexicon_version: Optional[int] = None
         self.hits = 0
         self.misses = 0
+        self.unplannable = 0
+        self._unplannable_samples: List[str] = []
+        self._lock = threading.Lock()
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
 
     def lookup(self, lexicon: Lexicon, key):
-        if self.lexicon_version != lexicon.version:
-            self.plans.clear()
-            self.lexicon_version = lexicon.version
-        return self.plans.get(key)
+        with self._lock:
+            if self.lexicon_version != lexicon.version:
+                self.plans.clear()
+                self.lexicon_version = lexicon.version
+            return self.plans.get(key)
 
-    def store(self, lexicon: Lexicon, key, plan) -> None:
-        if self.lexicon_version != lexicon.version:
-            self.plans.clear()
-            self.lexicon_version = lexicon.version
-        self.plans.put(key, plan)
+    def store(self, lexicon: Lexicon, key, plan, sample_sql: Optional[str] = None) -> None:
+        with self._lock:
+            if self.lexicon_version != lexicon.version:
+                self.plans.clear()
+                self.lexicon_version = lexicon.version
+            self.plans.put(key, plan)
+            if plan is UNPLANNABLE:
+                self.unplannable += 1
+                if (
+                    sample_sql is not None
+                    and len(self._unplannable_samples) < _UNPLANNABLE_SAMPLES
+                ):
+                    self._unplannable_samples.append(sample_sql)
 
     @property
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self.plans)}
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self.plans),
+                "unplannable": self.unplannable,
+                "unplannable_shapes": list(self._unplannable_samples),
+            }
 
 
 _STORES: "weakref.WeakKeyDictionary[Lexicon, PlanStore]" = weakref.WeakKeyDictionary()
+_STORES_LOCK = threading.Lock()
 
 
 def plan_store_for(lexicon: Lexicon) -> PlanStore:
     """The shared plan store for ``lexicon`` (per-schema when the lexicon is)."""
-    store = _STORES.get(lexicon)
-    if store is None:
-        store = PlanStore()
-        _STORES[lexicon] = store
-    return store
+    with _STORES_LOCK:
+        store = _STORES.get(lexicon)
+        if store is None:
+            store = PlanStore()
+            _STORES[lexicon] = store
+        return store

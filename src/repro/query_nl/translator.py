@@ -24,11 +24,12 @@ agree byte-for-byte on every output field.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.catalog.schema import Schema
 from repro.content.presets import NarrationSpec
 from repro.lexicon.lexicon import Lexicon, default_lexicon_for
+from repro.oracle import resolve_compiled_default
 from repro.query_nl.aggregate import AggregateTranslator
 from repro.query_nl.dml import DmlTranslator
 from repro.query_nl.impossible import ImpossibleTranslator
@@ -164,9 +165,12 @@ class QueryTranslator:
         spec: Optional[NarrationSpec] = None,
         lexicon: Optional[Lexicon] = None,
         cache_size: Optional[int] = 512,
-        phrase_plans: bool = True,
+        phrase_plans: Optional[bool] = None,
         verify_plans: bool = False,
     ) -> None:
+        # ``phrase_plans`` defaults to on, unless REPRO_ORACLE forces the
+        # interpreted defaults (an explicit argument always wins).
+        phrase_plans = resolve_compiled_default(phrase_plans)
         self.schema = schema
         # Translation is a pure function of (schema, lexicon, SQL text), so
         # repeated translations of the same SQL — the common case when the
@@ -241,6 +245,59 @@ class QueryTranslator:
             graph=graph,
         )
 
+    def try_fast_translate(self, sql: str) -> Optional[QueryTranslation]:
+        """Serve ``sql`` from the exact-text LRU or a compiled phrase plan.
+
+        Returns ``None`` when neither fast path applies — the caller then
+        owns the cold (full-pipeline) translation, typically on a worker
+        thread.  This is the concurrent service's direct-await path: a hit
+        costs microseconds and never parses, builds or compiles, so it is
+        safe to run on the event loop.  A miss records nothing (the cold
+        path that follows does its own accounting).
+        """
+        if self._cache is not None:
+            if self._cache_lexicon_version != self.lexicon.version:
+                self._cache.clear()
+                self._cache_lexicon_version = self.lexicon.version
+            # A probe: a miss here is retried (and counted) by the cold
+            # path's ``translate``, so it must not skew the stats.
+            cached = self._cache.get(sql, record_miss=False)
+            if cached is not None:
+                return cached.copy()
+        plans = self._plans
+        if plans is None:
+            return None
+        keyed = shape_key(sql)
+        if keyed is None:
+            return None
+        shape, guards, literals = keyed
+        plan = plans.lookup(self.lexicon, (shape, guards))
+        if plan is None or plan is UNPLANNABLE:
+            return None
+        plans.record_hit()
+        rendered = self._render_plan(plan, sql, literals)
+        if self.verify_plans:
+            self._verify_plan_hit(rendered, sql)
+        if self._cache is not None:
+            # Mirror ``translate``: the pristine rendering is cached and
+            # the caller receives its own copy.
+            self._cache.put(sql, rendered)
+            return rendered.copy()
+        return rendered
+
+    def stats(self) -> Dict[str, Any]:
+        """Cache/plan observability for this translator.
+
+        ``exact_cache`` covers the exact-text LRU; ``plan_store`` is the
+        shared per-lexicon store (hits, misses, size, plus the
+        unplannable-shape report).
+        """
+        return {
+            "exact_cache": self._cache.stats if self._cache is not None else None,
+            "plan_store": self._plans.stats if self._plans is not None else None,
+            "lexicon_version": self.lexicon.version,
+        }
+
     # ------------------------------------------------------------------
     # Shape-keyed phrase plans
     # ------------------------------------------------------------------
@@ -255,19 +312,24 @@ class QueryTranslator:
                 key = (shape, guards)
                 plan = plans.lookup(self.lexicon, key)
                 if plan is not None and plan is not UNPLANNABLE:
-                    plans.hits += 1
+                    plans.record_hit()
                     rendered = self._render_plan(plan, sql, literals)
                     if self.verify_plans:
                         self._verify_plan_hit(rendered, sql)
                     return rendered
-                plans.misses += 1
+                plans.record_miss()
                 if plan is None:
                     compile_key = (key, shape, guards, literals)
         translation = self._translate_statement(sql, parse_sql(sql))
         if compile_key is not None:
             key, shape, guards, literals = compile_key
             plan = compile_plan(translation, literals, guards, shape, self._probe_translate)
-            plans.store(self.lexicon, key, plan if plan is not None else UNPLANNABLE)
+            plans.store(
+                self.lexicon,
+                key,
+                plan if plan is not None else UNPLANNABLE,
+                sample_sql=sql,
+            )
         return translation
 
     def _probe_translate(self, sql: str) -> QueryTranslation:

@@ -14,6 +14,7 @@ graphs on valid statements and identical error objects on invalid ones.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -100,6 +101,12 @@ class QueryGraphBuilder:
         self._binding_state_cache = LRUCache(512)
         self._scopes: List[_FusedScope] = []
         self._scope_cache = LRUCache(512)
+        # ``build`` keeps per-statement stacks (binding state, fused
+        # scopes) on the instance, and the ``builder_for`` builder is
+        # shared process-wide per schema — so concurrent builds (the
+        # service runs sessions of one schema on worker threads) serialize
+        # here.  Reentrant because nested subqueries build recursively.
+        self._build_lock = threading.RLock()
 
     def _relation(self, name: str):
         relation = self._relation_cache.get(name)
@@ -124,37 +131,38 @@ class QueryGraphBuilder:
         :meth:`_nesting_edge` for subqueries, whose outer
         ``validate_select`` already validated them recursively.
         """
-        fused = not _REFERENCE_VALIDATION
-        if not fused and not _validated:
-            self.validator.validate_select(
-                statement, outer_bindings=self._outer_relations(outer_bindings)
-            )
-        graph = QueryGraph(statement=statement, depth=depth)
+        with self._build_lock:
+            fused = not _REFERENCE_VALIDATION
+            if not fused and not _validated:
+                self.validator.validate_select(
+                    statement, outer_bindings=self._outer_relations(outer_bindings)
+                )
+            graph = QueryGraph(statement=statement, depth=depth)
 
-        binding_map = self._collect_bindings_checked(statement)
-        binding_relations: Dict[str, str] = {}
-        for binding, relation in binding_map.items():
-            binding_relations[binding] = relation.name
-            graph.classes[binding] = QueryClass(binding=binding, relation_name=relation.name)
-        self._push_binding_state(binding_relations)
-        if fused:
-            outer_items = self._outer_scope_items(outer_bindings)
-            self._scopes.append(self._scope_for(outer_items, binding_map))
-
-        # Clause order matches the validator's traversal (select, where,
-        # group, having, order) so the fused pass surfaces the same first
-        # error the two-pass pipeline would.
-        try:
-            self._distribute_select(statement, graph, binding_relations)
-            self._distribute_where(statement, graph, binding_relations, outer_bindings)
-            self._distribute_group(statement, graph, binding_relations)
-            self._distribute_having(statement, graph, binding_relations, outer_bindings)
-            self._distribute_order(statement, graph, binding_relations)
-        finally:
-            self._pop_binding_state()
+            binding_map = self._collect_bindings_checked(statement)
+            binding_relations: Dict[str, str] = {}
+            for binding, relation in binding_map.items():
+                binding_relations[binding] = relation.name
+                graph.classes[binding] = QueryClass(binding=binding, relation_name=relation.name)
+            self._push_binding_state(binding_relations)
             if fused:
-                self._scopes.pop()
-        return graph
+                outer_items = self._outer_scope_items(outer_bindings)
+                self._scopes.append(self._scope_for(outer_items, binding_map))
+
+            # Clause order matches the validator's traversal (select, where,
+            # group, having, order) so the fused pass surfaces the same first
+            # error the two-pass pipeline would.
+            try:
+                self._distribute_select(statement, graph, binding_relations)
+                self._distribute_where(statement, graph, binding_relations, outer_bindings)
+                self._distribute_group(statement, graph, binding_relations)
+                self._distribute_having(statement, graph, binding_relations, outer_bindings)
+                self._distribute_order(statement, graph, binding_relations)
+            finally:
+                self._pop_binding_state()
+                if fused:
+                    self._scopes.pop()
+            return graph
 
     # ------------------------------------------------------------------
     # Fused validation: scopes, column checks and the combined walk
@@ -631,15 +639,17 @@ class QueryGraphBuilder:
 _SHARED_BUILDERS: "weakref.WeakKeyDictionary[Schema, QueryGraphBuilder]" = (
     weakref.WeakKeyDictionary()
 )
+_SHARED_BUILDERS_LOCK = threading.Lock()
 
 
 def builder_for(schema: Schema) -> QueryGraphBuilder:
-    """A shared (memoizing) builder for ``schema``."""
-    builder = _SHARED_BUILDERS.get(schema)
-    if builder is None:
-        builder = QueryGraphBuilder(schema)
-        _SHARED_BUILDERS[schema] = builder
-    return builder
+    """The shared (memoizing, internally locked) builder for ``schema``."""
+    with _SHARED_BUILDERS_LOCK:
+        builder = _SHARED_BUILDERS.get(schema)
+        if builder is None:
+            builder = QueryGraphBuilder(schema)
+            _SHARED_BUILDERS[schema] = builder
+        return builder
 
 
 def build_query_graph(schema: Schema, sql_or_statement) -> QueryGraph:

@@ -1,0 +1,10 @@
+"""Concurrent narration service (asyncio front end over the compiled pipeline).
+
+See :mod:`repro.service.service` for the architecture and the
+thread-safety contract, and ``docs/performance.md`` ("Concurrent
+service") for the design discussion.
+"""
+
+from repro.service.service import NarrationService, NarrationSession, ServiceClosed
+
+__all__ = ["NarrationService", "NarrationSession", "ServiceClosed"]

@@ -1,0 +1,564 @@
+"""The concurrent narration service: an asyncio front over the compiled pipeline.
+
+The paper's vision is a DBMS that *talks back* interactively — which
+means serving translation, narration, execution and empty-answer
+explanation to many callers at once, not one synchronous caller.  PRs
+1–3 made every stage of the pipeline compile-once-run-many (closure
+plans, compiled templates, shape-keyed phrase plans, maintained
+ranking); this module is the first layer that composes all three
+compiled subsystems behind one concurrent interface.
+
+Architecture
+------------
+
+:class:`NarrationService` owns a bounded :class:`ThreadPoolExecutor` and
+a set of :class:`NarrationSession`\\ s, one per (schema, database) pair.
+A session owns the shared compiled state for its schema — the
+``builder_for`` query-graph builder, the ``default_lexicon_for`` lexicon
+and its phrase-plan store, the compiled template registry inside its
+spec, one shared :class:`~repro.engine.executor.Executor` (plan, scan
+and subquery caches included) and one
+:class:`~repro.content.narrator.ContentNarrator` — and funnels every
+request through three tiers:
+
+* **direct-await fast path** — a translate request whose SQL hits the
+  exact-text LRU or a compiled phrase plan is served inline on the event
+  loop (microseconds, no parse, no graph build).  The session lock is
+  only *tried*; if a worker holds it the request falls through to the
+  queue rather than blocking the loop.
+* **batched cold path** — requests land in a bounded ``asyncio.Queue``
+  (back-pressure: producers suspend while the queue is full).  A drain
+  task groups each batch's translate requests by masked SQL shape
+  (:func:`repro.query_nl.plans.batch_key`), so one phrase-plan compile
+  serves every same-shape request in the batch, and hands each group to
+  the worker pool.
+* **worker pool** — CPU-bound work (parsing, graph builds, plan
+  compilation, execution, narration) runs on the service's
+  ``ThreadPoolExecutor``, off the event loop.  Sessions of different
+  schemas run in parallel; within a session the work lock serializes
+  pipeline access, which is what makes the shared caches sound.
+
+Thread-safety contract
+----------------------
+
+Python's hot-path caches here were built for single-threaded speed
+(plain dicts, ``OrderedDict`` LRUs); the service makes them safe under
+concurrency with a small set of rules, each enforced in code:
+
+* every *pipeline touch* for a session — translator, executor, narrator,
+  explainer — happens under that session's ``threading.Lock`` (workers
+  block on it; the event-loop fast path only ever try-acquires);
+* state shared *across* sessions is internally locked where mutation is
+  structural: the per-lexicon :class:`~repro.query_nl.plans.PlanStore`,
+  the shared :class:`~repro.querygraph.builder.QueryGraphBuilder` (its
+  ``build`` keeps per-statement stacks on the instance) and the module
+  factories (``builder_for``/``graph_for``/``default_lexicon_for``/
+  ``plan_store_for``) and the masked-shape cache;
+* memo dicts whose writes are single-key and value-idempotent (schema
+  graph paths, lexicon lookups, template defaults) are left unlocked —
+  a race costs a duplicate computation, never a wrong answer.
+
+Because translation and narration are pure functions of (schema,
+lexicon, text/data version), any interleaving of requests produces
+byte-identical output to sequential synchronous calls; the equivalence
+suite in ``tests/test_service.py`` asserts exactly that with 64
+concurrent clients.
+
+Observability
+-------------
+
+:meth:`NarrationSession.stats` is the per-session endpoint: request
+counters by kind and tier, queue high-water mark, the translator's
+exact-text LRU and phrase-plan store statistics (including the
+unplannable-shape report), and the shared executor's cache statistics.
+:meth:`NarrationService.stats` aggregates every session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.catalog.schema import Schema
+from repro.content.narrator import ContentNarrator
+from repro.content.presets import NarrationSpec
+from repro.engine.executor import Executor
+from repro.lexicon.lexicon import Lexicon
+from repro.query_nl.empty_answer import AnswerExplainer
+from repro.query_nl.plans import batch_key
+from repro.query_nl.translator import QueryTranslation, QueryTranslator
+from repro.storage.database import Database
+
+__all__ = ["NarrationService", "NarrationSession", "ServiceClosed"]
+
+
+class ServiceClosed(RuntimeError):
+    """Raised when a request is submitted to a closed service/session."""
+
+
+class _Request:
+    """One queued unit of work: a kind, its payload and the caller's future."""
+
+    __slots__ = ("kind", "payload", "future")
+
+    def __init__(self, kind: str, payload: Any, future: "asyncio.Future") -> None:
+        self.kind = kind
+        self.payload = payload
+        self.future = future
+
+
+class NarrationSession:
+    """All concurrent access to one (schema, database) pair.
+
+    Sessions are created through :meth:`NarrationService.session`; the
+    translate/execute/narrate/explain coroutines are safe to call from
+    many tasks at once and return exactly what the synchronous pipeline
+    would.  Construction is cheap — the expensive state (executor,
+    narrator, explainer) materialises on first use.
+    """
+
+    def __init__(
+        self,
+        service: "NarrationService",
+        schema: Schema,
+        database: Optional[Database],
+        spec: Optional[NarrationSpec],
+        lexicon: Optional[Lexicon],
+        max_queue: int,
+        max_batch: int,
+        cache_size: Optional[int] = 512,
+        phrase_plans: Optional[bool] = None,
+    ) -> None:
+        self._service = service
+        self.schema = schema
+        self.database = database
+        self.spec = spec
+        self.translator = QueryTranslator(
+            schema,
+            spec=spec,
+            lexicon=lexicon,
+            cache_size=cache_size,
+            phrase_plans=phrase_plans,
+        )
+        self._max_batch = max_batch
+        self._max_queue = max_queue
+        # Serializes every pipeline touch; see the module docstring's
+        # thread-safety contract.
+        self._work_lock = threading.Lock()
+        # Counter updates come from both the event loop and the workers.
+        self._stats_lock = threading.Lock()
+        self._executor: Optional[Executor] = None
+        self._narrator: Optional[ContentNarrator] = None
+        self._explainer: Optional[AnswerExplainer] = None
+        self._queue: Optional["asyncio.Queue[_Request]"] = None
+        self._drain_task: Optional["asyncio.Task"] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closed = False
+        self._counts: Dict[str, int] = {}
+        self._fast_path_hits = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._largest_batch = 0
+        self._shape_groups = 0
+        self._queue_high_water = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    async def translate(self, sql: str) -> QueryTranslation:
+        """Translate SQL to natural language (Section 3 of the paper).
+
+        Plan/LRU hits are served inline; cold translations are batched by
+        shape and run on the worker pool.
+        """
+        self._check_open()
+        if isinstance(sql, str) and self._work_lock.acquire(blocking=False):
+            try:
+                fast = self.translator.try_fast_translate(sql)
+            finally:
+                self._work_lock.release()
+            if fast is not None:
+                with self._stats_lock:
+                    self._fast_path_hits += 1
+                    self._counts["translate"] = self._counts.get("translate", 0) + 1
+                return fast
+        return await self._submit("translate", sql)
+
+    async def execute(self, sql: str):
+        """Execute SQL on the session's shared (cached, compiled) executor."""
+        self._check_open()
+        return await self._submit("execute", sql)
+
+    async def explain_empty(self, sql: str):
+        """Explain an empty (or very large) answer (Section 3.1)."""
+        self._check_open()
+        return await self._submit("explain", sql)
+
+    async def narrate_database(self, **kwargs) -> str:
+        """Narrate the database contents (Section 2)."""
+        self._check_open()
+        return await self._submit("narrate_database", kwargs)
+
+    async def narrate_relation(self, relation_name: str, **kwargs) -> str:
+        """Narrate one relation's (top) tuples."""
+        self._check_open()
+        return await self._submit("narrate_relation", (relation_name, kwargs))
+
+    def stats(self) -> Dict[str, Any]:
+        """The per-session cache/plan/request statistics snapshot."""
+        with self._stats_lock:
+            requests = {
+                "by_kind": dict(self._counts),
+                "fast_path_hits": self._fast_path_hits,
+                "batches": self._batches,
+                "batched_requests": self._batched_requests,
+                "largest_batch": self._largest_batch,
+                "shape_groups": self._shape_groups,
+                "queue_high_water": self._queue_high_water,
+            }
+        snapshot: Dict[str, Any] = {
+            "schema": self.schema.name,
+            "has_database": self.database is not None,
+            "requests": requests,
+            "translator": self.translator.stats(),
+        }
+        if self._executor is not None:
+            snapshot["executor"] = self._executor.cache_stats
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Queueing and batching
+    # ------------------------------------------------------------------
+
+    async def _submit(self, kind: str, payload: Any) -> Any:
+        loop = asyncio.get_running_loop()
+        self._ensure_started(loop)
+        future: "asyncio.Future" = loop.create_future()
+        request = _Request(kind, payload, future)
+        queue = self._queue
+        assert queue is not None
+        await queue.put(request)  # suspends while full: back-pressure
+        with self._stats_lock:
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+            size = queue.qsize()
+            if size > self._queue_high_water:
+                self._queue_high_water = size
+        return await future
+
+    def _ensure_started(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._loop is None:
+            self._loop = loop
+            self._queue = asyncio.Queue(self._max_queue)
+            self._drain_task = loop.create_task(self._drain())
+        elif self._loop is not loop:
+            raise RuntimeError(
+                "a NarrationSession is bound to the event loop that first"
+                " used it; create one service per loop"
+            )
+
+    async def _drain(self) -> None:
+        """Forever: collect a batch, group it by shape, run groups on workers."""
+        queue = self._queue
+        loop = self._loop
+        assert queue is not None and loop is not None
+        pool = self._service._pool
+        while True:
+            first = await queue.get()
+            batch = [first]
+            while len(batch) < self._max_batch:
+                try:
+                    batch.append(queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            groups = self._group(batch)
+            with self._stats_lock:
+                self._batches += 1
+                self._batched_requests += len(batch)
+                self._largest_batch = max(self._largest_batch, len(batch))
+                self._shape_groups += len(groups)
+            try:
+                for group in groups:
+                    # One worker invocation per group: requests of one shape
+                    # run back-to-back, so the first compile's phrase plan
+                    # serves the rest of the group (and every later batch).
+                    await loop.run_in_executor(pool, self._process_group, group)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as error:
+                # Dispatch itself failed (e.g. the pool shut down under a
+                # racing close).  Per-request errors were already delivered
+                # by _process_group; settle whatever is still pending so no
+                # client awaits forever, and keep draining.
+                for request in batch:
+                    if not request.future.done():
+                        self._deliver(request.future, error=error)
+            finally:
+                for _ in batch:
+                    queue.task_done()
+
+    @staticmethod
+    def _group(batch: List[_Request]) -> List[List[_Request]]:
+        """Group translate requests by masked shape; keep others singleton.
+
+        First-arrival order is preserved across groups, and within a
+        group requests stay in arrival order — results are independent
+        per request (translation is pure), so grouping only affects
+        scheduling, never output.
+        """
+        groups: List[List[_Request]] = []
+        by_shape: Dict[str, List[_Request]] = {}
+        for request in batch:
+            if request.kind == "translate" and isinstance(request.payload, str):
+                key = batch_key(request.payload)
+                bucket = by_shape.get(key)
+                if bucket is None:
+                    bucket = []
+                    by_shape[key] = bucket
+                    groups.append(bucket)
+                bucket.append(request)
+            else:
+                groups.append([request])
+        return groups
+
+    # ------------------------------------------------------------------
+    # Worker side (runs on the service pool)
+    # ------------------------------------------------------------------
+
+    def _process_group(self, group: List[_Request]) -> None:
+        with self._work_lock:
+            for request in group:
+                try:
+                    result = self._run(request)
+                except BaseException as error:  # delivered, never swallowed
+                    self._deliver(request.future, error=error)
+                else:
+                    self._deliver(request.future, result=result)
+
+    def _run(self, request: _Request) -> Any:
+        kind = request.kind
+        if kind == "translate":
+            return self.translator.translate(request.payload)
+        if kind == "execute":
+            return self._shared_executor().execute_sql(request.payload)
+        if kind == "explain":
+            return self._shared_explainer().explain(request.payload)
+        if kind == "narrate_database":
+            return self._shared_narrator().narrate_database(**request.payload)
+        if kind == "narrate_relation":
+            relation_name, kwargs = request.payload
+            return self._shared_narrator().narrate_relation(relation_name, **kwargs)
+        raise ValueError(f"unknown request kind {kind!r}")  # pragma: no cover
+
+    def _deliver(self, future: "asyncio.Future", result: Any = None,
+                 error: Optional[BaseException] = None) -> None:
+        loop = self._loop
+        assert loop is not None
+
+        def settle() -> None:
+            if future.done():  # cancelled by the client, or already settled
+                return
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+
+        loop.call_soon_threadsafe(settle)
+
+    # ------------------------------------------------------------------
+    # Shared per-session pipeline objects (created lazily, used under lock)
+    # ------------------------------------------------------------------
+
+    def _require_database(self) -> Database:
+        if self.database is None:
+            raise ValueError(
+                "this session was created from a schema only; execution and"
+                " narration need a database"
+            )
+        return self.database
+
+    def _shared_executor(self) -> Executor:
+        if self._executor is None:
+            self._executor = Executor(self._require_database())
+        return self._executor
+
+    def _shared_narrator(self) -> ContentNarrator:
+        if self._narrator is None:
+            self._narrator = ContentNarrator(self._require_database(), spec=self.spec)
+        return self._narrator
+
+    def _shared_explainer(self) -> AnswerExplainer:
+        if self._explainer is None:
+            # Shares the session executor, so explanation re-executions hit
+            # the same plan/scan/subquery caches as ordinary execution.
+            self._explainer = AnswerExplainer(
+                self._require_database(),
+                lexicon=self.translator.lexicon,
+                executor=self._shared_executor(),
+            )
+        return self._explainer
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed or self._service._closed:
+            raise ServiceClosed("the narration service has been closed")
+
+    async def aclose(self) -> None:
+        """Finish queued work, then stop the drain task."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._queue is not None and self._drain_task is not None:
+            if not self._drain_task.done():
+                await self._queue.join()
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+        self._drain_task = None
+
+
+class NarrationService:
+    """An asyncio service multiplexing narration sessions over one pool.
+
+    ::
+
+        async with NarrationService(max_workers=4) as service:
+            session = service.session(database=movie_database(),
+                                      spec_factory=movie_spec)
+            translation = await session.translate(sql)
+            answer = await session.execute(sql)
+            story = await session.narrate_database()
+            print(session.stats())
+
+    ``max_workers`` bounds the CPU-bound worker pool shared by every
+    session; ``max_queue`` bounds each session's request queue (producers
+    suspend while it is full — back-pressure, not unbounded buffering);
+    ``max_batch`` caps how many queued requests one drain cycle groups.
+    """
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        max_queue: int = 256,
+        max_batch: int = 32,
+    ) -> None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        if max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.max_workers = max_workers
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service"
+        )
+        self._sessions: Dict[Tuple[int, int], NarrationSession] = {}
+        self._sessions_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    def session(
+        self,
+        database: Optional[Database] = None,
+        schema: Optional[Schema] = None,
+        spec: Optional[NarrationSpec] = None,
+        spec_factory=None,
+        lexicon: Optional[Lexicon] = None,
+        cache_size: Optional[int] = 512,
+        phrase_plans: Optional[bool] = None,
+    ) -> NarrationSession:
+        """The session for ``(schema, database)``, created on first use.
+
+        Pass a ``database`` for the full surface (translate, execute,
+        explain, narrate) or just a ``schema`` for translation only.
+        ``spec_factory`` (e.g. ``movie_spec``) builds a narration spec
+        from the schema once, when the session is first created.
+
+        Configuration (``spec``/``spec_factory``/``lexicon``/
+        ``cache_size``/``phrase_plans``) applies on first creation only;
+        asking for an existing session *with* configuration raises rather
+        than silently answering with the first caller's settings.
+        """
+        if self._closed:
+            raise ServiceClosed("the narration service has been closed")
+        if database is None and schema is None:
+            raise ValueError("session() needs a database or a schema")
+        resolved_schema = schema if schema is not None else database.schema
+        key = (id(resolved_schema), id(database))
+        configured = (
+            spec is not None
+            or spec_factory is not None
+            or lexicon is not None
+            or cache_size != 512
+            or phrase_plans is not None
+        )
+        with self._sessions_lock:
+            existing = self._sessions.get(key)
+            if existing is not None:
+                if configured:
+                    raise ValueError(
+                        "a session for this (schema, database) pair already"
+                        " exists; configuration is applied on first creation"
+                        " only — call session() without configuration"
+                        " arguments to reuse it"
+                    )
+                return existing
+            if spec is None and spec_factory is not None:
+                spec = spec_factory(resolved_schema)
+            created = NarrationSession(
+                self,
+                resolved_schema,
+                database,
+                spec,
+                lexicon,
+                max_queue=self.max_queue,
+                max_batch=self.max_batch,
+                cache_size=cache_size,
+                phrase_plans=phrase_plans,
+            )
+            self._sessions[key] = created
+            return created
+
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate statistics across every session."""
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        return {
+            "max_workers": self.max_workers,
+            "max_queue": self.max_queue,
+            "max_batch": self.max_batch,
+            "sessions": [session.stats() for session in sessions],
+        }
+
+    # ------------------------------------------------------------------
+
+    async def aclose(self) -> None:
+        """Drain every session, then shut the worker pool down.
+
+        ``_closed`` flips *first*, so no new session can be created and no
+        new request accepted while the drain and pool shutdown proceed.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        with self._sessions_lock:
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            await session.aclose()
+        self._pool.shutdown(wait=True)
+
+    async def __aenter__(self) -> "NarrationService":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()

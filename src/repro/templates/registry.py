@@ -24,6 +24,7 @@ from typing import Dict, Optional, Tuple
 from repro.catalog.relation import Relation
 from repro.catalog.schema import Schema
 from repro.errors import MissingTemplateError
+from repro.oracle import resolve_compiled_default
 from repro.templates.compile import (
     CompiledListTemplate,
     CompiledTemplate,
@@ -43,9 +44,11 @@ class TemplateRegistry:
     equivalence suite narrates both ways and diffs the bytes).
     """
 
-    def __init__(self, schema: Schema, compile_templates: bool = True) -> None:
+    def __init__(self, schema: Schema, compile_templates: Optional[bool] = None) -> None:
         self.schema = schema
-        self.compile_templates = compile_templates
+        # Defaults to compiled unless REPRO_ORACLE forces the interpreted
+        # template walker (an explicit argument always wins).
+        self.compile_templates = resolve_compiled_default(compile_templates)
         self._relation_templates: Dict[str, Template] = {}
         self._projection_templates: Dict[Tuple[str, str], Template] = {}
         self._join_templates: Dict[Tuple[str, str], Template] = {}

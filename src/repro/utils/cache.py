@@ -30,10 +30,18 @@ class LRUCache:
 
     _MISSING = object()
 
-    def get(self, key: Hashable, default: Any = None) -> Any:
+    def get(self, key: Hashable, default: Any = None, record_miss: bool = True) -> Any:
+        """Lookup refreshing recency.
+
+        ``record_miss=False`` keeps a miss out of the counters — for
+        *probe* lookups (the service's fast path) whose miss is followed
+        by a counted lookup on the slow path, so the stats reflect one
+        logical request once.
+        """
         value = self._data.get(key, self._MISSING)
         if value is self._MISSING:
-            self.misses += 1
+            if record_miss:
+                self.misses += 1
             return default
         self.hits += 1
         self._data.move_to_end(key)

@@ -232,7 +232,9 @@ def test_planner_keeps_inequality_as_filter():
 
 
 def test_index_scan_creates_index_and_matches_full_scan(db):
-    executor = Executor(db)
+    # Explicit index_scans: the assertion is about index creation, so it
+    # must keep probing indexes under REPRO_ORACLE's flipped defaults.
+    executor = Executor(db, compiled=True, use_caches=True, index_scans=True)
     sql = "select m.title from MOVIES m where m.year = 2004"
     result = executor.execute_sql(sql)
     assert executor.database.table("MOVIES").find_index(("year",)) is not None
@@ -261,13 +263,15 @@ def test_correlated_equality_uses_index(db):
 
 
 def test_subquery_memo_is_used(db):
-    executor = Executor(db)
+    # Explicit use_caches: the assertion is about the memo itself, so it
+    # must keep caching under REPRO_ORACLE's flipped defaults.
+    executor = Executor(db, compiled=True, use_caches=True, index_scans=True)
     executor.execute_sql(PAPER_QUERIES["Q5"])
     assert executor.subquery_hits > 0
 
 
 def test_plan_cache_hit_on_repeat(db):
-    executor = Executor(db)
+    executor = Executor(db, compiled=True, use_caches=True, index_scans=True)
     executor.execute_sql(PAPER_QUERIES["Q1"])
     executor.execute_sql(PAPER_QUERIES["Q1"])
     assert executor.cache_stats["plan"]["hits"] > 0

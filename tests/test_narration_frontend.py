@@ -129,7 +129,9 @@ class TestLexerEquivalence:
             assert_lexers_agree(text)
 
     def test_keyword_values_are_canonical_and_shared(self):
-        a = tokenize("select SELECT Select")
+        # The regex lexer directly: interning is a property of the compiled
+        # lexer, which REPRO_ORACLE's forced reference lexer bypasses.
+        a = RegexLexer("select SELECT Select").tokenize()
         assert [t.value for t in a[:-1]] == ["SELECT", "SELECT", "SELECT"]
         assert a[0].value is a[1].value  # interned keyword table
 
@@ -251,7 +253,9 @@ class TestCompiledTemplateEquivalence:
 
     def test_registry_memoizes_compiled_forms_and_defaults(self):
         schema = movie_database().schema
-        registry = TemplateRegistry(schema)
+        # Explicit: this test is about the compiled path specifically, so
+        # it must keep compiling under REPRO_ORACLE's flipped defaults.
+        registry = TemplateRegistry(schema, compile_templates=True)
         template = registry.projection_template("MOVIES", "year")
         assert registry.projection_template("MOVIES", "year") is template
         compiled = registry.compiled(template)

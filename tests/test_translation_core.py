@@ -282,7 +282,9 @@ def _assert_field_equivalence(fast, oracle, sql):
 
 class TestPhrasePlanEquivalence:
     def _check_corpus(self, schema, corpus):
-        fast = QueryTranslator(schema, cache_size=None)
+        # phrase_plans explicit: the class under test is the plan path, so
+        # it must stay on under REPRO_ORACLE's flipped defaults.
+        fast = QueryTranslator(schema, cache_size=None, phrase_plans=True)
         oracle = QueryTranslator(schema, cache_size=None, phrase_plans=False)
         for sql in corpus:  # first pass compiles the plans
             fast.translate(sql)
@@ -304,7 +306,7 @@ class TestPhrasePlanEquivalence:
 
     def test_literal_variants_hit_plans_and_match_oracle(self):
         schema = movie_schema()
-        fast = QueryTranslator(schema, cache_size=None)
+        fast = QueryTranslator(schema, cache_size=None, phrase_plans=True)
         oracle = QueryTranslator(schema, cache_size=None, phrase_plans=False)
         base = workload_sql()
         for sql in base:
@@ -323,14 +325,16 @@ class TestPhrasePlanEquivalence:
         assert fast._plans.hits > hits_before
 
     def test_verify_plans_mode_passes_on_workload(self):
-        translator = QueryTranslator(movie_schema(), cache_size=None, verify_plans=True)
+        translator = QueryTranslator(
+            movie_schema(), cache_size=None, phrase_plans=True, verify_plans=True
+        )
         for sql in workload_sql():
             translator.translate(sql)  # compiles
         for sql in workload_sql():
             translator.translate(sql)  # every hit self-verifies vs the oracle
 
     def test_lazy_graph_and_classification_materialise(self):
-        translator = QueryTranslator(movie_schema(), cache_size=None)
+        translator = QueryTranslator(movie_schema(), cache_size=None, phrase_plans=True)
         sql = "select m.title from MOVIES m where m.year = 1995"
         translator.translate(sql)  # compile the plan
         rendered = translator.translate("select m.title from MOVIES m where m.year = 2003")
@@ -342,7 +346,7 @@ class TestPhrasePlanEquivalence:
 
     def test_plan_guards_split_single_vs_multi_word_values(self):
         schema = movie_schema()
-        fast = QueryTranslator(schema, cache_size=None)
+        fast = QueryTranslator(schema, cache_size=None, phrase_plans=True)
         oracle = QueryTranslator(schema, cache_size=None, phrase_plans=False)
         template = (
             "select m.title from MOVIES m, GENRE g"
@@ -355,7 +359,7 @@ class TestPhrasePlanEquivalence:
 
     def test_plan_guards_split_count_thresholds(self):
         schema = movie_schema()
-        fast = QueryTranslator(schema, cache_size=None)
+        fast = QueryTranslator(schema, cache_size=None, phrase_plans=True)
         oracle = QueryTranslator(schema, cache_size=None, phrase_plans=False)
         template = (
             "select m.id, m.title, count(*) from MOVIES m, CAST c"
@@ -370,7 +374,7 @@ class TestPhrasePlanEquivalence:
 
     def test_same_value_idiom_guard(self):
         schema = movie_schema()
-        fast = QueryTranslator(schema, cache_size=None)
+        fast = QueryTranslator(schema, cache_size=None, phrase_plans=True)
         oracle = QueryTranslator(schema, cache_size=None, phrase_plans=False)
         template = (
             "select a.id, a.name from MOVIES m, CAST c, ACTOR a"
@@ -417,7 +421,7 @@ class TestPhrasePlanEquivalence:
     def test_values_coinciding_with_sentinels_stay_slots(self):
         """A literal equal to a would-be sentinel must not become fixed text."""
         schema = movie_schema()
-        fast = QueryTranslator(schema, cache_size=None)
+        fast = QueryTranslator(schema, cache_size=None, phrase_plans=True)
         oracle = QueryTranslator(schema, cache_size=None, phrase_plans=False)
         template = "select m.title from MOVIES m where m.year = {value}"
         # 6 is the first int sentinel; 700.25 the first float sentinel.
@@ -449,7 +453,7 @@ class TestPhrasePlanEquivalence:
 
         schema = movie_schema()
         lexicon = default_lexicon(schema)
-        translator = QueryTranslator(schema, lexicon=lexicon, cache_size=None)
+        translator = QueryTranslator(schema, lexicon=lexicon, cache_size=None, phrase_plans=True)
         sql = "select m.title from MOVIES m where m.year = 1995"
         before = translator.translate(sql).text
         translator.translate(sql)  # plan hit
