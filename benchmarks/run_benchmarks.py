@@ -28,6 +28,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from bench_parameterised import bench_parameterised_plans  # noqa: E402
 from bench_service_throughput import bench_service_throughput  # noqa: E402
 
 from repro.content.narrator import ContentNarrator  # noqa: E402
@@ -454,9 +455,13 @@ def main(argv=None) -> int:
         "equivalence": verify_equivalence(),
         "databases": {},
     }
-    # The narration front end and translation core are measured first,
-    # before the minutes-long interpreted executor baselines heat the
-    # process up.
+    # The compiled-path sections (parameterised plans, service,
+    # translation core, narration front end) are all measured before the
+    # minutes-long interpreted executor baselines heat the process up.
+    print("benchmarking parameterised plans ...", flush=True)
+    summary["parameterised_plans"] = bench_parameterised_plans(
+        quick=args.quick, repeats=max(5, args.repeats)
+    )
     print("benchmarking concurrent service ...", flush=True)
     summary["service_throughput"] = bench_service_throughput(quick=args.quick)
     print("benchmarking translation core ...", flush=True)
@@ -509,6 +514,15 @@ def main(argv=None) -> int:
         f" 64 clients {top['service_rps']:.0f} req/s vs naive"
         f" {top['naive_rps']:.0f} req/s ({top['speedup']}x);"
         f" plan-path variants {service['literal_variants_rps_64']:.0f} req/s"
+    )
+    parameterised = summary["parameterised_plans"]
+    print(
+        "  parameterised plans:"
+        f" warm same-shape point queries {parameterised['warm_shape_per_text_s']*1e3:.2f}ms"
+        f" per-text -> {parameterised['warm_shape_parameterised_s']*1e3:.2f}ms shared"
+        f" ({parameterised['speedup_warm_shape']}x);"
+        f" mixed workload {parameterised['speedup_warm_shape_workload']}x;"
+        f" {parameterised['service_equivalence']}"
     )
     frontend = summary["narration_frontend"]
     print(

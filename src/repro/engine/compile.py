@@ -79,6 +79,18 @@ class ExpressionCompiler:
 
         return run
 
+    def _is_constant(self, literal: ast.Literal) -> bool:
+        """Whether ``literal``'s value may be baked into the closure.
+
+        Always true here; the parameterised compiler
+        (:class:`repro.engine.parameterised.ParamExpressionCompiler`)
+        overrides it to keep parameter-slot literals out of the
+        value-specialised fast paths (LIKE regexes compiled once,
+        IN lists frozen into sets) so their closures read the bound
+        parameter vector instead.
+        """
+        return True
+
     # ------------------------------------------------------------------
 
     def _compile(self, e: ast.Expression) -> CompiledExpr:
@@ -190,7 +202,11 @@ class ExpressionCompiler:
         if op in ("LIKE", "NOT LIKE"):
             negate = op == "NOT LIKE"
             # Literal patterns (the common case) compile to a regex once.
-            if isinstance(e.right, ast.Literal) and e.right.value is not None:
+            if (
+                isinstance(e.right, ast.Literal)
+                and e.right.value is not None
+                and self._is_constant(e.right)
+            ):
                 matcher = like_regex(str(e.right.value)).match
 
                 def run_like_lit(row: Row) -> Any:
@@ -385,7 +401,7 @@ class ExpressionCompiler:
         negated = e.negated
 
         # All-literal lists (the common case) become a frozen set probe.
-        if all(isinstance(v, ast.Literal) for v in e.values):
+        if all(isinstance(v, ast.Literal) and self._is_constant(v) for v in e.values):
             literals = [v.value for v in e.values]
             has_null = any(v is None for v in literals)
             try:

@@ -10,6 +10,15 @@ needs this to be fast because execution is part of the *interactive*
 loop: it verifies translations (e.g. Q5's flattened vs. nested form) and
 explains empty answers at answer time.
 
+On top of the per-text caches, SELECT texts are shared per literal
+-stripped *shape* (see :mod:`repro.engine.parameterised`): queries that
+differ only in their literal values execute through one compiled plan
+whose predicate closures and index probes read a bound-parameter vector,
+so the warm path for a fresh literal variant is a shape lookup plus a
+rebind — no parse, no plan, no compile.  ``parameterised=False`` keeps
+the per-text path, which doubles as the oracle for the equivalence suite
+in ``tests/test_parameterised_plans.py``.
+
 ``Executor(db, compiled=False, use_caches=False, index_scans=False)``
 reproduces the original fully-interpreted behaviour; the property tests
 assert both modes return identical results.
@@ -21,6 +30,14 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tupl
 
 from repro.engine.compile import CompiledExpr, ExpressionCompiler
 from repro.engine.evaluator import ExpressionEvaluator
+from repro.engine.parameterised import (
+    UNPARAMETERISABLE,
+    ParamExpressionCompiler,
+    ParameterisedPlan,
+    analyze_statement,
+    guard_key,
+    ordinal_map,
+)
 from repro.engine.plan import (
     AggregateNode,
     DistinctNode,
@@ -39,6 +56,7 @@ from repro.errors import EvaluationError, UnknownAttributeError, UnsupportedQuer
 from repro.oracle import resolve_compiled_default
 from repro.sql import ast
 from repro.sql.parser import parse_sql
+from repro.sql.shape import sql_shape
 from repro.storage.database import Database
 from repro.storage.row import Row
 from repro.storage.table import Table
@@ -48,6 +66,14 @@ _EMPTY_ROW = Row({})
 
 #: How many memoized subquery results to hold before dropping them all.
 _SUBQUERY_MEMO_LIMIT = 100_000
+
+#: Returned by the parameterised fast path when the text must take the
+#: per-text pipeline instead (never escapes ``execute_sql``).
+_FALLBACK = object()
+
+#: Bound on the identity-keyed subquery-plan cache used while running
+#: parameterised plans (cleared wholesale; plans rebuild on demand).
+_PARAM_SUBPLAN_LIMIT = 4096
 
 
 class _CorrelationInfo:
@@ -94,19 +120,43 @@ class Executor:
         compiled: Optional[bool] = None,
         use_caches: Optional[bool] = None,
         index_scans: Optional[bool] = None,
+        parameterised: Optional[bool] = None,
         plan_cache_size: int = 256,
         parse_cache_size: int = 512,
+        shape_cache_size: int = 256,
     ) -> None:
         self.database = database
         self.planner = Planner()
-        # The three flags default to the compiled configuration, unless
+        # The four flags default to the compiled configuration, unless
         # REPRO_ORACLE forces the interpreted defaults for the whole
         # process (explicit arguments always win either way).
         self.compiled = resolve_compiled_default(compiled)
         self.use_caches = resolve_compiled_default(use_caches)
         self.index_scans = resolve_compiled_default(index_scans)
+        # Parameterised plans need the compiled, cached configuration:
+        # their closures *are* compiled closures, and sharing without a
+        # cache would be pointless.
+        self.parameterised = (
+            resolve_compiled_default(parameterised) and self.compiled and self.use_caches
+        )
         self._evaluator = ExpressionEvaluator(subquery_runner=self._run_subquery)
         self._compiler = ExpressionCompiler(subquery_runner=self._run_subquery)
+        # Parameterised execution state: closures compiled for a shared
+        # plan read ``_params_box[0]`` (the literal vector of the query
+        # being served) instead of baked constants.  ``_param_active`` is
+        # True exactly while a parameterised plan is running, so lazily
+        # built operator closures pick the right compiler.
+        self._params_box: List[Tuple[Any, ...]] = [()]
+        self._param_compiler = ParamExpressionCompiler(
+            subquery_runner=self._run_subquery, params_box=self._params_box
+        )
+        self._param_active = False
+        self._shape_infos: LRUCache = LRUCache(shape_cache_size)
+        self._param_plans: LRUCache = LRUCache(shape_cache_size)
+        self._param_subplans: Dict[int, Tuple[ast.SelectStatement, Any]] = {}
+        self.shape_hits = 0
+        self.shape_misses = 0
+        self.shape_fallbacks = 0
         # Caches.  Parse and plan caches hold data-independent artefacts;
         # the scan cache and subquery memo depend on table contents and are
         # validated against Database.data_version before every top-level
@@ -126,13 +176,28 @@ class Executor:
     # ------------------------------------------------------------------
 
     def execute_sql(self, sql: str):
-        """Parse and execute ``sql``; returns a QueryResult or DmlResult."""
+        """Parse and execute ``sql``; returns a QueryResult or DmlResult.
+
+        With ``parameterised`` on (the default), SELECT texts are first
+        routed through the shape-shared plan cache: a text whose shape
+        (and guard vector) was executed before skips parse, plan and
+        compile entirely and runs the shared plan with its literals bound
+        as parameters.  Texts the shape analysis cannot prove sharable
+        fall back to the per-text pipeline below.
+        """
+        if self.parameterised:
+            result = self._execute_parameterised(sql)
+            if result is not _FALLBACK:
+                return result
+        return self.execute(self._parse_statement(sql))
+
+    def _parse_statement(self, sql: str) -> ast.Statement:
         statement = self._parse_cache.get(sql) if self.use_caches else None
         if statement is None:
             statement = parse_sql(sql)
             if self.use_caches:
                 self._parse_cache.put(sql, statement)
-        return self.execute(statement)
+        return statement
 
     def execute(self, statement: ast.Statement):
         """Execute a parsed statement."""
@@ -164,10 +229,24 @@ class Executor:
 
     @property
     def cache_stats(self) -> Dict[str, Any]:
-        """Observability: hit/miss counters for every cache layer."""
+        """Observability: hit/miss counters for every cache layer.
+
+        ``shape_plans`` covers the parameterised path: ``hits`` are
+        executions served by a shared plan with only a rebind, ``misses``
+        are first sights of a (shape, guard) class that compiled a new
+        shared plan, and ``fallbacks`` are texts the shape analysis
+        routed to the per-text pipeline.
+        """
         return {
             "parse": self._parse_cache.stats,
             "plan": self._plan_cache.stats,
+            "shape_plans": {
+                "hits": self.shape_hits,
+                "misses": self.shape_misses,
+                "fallbacks": self.shape_fallbacks,
+                "entries": len(self._param_plans),
+                "shapes": len(self._shape_infos),
+            },
             "subquery": {
                 "hits": self.subquery_hits,
                 "misses": self.subquery_misses,
@@ -177,12 +256,85 @@ class Executor:
         }
 
     # ------------------------------------------------------------------
+    # Parameterised (shape-shared) execution
+    # ------------------------------------------------------------------
+
+    def _execute_parameterised(self, sql: str):
+        """Execute ``sql`` through the shape-shared plan cache.
+
+        Returns :data:`_FALLBACK` when the text must take the per-text
+        path: the shape does not lex, the statement is not a SELECT, or
+        the literal walk cannot be aligned with the lexer's literal
+        vector (see :func:`repro.engine.parameterised.analyze_statement`).
+        """
+        shaped = sql_shape(sql)
+        if shaped is None:
+            self.shape_fallbacks += 1
+            return _FALLBACK
+        shape, literals = shaped
+        info = self._shape_infos.get(shape, record_miss=False)
+        if info is UNPARAMETERISABLE:
+            self.shape_fallbacks += 1
+            return _FALLBACK
+        entry: Optional[ParameterisedPlan] = None
+        if info is not None:
+            entry = self._param_plans.get((shape, guard_key(literals, info)))
+        if entry is None:
+            statement = self._parse_statement(sql)
+            if info is None:
+                info = analyze_statement(statement, literals)
+                if info is None:
+                    self._shape_infos.put(shape, UNPARAMETERISABLE)
+                    self.shape_fallbacks += 1
+                    return _FALLBACK
+                self._shape_infos.put(shape, info)
+            # This text becomes the canonical statement for its guard
+            # class; its own literal values are what the pinned guard
+            # positions bake into the plan.
+            ordinals = ordinal_map(statement, literals, info)
+            if ordinals is None:
+                self._shape_infos.put(shape, UNPARAMETERISABLE)
+                self.shape_fallbacks += 1
+                return _FALLBACK
+            plan = self.planner.plan(statement)
+            entry = ParameterisedPlan(
+                statement, plan, self._output_columns(statement), ordinals
+            )
+            self._param_plans.put((shape, guard_key(literals, info)), entry)
+            self.shape_misses += 1
+        else:
+            self.shape_hits += 1
+        self._validate_caches()
+        self._params_box[0] = literals
+        self._param_compiler.set_ordinals(entry.ordinals)
+        self._param_active = True
+        try:
+            rows = list(self._run_node(entry.plan.root, None))
+        finally:
+            self._param_active = False
+            self._params_box[0] = ()
+        return QueryResult(columns=entry.columns, rows=rows)
+
+    # ------------------------------------------------------------------
     # Planning and cache upkeep
     # ------------------------------------------------------------------
 
     def _plan_select(
         self, statement: ast.SelectStatement
     ) -> Tuple[LogicalPlan, Tuple[str, ...]]:
+        if self._param_active:
+            # Subqueries of a parameterised plan get identity-keyed plans:
+            # the per-text plan cache keys by value equality, and a
+            # value-equal statement from an unrelated text must never
+            # receive closures that read this shape's parameter slots.
+            cached = self._param_subplans.get(id(statement))
+            if cached is not None and cached[0] is statement:
+                return cached[1]
+            entry = (self.planner.plan(statement), self._output_columns(statement))
+            if len(self._param_subplans) >= _PARAM_SUBPLAN_LIMIT:
+                self._param_subplans.clear()
+            self._param_subplans[id(statement)] = (statement, entry)
+            return entry
         entry = self._plan_cache.get(statement) if self.use_caches else None
         if entry is None:
             plan = self.planner.plan(statement)
@@ -212,6 +364,10 @@ class Executor:
         self._parse_cache.clear()
         self._plan_cache.clear()
         self._corr_info.clear()
+        self._shape_infos.clear()
+        self._param_plans.clear()
+        self._param_subplans.clear()
+        self._param_compiler.clear()
         self._clear_data_caches()
         self._data_version = self.database.data_version
 
@@ -220,12 +376,19 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _expr_fn(self, expression: ast.Expression) -> CompiledExpr:
+        # Operator closures are built lazily while a plan first runs, so
+        # _param_active routes the nodes of a parameterised plan (and of
+        # its subqueries) to the parameter-aware compiler.
+        if self._param_active:
+            return self._param_compiler.compile(expression)
         if self.compiled:
             return self._compiler.compile(expression)
         evaluator = self._evaluator
         return lambda row: evaluator.evaluate(expression, row)
 
     def _pred_fn(self, predicate: Optional[ast.Expression]) -> Callable[[Row], bool]:
+        if self._param_active:
+            return self._param_compiler.compile_predicate(predicate)
         if self.compiled:
             return self._compiler.compile_predicate(predicate)
         evaluator = self._evaluator
@@ -651,12 +814,19 @@ class Executor:
         values cannot be attributed statically (unqualified references,
         binding shadowing between the outer query and the subquery) the
         whole outer row becomes the key — always sound, just less shareable.
+
+        Every key is prefixed with the bound-parameter vector: under a
+        parameterised plan the same canonical subquery statement serves
+        many literal variants, whose results must never be conflated
+        (per-text executions bind ``()``, so their keys are unaffected in
+        practice).
         """
+        params = self._params_box[0]
         if outer_row is None:
-            return ("<top>",)
+            return (params, "<top>")
         info = self._correlation_info(statement)
         if info.whole_row:
-            return outer_row
+            return (params, outer_row)
         raw = outer_row.raw
         # Shadowing guard first: when the subquery reuses an outer binding
         # name anywhere in its FROM clauses, the static analysis may have
@@ -668,9 +838,9 @@ class Executor:
             if dot > 0:
                 prefixes.add(key[:dot].lower())
         if prefixes & info.inner_bindings:
-            return outer_row
+            return (params, outer_row)
         if not info.keys:
-            return ("<uncorrelated>",)
+            return (params, "<uncorrelated>")
         parts = []
         for key in info.keys:
             resolved = outer_row.resolve_key(key)
@@ -679,7 +849,7 @@ class Executor:
                 # skip the memo and let execution surface the usual error.
                 return None
             parts.append(_freeze(raw[resolved]))
-        return tuple(parts)
+        return (params, tuple(parts))
 
     def _correlation_info(self, statement: ast.SelectStatement) -> _CorrelationInfo:
         entry = self._corr_info.get(id(statement))

@@ -38,7 +38,7 @@ invalidated by the lexicon's ``version`` counter.
 
 from __future__ import annotations
 
-import re
+import os
 import threading
 import weakref
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -47,8 +47,20 @@ from repro.catalog.types import render_value
 from repro.lexicon.lexicon import Lexicon
 from repro.lexicon.morphology import number_word
 from repro.sql import ast
-from repro.sql.lexer import NUMBER_MARK, STRING_MARK, shape_of
+from repro.sql.shape import batch_key, reconstruct_sql, sql_shape
 from repro.utils.cache import LRUCache
+
+__all__ = [
+    "PlanStore",
+    "TranslationPlan",
+    "UNPLANNABLE",
+    "batch_key",
+    "compile_plan",
+    "guards_for",
+    "plan_store_for",
+    "render_segments",
+    "shape_key",
+]
 
 #: Segment of a field template: literal text, or a (literal index, transform
 #: tag) slot filled at render time.
@@ -64,91 +76,18 @@ UNPLANNABLE = "unplannable"
 _INT_SENTINELS = (6, 7, 8, 9, 10, 11, 12)
 
 
-#: One-pass literal masker for the shape-cache fast path.  Comments and
-#: quoted identifiers are consumed (and kept verbatim in the masked text)
-#: so that quotes/digits inside them can never be mistaken for literals;
-#: the string pattern is exactly the lexer's; the number pattern is a
-#: *conservative* subset of the lexer's (the lookbehind skips digits glued
-#: to words or dots), which only ever causes cache misses, never false
-#: hits — the store-time self-check below enforces exact agreement with
-#: the real tokenization before a masked key is ever trusted.
-_MASK_RE = re.compile(
-    r"""
-      (--[^\n]*|/\*(?:[^*]|\*(?!/))*\*/|"[^"]*")
-    | ('[^']*(?:''[^']*)*'(?!'))
-    | ((?<![\w.])(?:\d+(?:\.\d+)?|\.\d+))
-    """,
-    re.VERBOSE,
-)
-
-#: masked text -> (shape tuple, literal count).  Shapes are pure text
-#: properties, so one process-wide cache serves every schema and lexicon;
-#: the lock makes the LRU's recency bookkeeping safe under the service's
-#: worker threads (sessions of *different* schemas share this cache).
-_MASK_CACHE = LRUCache(2048)
-_MASK_LOCK = threading.Lock()
-
-
-def _mask(sql: str):
-    """``(masked text, extracted literal values)`` or ``None`` when unusable."""
-    if "\x00" in sql:
-        return None
-    pieces: List[str] = []
-    literals: List[Any] = []
-    last = 0
-    for match in _MASK_RE.finditer(sql):
-        index = match.lastindex
-        if index == 1:  # comment / quoted identifier: stays distinguishing
-            continue
-        start, end = match.span()
-        pieces.append(sql[last:start])
-        pieces.append("\x00")
-        last = end
-        if index == 2:
-            body = sql[start + 1 : end - 1]
-            if "''" in body:
-                body = body.replace("''", "'")
-            literals.append(body)
-        else:
-            lexeme = match.group(3)
-            literals.append(float(lexeme) if "." in lexeme else int(lexeme))
-    pieces.append(sql[last:])
-    return "".join(pieces), literals
-
-
-def batch_key(sql: str) -> str:
-    """A grouping key that is equal exactly for mask-equal SQL texts.
-
-    The concurrent service groups same-shape translate requests with this
-    (one phrase-plan compile then serves the whole group).  Unlike
-    :func:`shape_key` it touches no shared cache and never tokenizes, so
-    it is safe and cheap to call on the event-loop thread.
-    """
-    masked = _mask(sql)
-    return masked[0] if masked is not None else sql
-
-
 def shape_key(sql: str):
-    """``(shape, guards, literals)`` for ``sql``, or ``None`` when unlexable."""
-    masked = _mask(sql)
-    if masked is not None:
-        masked_text, extracted = masked
-        with _MASK_LOCK:
-            entry = _MASK_CACHE.get(masked_text)
-        if entry is not None:
-            shape, count = entry
-            if count == len(extracted):
-                return shape, guards_for(extracted), tuple(extracted)
-    shaped = shape_of(sql)
+    """``(shape, guards, literals)`` for ``sql``, or ``None`` when unlexable.
+
+    The shape and literal extraction are the shared implementation in
+    :mod:`repro.sql.shape` (also used by the engine's parameterised plans
+    and the service's batch grouping); this adds the translation-specific
+    guard vector on top.
+    """
+    shaped = sql_shape(sql)
     if shaped is None:
         return None
     shape, literals = shaped
-    if masked is not None and list(literals) == masked[1]:
-        # The masker reproduced the tokenizer's literals exactly for this
-        # text, so mask-equal texts (identical outside literal spans) are
-        # safe to serve from the cached shape.
-        with _MASK_LOCK:
-            _MASK_CACHE.put(masked[0], (shape, len(literals)))
     return shape, guards_for(literals), literals
 
 
@@ -257,23 +196,6 @@ def _sentinels_for(
             slots.append(index)
             next_int += 1
     return sentinels, slots
-
-
-def _reconstruct_sql(shape: Sequence[str], literals: Sequence[Any]) -> str:
-    """SQL text lexing back to ``shape`` with the given literal values."""
-    pieces: List[str] = []
-    position = 0
-    for part in shape:
-        if part is NUMBER_MARK or part == NUMBER_MARK:
-            pieces.append(repr(literals[position]))
-            position += 1
-        elif part is STRING_MARK or part == STRING_MARK:
-            body = str(literals[position]).replace("'", "''")
-            pieces.append(f"'{body}'")
-            position += 1
-        else:
-            pieces.append(part)
-    return " ".join(pieces)
 
 
 # ---------------------------------------------------------------------------
@@ -388,7 +310,7 @@ def compile_plan(
         return None
     sentinels, slot_literals = sentinelled
     try:
-        probe = probe_translate(_reconstruct_sql(shape, sentinels))
+        probe = probe_translate(reconstruct_sql(shape, sentinels))
     except Exception:
         return None
     if probe.category is not base.category:
@@ -432,6 +354,35 @@ def compile_plan(
 #: How many unplannable-shape examples the report keeps.
 _UNPLANNABLE_SAMPLES = 32
 
+#: Fallback LRU size when neither the constructor nor the environment
+#: chooses one.
+_DEFAULT_PLAN_STORE_SIZE = 512
+
+#: Environment knob for per-deployment plan-store sizing (see
+#: ``docs/performance.md``): a positive integer bounds every store created
+#: without an explicit ``maxsize``; ``0`` disables eviction entirely.
+_PLAN_STORE_SIZE_VAR = "REPRO_PLAN_STORE_SIZE"
+
+
+def _resolve_plan_store_size(maxsize) -> Optional[int]:
+    """The effective LRU bound: explicit argument, else env, else default."""
+    if maxsize is None:
+        raw = os.environ.get(_PLAN_STORE_SIZE_VAR, "").strip()
+        if raw:
+            try:
+                maxsize = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{_PLAN_STORE_SIZE_VAR} must be an integer, got {raw!r}"
+                ) from None
+        else:
+            return _DEFAULT_PLAN_STORE_SIZE
+    if maxsize == 0:
+        return None  # unbounded: eviction disabled
+    if maxsize < 0:
+        raise ValueError("plan store maxsize must be >= 0")
+    return maxsize
+
 
 class PlanStore:
     """Shape-keyed plans for one lexicon, invalidated by lexicon version.
@@ -440,6 +391,13 @@ class PlanStore:
     threads when the concurrent service serves several sessions of the
     same schema — so every access runs under an internal lock (the LRU's
     recency bookkeeping is not otherwise safe to interleave).
+
+    ``maxsize`` bounds the LRU: an explicit integer wins, ``None`` defers
+    to the ``REPRO_PLAN_STORE_SIZE`` environment variable (falling back
+    to 512), and ``0`` — as argument or environment value — disables
+    eviction.  :attr:`stats` reports the configured bound and the
+    eviction count, so a deployment can see when its hot shape set
+    outgrows the store and resize it.
 
     Besides hit/miss counters the store keeps the *unplannable-shape
     report*: how many shapes the two-probe compiler refused (value-driven
@@ -458,8 +416,8 @@ class PlanStore:
         "_lock",
     )
 
-    def __init__(self) -> None:
-        self.plans = LRUCache(512)
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        self.plans = LRUCache(_resolve_plan_store_size(maxsize))
         self.lexicon_version: Optional[int] = None
         self.hits = 0
         self.misses = 0
@@ -503,6 +461,8 @@ class PlanStore:
                 "hits": self.hits,
                 "misses": self.misses,
                 "size": len(self.plans),
+                "maxsize": self.plans.maxsize,
+                "evictions": self.plans.evictions,
                 "unplannable": self.unplannable,
                 "unplannable_shapes": list(self._unplannable_samples),
             }

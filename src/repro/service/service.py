@@ -28,9 +28,10 @@ request through three tiers:
   queue rather than blocking the loop.
 * **batched cold path** — requests land in a bounded ``asyncio.Queue``
   (back-pressure: producers suspend while the queue is full).  A drain
-  task groups each batch's translate requests by masked SQL shape
-  (:func:`repro.query_nl.plans.batch_key`), so one phrase-plan compile
-  serves every same-shape request in the batch, and hands each group to
+  task groups each batch's translate *and* execute requests by masked SQL
+  shape (:func:`repro.sql.shape.batch_key`), so one phrase-plan compile
+  serves every same-shape translate in the batch and one parameterised
+  plan binding serves every same-shape execute, and hands each group to
   the worker pool.
 * **worker pool** — CPU-bound work (parsing, graph builds, plan
   compilation, execution, narration) runs on the service's
@@ -68,10 +69,13 @@ Observability
 -------------
 
 :meth:`NarrationSession.stats` is the per-session endpoint: request
-counters by kind and tier, queue high-water mark, the translator's
-exact-text LRU and phrase-plan store statistics (including the
-unplannable-shape report), and the shared executor's cache statistics.
-:meth:`NarrationService.stats` aggregates every session.
+counters by kind and tier (including per-kind shape-group counters for
+the batched path), queue high-water mark, the translator's exact-text
+LRU and phrase-plan store statistics (including the unplannable-shape
+report), the shared executor's cache statistics, and the derived
+execution shape-sharing rate (what fraction of executions were served by
+a shared parameterised plan).  :meth:`NarrationService.stats` aggregates
+every session.
 """
 
 from __future__ import annotations
@@ -87,8 +91,8 @@ from repro.content.presets import NarrationSpec
 from repro.engine.executor import Executor
 from repro.lexicon.lexicon import Lexicon
 from repro.query_nl.empty_answer import AnswerExplainer
-from repro.query_nl.plans import batch_key
 from repro.query_nl.translator import QueryTranslation, QueryTranslator
+from repro.sql.shape import batch_key
 from repro.storage.database import Database
 
 __all__ = ["NarrationService", "NarrationSession", "ServiceClosed"]
@@ -96,6 +100,17 @@ __all__ = ["NarrationService", "NarrationSession", "ServiceClosed"]
 
 class ServiceClosed(RuntimeError):
     """Raised when a request is submitted to a closed service/session."""
+
+
+def _is_mutation(sql: str) -> bool:
+    """Whether an execute payload may change data (a grouping barrier).
+
+    Anything that is not plainly a SELECT is treated as a potential
+    mutation — the conservative direction: a false positive only costs a
+    singleton group, a false negative could let a same-shape read jump a
+    write.
+    """
+    return not sql.lstrip()[:6].lower().startswith("select")
 
 
 class _Request:
@@ -161,7 +176,9 @@ class NarrationSession:
         self._batches = 0
         self._batched_requests = 0
         self._largest_batch = 0
-        self._shape_groups = 0
+        # Per-kind group counters; the total group count is derived from
+        # these in stats() (every group has exactly one kind).
+        self._grouped_by_kind: Dict[str, Dict[str, int]] = {}
         self._queue_high_water = 0
 
     # ------------------------------------------------------------------
@@ -188,7 +205,13 @@ class NarrationSession:
         return await self._submit("translate", sql)
 
     async def execute(self, sql: str):
-        """Execute SQL on the session's shared (cached, compiled) executor."""
+        """Execute SQL on the session's shared (cached, compiled) executor.
+
+        Concurrent same-shape requests are grouped by the drain task, so
+        one parameterised plan binding serves the whole group (the first
+        request of a fresh shape compiles the shared plan; the rest —
+        and every later request of that shape — only rebind literals).
+        """
         self._check_open()
         return await self._submit("execute", sql)
 
@@ -208,7 +231,15 @@ class NarrationSession:
         return await self._submit("narrate_relation", (relation_name, kwargs))
 
     def stats(self) -> Dict[str, Any]:
-        """The per-session cache/plan/request statistics snapshot."""
+        """The per-session cache/plan/request statistics snapshot.
+
+        ``requests`` counts traffic by kind and tier (``shape_groups_by_
+        kind`` shows how well the drain task is coalescing same-shape
+        translates and executes); ``execution_shape_sharing`` derives the
+        executor's shape-hit rate — the fraction of SQL executions served
+        by an already-compiled parameterised plan with only a literal
+        rebind.
+        """
         with self._stats_lock:
             requests = {
                 "by_kind": dict(self._counts),
@@ -216,7 +247,13 @@ class NarrationSession:
                 "batches": self._batches,
                 "batched_requests": self._batched_requests,
                 "largest_batch": self._largest_batch,
-                "shape_groups": self._shape_groups,
+                "shape_groups": sum(
+                    counters["groups"] for counters in self._grouped_by_kind.values()
+                ),
+                "shape_groups_by_kind": {
+                    kind: dict(counters)
+                    for kind, counters in self._grouped_by_kind.items()
+                },
                 "queue_high_water": self._queue_high_water,
             }
         snapshot: Dict[str, Any] = {
@@ -227,6 +264,14 @@ class NarrationSession:
         }
         if self._executor is not None:
             snapshot["executor"] = self._executor.cache_stats
+            shape = snapshot["executor"]["shape_plans"]
+            served = shape["hits"] + shape["misses"] + shape["fallbacks"]
+            snapshot["execution_shape_sharing"] = {
+                "shared": shape["hits"],
+                "compiled": shape["misses"],
+                "fallbacks": shape["fallbacks"],
+                "hit_rate": round(shape["hits"] / served, 4) if served else None,
+            }
         return snapshot
 
     # ------------------------------------------------------------------
@@ -278,7 +323,12 @@ class NarrationSession:
                 self._batches += 1
                 self._batched_requests += len(batch)
                 self._largest_batch = max(self._largest_batch, len(batch))
-                self._shape_groups += len(groups)
+                for group in groups:
+                    kind_stats = self._grouped_by_kind.setdefault(
+                        group[0].kind, {"groups": 0, "requests": 0}
+                    )
+                    kind_stats["groups"] += 1
+                    kind_stats["requests"] += len(group)
             try:
                 for group in groups:
                     # One worker invocation per group: requests of one shape
@@ -301,18 +351,35 @@ class NarrationSession:
 
     @staticmethod
     def _group(batch: List[_Request]) -> List[List[_Request]]:
-        """Group translate requests by masked shape; keep others singleton.
+        """Group translate/execute requests by masked shape; others singleton.
 
         First-arrival order is preserved across groups, and within a
         group requests stay in arrival order — results are independent
-        per request (translation is pure), so grouping only affects
-        scheduling, never output.
+        per request (translation is pure; execution sees the same data
+        version throughout a drain cycle unless a request in the batch
+        mutates, and requests of one session run back-to-back under the
+        work lock in arrival order either way), so grouping only affects
+        scheduling, never output.  The grouping key carries the request
+        kind, so a translate and an execute of the same SQL never share
+        a group.
+
+        A mutating execute (INSERT/UPDATE/DELETE) is a *barrier*: it runs
+        as a singleton and no read that arrived after it may join a group
+        created before it — otherwise a same-shape SELECT could jump the
+        mutation and observe stale data that a sequential client would
+        never see.
         """
         groups: List[List[_Request]] = []
-        by_shape: Dict[str, List[_Request]] = {}
+        by_shape: Dict[Tuple[str, str], List[_Request]] = {}
         for request in batch:
-            if request.kind == "translate" and isinstance(request.payload, str):
-                key = batch_key(request.payload)
+            if request.kind in ("translate", "execute") and isinstance(
+                request.payload, str
+            ):
+                if request.kind == "execute" and _is_mutation(request.payload):
+                    by_shape.clear()
+                    groups.append([request])
+                    continue
+                key = (request.kind, batch_key(request.payload))
                 bucket = by_shape.get(key)
                 if bucket is None:
                     bucket = []

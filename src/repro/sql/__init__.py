@@ -10,6 +10,7 @@ from repro.sql.lexer import (
 )
 from repro.sql.parser import Parser, parse_select, parse_sql
 from repro.sql.printer import expression_to_sql, to_sql
+from repro.sql.shape import batch_key, sql_shape
 from repro.sql.validator import ValidationResult, Validator, validate
 
 __all__ = [
@@ -19,9 +20,11 @@ __all__ = [
     "ValidationResult",
     "Validator",
     "ast",
+    "batch_key",
     "expression_to_sql",
     "parse_select",
     "parse_sql",
+    "sql_shape",
     "to_sql",
     "tokenize",
     "tokenize_reference",

@@ -1,0 +1,165 @@
+"""Shared SQL shape extraction: one literal-masking implementation for all layers.
+
+Three subsystems key compile-once-run-many caches on the *shape* of a SQL
+text — the token stream with every NUMBER/STRING literal replaced by a
+placeholder:
+
+* the translator's phrase plans (:mod:`repro.query_nl.plans`) render
+  repeated-shape queries by slot substitution,
+* the engine's parameterised plans (:mod:`repro.engine.parameterised`)
+  execute repeated-shape queries through one compiled logical plan with
+  the literals bound as parameters, and
+* the concurrent service (:mod:`repro.service.service`) groups same-shape
+  translate *and* execute requests so one compile serves a whole batch.
+
+This module is the single implementation they all consume.  It layers a
+fast *masking* pass over the lexer's exact :func:`~repro.sql.lexer.shape_of`:
+
+``_mask``
+    A one-pass regex that blanks literal spans.  Its number pattern is a
+    conservative subset of the lexer's, so masking can only ever cause
+    cache misses, never false hits; the store-time self-check in
+    :func:`sql_shape` enforces exact agreement with the real tokenization
+    before a masked key is ever trusted.
+
+:func:`sql_shape`
+    ``(shape, literals)`` for a SQL text, served from a process-wide
+    masked-text cache when possible and from :func:`shape_of` otherwise.
+
+:func:`batch_key`
+    A grouping key that is equal exactly for mask-equal texts.  It touches
+    no shared cache and never tokenizes, so the service can call it on the
+    event-loop thread.
+
+Shapes are pure text properties, so one process-wide cache serves every
+schema, lexicon and database; the internal lock makes the LRU's recency
+bookkeeping safe under the service's worker threads.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.sql.lexer import NUMBER_MARK, STRING_MARK, shape_of
+from repro.utils.cache import LRUCache
+
+__all__ = [
+    "NUMBER_MARK",
+    "STRING_MARK",
+    "batch_key",
+    "reconstruct_sql",
+    "shape_of",
+    "sql_shape",
+]
+
+#: One-pass literal masker for the shape-cache fast path.  Comments and
+#: quoted identifiers are consumed (and kept verbatim in the masked text)
+#: so that quotes/digits inside them can never be mistaken for literals;
+#: the string pattern is exactly the lexer's; the number pattern is a
+#: *conservative* subset of the lexer's (the lookbehind skips digits glued
+#: to words or dots), which only ever causes cache misses, never false
+#: hits — the store-time self-check below enforces exact agreement with
+#: the real tokenization before a masked key is ever trusted.
+_MASK_RE = re.compile(
+    r"""
+      (--[^\n]*|/\*(?:[^*]|\*(?!/))*\*/|"[^"]*")
+    | ('[^']*(?:''[^']*)*'(?!'))
+    | ((?<![\w.])(?:\d+(?:\.\d+)?|\.\d+))
+    """,
+    re.VERBOSE,
+)
+
+#: masked text -> (shape tuple, literal count).
+_MASK_CACHE = LRUCache(2048)
+_MASK_LOCK = threading.Lock()
+
+
+def _mask(sql: str):
+    """``(masked text, extracted literal values)`` or ``None`` when unusable."""
+    if "\x00" in sql:
+        return None
+    pieces: List[str] = []
+    literals: List[Any] = []
+    last = 0
+    for match in _MASK_RE.finditer(sql):
+        index = match.lastindex
+        if index == 1:  # comment / quoted identifier: stays distinguishing
+            continue
+        start, end = match.span()
+        pieces.append(sql[last:start])
+        pieces.append("\x00")
+        last = end
+        if index == 2:
+            body = sql[start + 1 : end - 1]
+            if "''" in body:
+                body = body.replace("''", "'")
+            literals.append(body)
+        else:
+            lexeme = match.group(3)
+            literals.append(float(lexeme) if "." in lexeme else int(lexeme))
+    pieces.append(sql[last:])
+    return "".join(pieces), literals
+
+
+def batch_key(sql: str) -> str:
+    """A grouping key that is equal exactly for mask-equal SQL texts.
+
+    The concurrent service groups same-shape translate and execute
+    requests with this (one phrase-plan or parameterised-plan compile
+    then serves the whole group).  Unlike :func:`sql_shape` it touches no
+    shared cache and never tokenizes, so it is safe and cheap to call on
+    the event-loop thread.
+    """
+    masked = _mask(sql)
+    return masked[0] if masked is not None else sql
+
+
+def sql_shape(sql: str) -> Optional[Tuple[Tuple[str, ...], Tuple[Any, ...]]]:
+    """``(shape, literals)`` for ``sql``, or ``None`` when it does not lex.
+
+    The shape is the lexer's token stream with literal positions replaced
+    by :data:`NUMBER_MARK`/:data:`STRING_MARK`; ``literals`` holds the
+    masked values in text order.  Mask-equal texts (identical outside
+    literal spans) are served from the process-wide cache without
+    tokenizing; the first sight of a masked text verifies the masker
+    against the real tokenization before the cached shape is trusted.
+    """
+    masked = _mask(sql)
+    if masked is not None:
+        masked_text, extracted = masked
+        with _MASK_LOCK:
+            entry = _MASK_CACHE.get(masked_text)
+        if entry is not None:
+            shape, count = entry
+            if count == len(extracted):
+                return shape, tuple(extracted)
+    shaped = shape_of(sql)
+    if shaped is None:
+        return None
+    shape, literals = shaped
+    if masked is not None and list(literals) == masked[1]:
+        # The masker reproduced the tokenizer's literals exactly for this
+        # text, so mask-equal texts (identical outside literal spans) are
+        # safe to serve from the cached shape.
+        with _MASK_LOCK:
+            _MASK_CACHE.put(masked[0], (shape, len(literals)))
+    return shape, literals
+
+
+def reconstruct_sql(shape: Sequence[str], literals: Sequence[Any]) -> str:
+    """SQL text lexing back to ``shape`` with the given literal values."""
+    pieces: List[str] = []
+    position = 0
+    for part in shape:
+        if part is NUMBER_MARK or part == NUMBER_MARK:
+            pieces.append(repr(literals[position]))
+            position += 1
+        elif part is STRING_MARK or part == STRING_MARK:
+            body = str(literals[position]).replace("'", "''")
+            pieces.append(f"'{body}'")
+            position += 1
+        else:
+            pieces.append(part)
+    return " ".join(pieces)

@@ -16,8 +16,10 @@ class LRUCache:
 
     ``get`` refreshes recency; ``put`` inserts/overwrites and evicts the
     oldest entry once ``maxsize`` is exceeded.  ``maxsize=None`` disables
-    eviction (unbounded).  Hit/miss counters are kept for observability
-    and for tests asserting that a cache is actually being used.
+    eviction (unbounded).  Hit/miss/eviction counters are kept for
+    observability and for tests asserting that a cache is actually being
+    used (and sized sensibly: a high eviction rate means the LRU is
+    thrashing and should be grown).
     """
 
     def __init__(self, maxsize: Optional[int] = 256) -> None:
@@ -26,6 +28,7 @@ class LRUCache:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
 
     _MISSING = object()
@@ -55,6 +58,7 @@ class LRUCache:
         self._data.move_to_end(key)
         if self.maxsize is not None and len(self._data) > self.maxsize:
             self._data.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
         self._data.clear()
@@ -67,7 +71,12 @@ class LRUCache:
 
     @property
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._data)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._data),
+            "evictions": self.evictions,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"LRUCache(size={len(self._data)}, hits={self.hits}, misses={self.misses})"

@@ -1,0 +1,42 @@
+"""Docs health in tier-1: links resolve, the README quickstart is real.
+
+The full example-run pass lives in CI (``python tools/check_docs.py``);
+here we keep the fast guarantees: every relative link in ``README.md``
+and ``docs/*.md`` points at a file that exists, the documents the
+acceptance criteria name are present, and the README's quickstart code
+block executes as written.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+from check_docs import broken_links, doc_files  # noqa: E402
+
+
+def test_docs_exist():
+    for required in ("README.md", "docs/architecture.md", "docs/api.md",
+                     "docs/performance.md"):
+        assert (REPO / required).is_file(), f"{required} is missing"
+
+
+def test_every_relative_link_resolves():
+    broken = broken_links()
+    assert not broken, f"broken documentation links: {broken}"
+
+
+def test_doc_files_cover_readme_and_docs():
+    names = {path.name for path in doc_files()}
+    assert "README.md" in names and "architecture.md" in names
+
+
+def test_readme_quickstart_block_runs():
+    text = (REPO / "README.md").read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert blocks, "README.md has no python quickstart block"
+    # The first python block is the 30-second quickstart; it must be
+    # copy-pasteable as-is.
+    exec(compile(blocks[0], "README.md#quickstart", "exec"), {})

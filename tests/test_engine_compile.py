@@ -271,11 +271,28 @@ def test_subquery_memo_is_used(db):
 
 
 def test_plan_cache_hit_on_repeat(db):
-    executor = Executor(db, compiled=True, use_caches=True, index_scans=True)
+    # The assertion is about the per-text parse/plan caches, so the
+    # shape-shared path (which would serve the repeat without touching
+    # either) is explicitly disabled.
+    executor = Executor(
+        db, compiled=True, use_caches=True, index_scans=True, parameterised=False
+    )
     executor.execute_sql(PAPER_QUERIES["Q1"])
     executor.execute_sql(PAPER_QUERIES["Q1"])
     assert executor.cache_stats["plan"]["hits"] > 0
     assert executor.cache_stats["parse"]["hits"] > 0
+
+
+def test_shape_cache_hit_on_repeat(db):
+    # Explicit parameterised: the assertion is about the shape cache, so
+    # it must keep sharing under REPRO_ORACLE's flipped defaults.
+    executor = Executor(
+        db, compiled=True, use_caches=True, index_scans=True, parameterised=True
+    )
+    executor.execute_sql(PAPER_QUERIES["Q1"])
+    executor.execute_sql(PAPER_QUERIES["Q1"])
+    stats = executor.cache_stats["shape_plans"]
+    assert stats["misses"] == 1 and stats["hits"] == 1
 
 
 def test_insert_through_executor_invalidates_caches(db):

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Docs health check: every relative link resolves, every example runs.
+
+Two passes, both required by CI (the ``docs`` job) and the first also by
+the tier-1 suite (``tests/test_docs.py``):
+
+* **Links** — every markdown link/image target in ``README.md`` and
+  ``docs/*.md`` that is *relative* (no URL scheme, not an in-page
+  anchor) must point at an existing file or directory.
+* **Examples** — every ``examples/*.py`` must run to completion (exit
+  code 0) under the same interpreter that runs the tier-1 tests, with
+  ``src/`` on the path.
+
+Usage::
+
+    python tools/check_docs.py            # both passes
+    python tools/check_docs.py --links    # link check only
+    python tools/check_docs.py --examples # example runs only
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links and images: ``[text](target)`` / ``![alt](target)``.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Targets that are not repository paths.
+_EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, https:, mailto:, ...
+
+
+def doc_files() -> List[Path]:
+    files = [REPO / "README.md"]
+    files.extend(sorted((REPO / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def broken_links() -> List[Tuple[Path, str]]:
+    """``(document, target)`` for every relative link that does not resolve."""
+    broken: List[Tuple[Path, str]] = []
+    for document in doc_files():
+        text = document.read_text()
+        # Fenced code blocks routinely contain bracketed text that is not
+        # a link (type hints, slices); strip them before matching.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if _EXTERNAL.match(target) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (document.parent / path).resolve()
+            if not resolved.exists():
+                broken.append((document, target))
+    return broken
+
+
+def run_examples() -> List[Tuple[Path, str]]:
+    """``(example, stderr tail)`` for every example that fails to run."""
+    failures: List[Tuple[Path, str]] = []
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = (
+        str(REPO / "src") + os.pathsep + environment.get("PYTHONPATH", "")
+    ).rstrip(os.pathsep)
+    for example in sorted((REPO / "examples").glob("*.py")):
+        result = subprocess.run(
+            [sys.executable, str(example)],
+            cwd=REPO,
+            env=environment,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        if result.returncode != 0:
+            failures.append((example, result.stderr.strip()[-2000:]))
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--links", action="store_true", help="link check only")
+    parser.add_argument("--examples", action="store_true", help="example runs only")
+    args = parser.parse_args(argv)
+    run_links = args.links or not args.examples
+    run_ex = args.examples or not args.links
+
+    status = 0
+    if run_links:
+        broken = broken_links()
+        for document, target in broken:
+            print(f"BROKEN LINK {document.relative_to(REPO)}: {target}")
+        checked = len(doc_files())
+        if broken:
+            status = 1
+        else:
+            print(f"links ok ({checked} documents)")
+    if run_ex:
+        failures = run_examples()
+        for example, stderr in failures:
+            print(f"EXAMPLE FAILED {example.relative_to(REPO)}\n{stderr}")
+        if failures:
+            status = 1
+        else:
+            print(f"examples ok ({len(list((REPO / 'examples').glob('*.py')))} scripts)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
