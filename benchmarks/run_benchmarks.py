@@ -29,7 +29,10 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from bench_parameterised import bench_parameterised_plans  # noqa: E402
-from bench_service_throughput import bench_service_throughput  # noqa: E402
+from bench_service_throughput import (  # noqa: E402
+    bench_service_throughput,
+    bench_shard_tier,
+)
 
 from repro.content.narrator import ContentNarrator  # noqa: E402
 from repro.content.presets import movie_spec  # noqa: E402
@@ -464,6 +467,8 @@ def main(argv=None) -> int:
     )
     print("benchmarking concurrent service ...", flush=True)
     summary["service_throughput"] = bench_service_throughput(quick=args.quick)
+    print("benchmarking shard tier ...", flush=True)
+    summary["shard_tier"] = bench_shard_tier(quick=args.quick)
     print("benchmarking translation core ...", flush=True)
     summary["translation_core"] = bench_translation_core(max(5, args.repeats))
     print("benchmarking narration front end ...", flush=True)
@@ -514,6 +519,20 @@ def main(argv=None) -> int:
         f" 64 clients {top['service_rps']:.0f} req/s vs naive"
         f" {top['naive_rps']:.0f} req/s ({top['speedup']}x);"
         f" plan-path variants {service['literal_variants_rps_64']:.0f} req/s"
+    )
+    shard = summary["shard_tier"]
+    shard_top = {
+        workers: entry["clients"]["64"]["rps"]
+        for workers, entry in shard["workers"].items()
+    }
+    print(
+        f"  shard tier ({shard['cpu_count']} cores):"
+        + "".join(
+            f" {workers}w {rps:.0f} req/s"
+            f" ({shard['workers'][workers]['speedup_vs_single_process']}x);"
+            for workers, rps in shard_top.items()
+        )
+        + f" ipc round-trip p50 {shard['ipc_round_trip_p50_ms']:.2f}ms"
     )
     parameterised = summary["parameterised_plans"]
     print(

@@ -76,7 +76,13 @@ from repro.lexicon import Lexicon, default_lexicon
 from repro.nlg import LengthBudget
 from repro.query_nl import AnswerExplainer, QueryTranslation, QueryTranslator, translate_query
 from repro.querygraph import QueryCategory, QueryGraph, build_query_graph, classify_query
-from repro.service import NarrationService, NarrationSession, ServiceClosed
+from repro.service import (
+    NarrationService,
+    NarrationSession,
+    ServiceClosed,
+    ShardRouter,
+    WorkerCrashed,
+)
 from repro.sql import parse_select, parse_sql, to_sql
 from repro.storage import Database, Row, Table
 from repro.templates import TemplateRegistry, parse_list_template, parse_template
@@ -111,11 +117,13 @@ __all__ = [
     "SchemaBuilder",
     "SchemaGraph",
     "ServiceClosed",
+    "ShardRouter",
     "SynthesisMode",
     "Table",
     "TemplateRegistry",
     "TupleStyle",
     "UserProfile",
+    "WorkerCrashed",
     "build_query_graph",
     "build_schema_graph",
     "classify_query",

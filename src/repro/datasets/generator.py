@@ -137,6 +137,18 @@ def generate_movie_database(
     return database
 
 
+def bench_movie_database() -> Database:
+    """The 200-movie generated database the performance suite shares.
+
+    A module-level zero-argument factory so multi-process consumers (the
+    shard tier's workers build their replicas by importing a factory
+    path) and the benchmarks construct the identical database.
+    """
+    return generate_movie_database(
+        GeneratorConfig(movies=200, directors=20, actors=50)
+    )
+
+
 def _person_name(rng: random.Random) -> str:
     return f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
 

@@ -111,6 +111,11 @@ def _analyze_correlation(statement: ast.SelectStatement) -> _CorrelationInfo:
     return _CorrelationInfo(frozenset(inner_bindings), tuple(sorted(keys)), whole_row)
 
 
+def _is_mutation_text(sql: str) -> bool:
+    """Whether a SQL text may change data (same rule as the service's)."""
+    return not sql.lstrip()[:6].lower().startswith("select")
+
+
 class Executor:
     """Execute SQL statements against an in-memory database."""
 
@@ -153,6 +158,9 @@ class Executor:
         self._param_active = False
         self._shape_infos: LRUCache = LRUCache(shape_cache_size)
         self._param_plans: LRUCache = LRUCache(shape_cache_size)
+        # Workload capture: one representative SQL text per compiled shape
+        # plan, for the warm-start API (`captured_shapes`/`precompile`).
+        self._param_samples: LRUCache = LRUCache(shape_cache_size)
         self._param_subplans: Dict[int, Tuple[ast.SelectStatement, Any]] = {}
         self.shape_hits = 0
         self.shape_misses = 0
@@ -255,6 +263,40 @@ class Executor:
             "scan_tables": len(self._scan_cache),
         }
 
+    def captured_shapes(self) -> List[str]:
+        """The captured execution workload: one SELECT per compiled shape plan.
+
+        Executing each returned text on a fresh executor of an equivalent
+        database recompiles the same parameterised plan, so a respawned
+        shard worker's first real request of every hot shape is a rebind,
+        not a cold parse-plan-compile.  Texts whose plan has been evicted
+        are dropped.
+        """
+        return [
+            sample
+            for key, sample in self._param_samples.items()
+            if key in self._param_plans
+        ]
+
+    def precompile(self, shapes) -> int:
+        """Warm-start: replay captured shape texts through the executor.
+
+        Only plain SELECTs are replayed (parameterised plans cover nothing
+        else, and replaying a mutation would change data); each runs once,
+        compiling its shared plan.  Texts that fail are skipped.  Returns
+        how many texts replayed cleanly.
+        """
+        replayed = 0
+        for sql in shapes:
+            if not isinstance(sql, str) or _is_mutation_text(sql):
+                continue
+            try:
+                self.execute_sql(sql)
+            except Exception:
+                continue
+            replayed += 1
+        return replayed
+
     # ------------------------------------------------------------------
     # Parameterised (shape-shared) execution
     # ------------------------------------------------------------------
@@ -301,6 +343,7 @@ class Executor:
                 statement, plan, self._output_columns(statement), ordinals
             )
             self._param_plans.put((shape, guard_key(literals, info)), entry)
+            self._param_samples.put((shape, guard_key(literals, info)), sql)
             self.shape_misses += 1
         else:
             self.shape_hits += 1
@@ -366,6 +409,7 @@ class Executor:
         self._corr_info.clear()
         self._shape_infos.clear()
         self._param_plans.clear()
+        self._param_samples.clear()
         self._param_subplans.clear()
         self._param_compiler.clear()
         self._clear_data_caches()

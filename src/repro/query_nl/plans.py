@@ -413,16 +413,24 @@ class PlanStore:
         "misses",
         "unplannable",
         "_unplannable_samples",
+        "_samples",
         "_lock",
     )
 
     def __init__(self, maxsize: Optional[int] = None) -> None:
-        self.plans = LRUCache(_resolve_plan_store_size(maxsize))
+        resolved = _resolve_plan_store_size(maxsize)
+        self.plans = LRUCache(resolved)
         self.lexicon_version: Optional[int] = None
         self.hits = 0
         self.misses = 0
         self.unplannable = 0
         self._unplannable_samples: List[str] = []
+        # Workload capture: one representative SQL text per successfully
+        # planned shape, bounded like the plan LRU.  Replaying these texts
+        # through a fresh translator recompiles the same (shape, guards)
+        # plans — the warm-start API (`captured_shapes`) the shard tier
+        # uses to precompile respawned workers.
+        self._samples = LRUCache(resolved)
         self._lock = threading.Lock()
 
     def record_hit(self) -> None:
@@ -437,6 +445,7 @@ class PlanStore:
         with self._lock:
             if self.lexicon_version != lexicon.version:
                 self.plans.clear()
+                self._samples.clear()
                 self.lexicon_version = lexicon.version
             return self.plans.get(key)
 
@@ -444,6 +453,7 @@ class PlanStore:
         with self._lock:
             if self.lexicon_version != lexicon.version:
                 self.plans.clear()
+                self._samples.clear()
                 self.lexicon_version = lexicon.version
             self.plans.put(key, plan)
             if plan is UNPLANNABLE:
@@ -453,6 +463,26 @@ class PlanStore:
                     and len(self._unplannable_samples) < _UNPLANNABLE_SAMPLES
                 ):
                     self._unplannable_samples.append(sample_sql)
+            elif sample_sql is not None:
+                self._samples.put(key, sample_sql)
+
+    def captured_shapes(self) -> List[str]:
+        """The captured workload: one SQL text per successfully planned shape.
+
+        Each returned text, translated through a fresh translator of the
+        same schema and lexicon, recompiles exactly one of this store's
+        plans (same shape, same guard vector) — so replaying the list is a
+        faithful warm-start of the production shape set.  Texts whose plan
+        has been evicted are dropped; unplannable shapes are excluded
+        (replaying them would only re-discover the refusal).  See
+        :meth:`repro.query_nl.translator.QueryTranslator.precompile`.
+        """
+        with self._lock:
+            return [
+                sample
+                for key, sample in self._samples.items()
+                if key in self.plans
+            ]
 
     @property
     def stats(self) -> dict:

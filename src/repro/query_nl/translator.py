@@ -285,6 +285,31 @@ class QueryTranslator:
             return rendered.copy()
         return rendered
 
+    def precompile(self, shapes) -> int:
+        """Warm-start: replay captured shape texts, compiling their plans.
+
+        ``shapes`` is an iterable of SQL texts — typically
+        :meth:`PlanStore.captured_shapes` output from a production
+        translator (possibly in another process).  Each text runs through
+        the full pipeline once, compiling its phrase plan, so the first
+        *real* request of every replayed shape is already a plan hit
+        instead of a cold compile.  A text that fails to translate is
+        skipped (capture may outlive a schema tweak); returns how many
+        texts replayed cleanly.
+        """
+        replayed = 0
+        for sql in shapes:
+            try:
+                self.translate(sql)
+            except Exception:
+                continue
+            replayed += 1
+        return replayed
+
+    def captured_shapes(self) -> List[str]:
+        """This translator's captured workload (see :meth:`PlanStore.captured_shapes`)."""
+        return self._plans.captured_shapes() if self._plans is not None else []
+
     def stats(self) -> Dict[str, Any]:
         """Cache/plan observability for this translator.
 

@@ -6,5 +6,19 @@ service") for the design discussion.
 """
 
 from repro.service.service import NarrationService, NarrationSession, ServiceClosed
+from repro.service.sharding import (
+    HashRing,
+    ShardError,
+    ShardRouter,
+    WorkerCrashed,
+)
 
-__all__ = ["NarrationService", "NarrationSession", "ServiceClosed"]
+__all__ = [
+    "HashRing",
+    "NarrationService",
+    "NarrationSession",
+    "ServiceClosed",
+    "ShardError",
+    "ShardRouter",
+    "WorkerCrashed",
+]

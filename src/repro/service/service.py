@@ -230,6 +230,33 @@ class NarrationSession:
         self._check_open()
         return await self._submit("narrate_relation", (relation_name, kwargs))
 
+    def captured_shapes(self) -> Dict[str, List[str]]:
+        """The session's captured workload, one representative text per shape.
+
+        ``translate`` holds the phrase-plan store's capture, ``execute``
+        the shared executor's parameterised-plan capture.  Feeding the
+        dict to :meth:`precompile` on a fresh session of an equivalent
+        (schema, database) warm-starts it — the shard tier does exactly
+        this for respawned workers, and a deployment can persist the dict
+        to warm-start the next process generation.
+        """
+        captured: Dict[str, List[str]] = {
+            "translate": self.translator.captured_shapes(),
+            "execute": [],
+        }
+        if self._executor is not None:
+            captured["execute"] = self._executor.captured_shapes()
+        return captured
+
+    async def precompile(self, shapes: Dict[str, List[str]]) -> Dict[str, int]:
+        """Warm-start: replay a :meth:`captured_shapes` dict on this session.
+
+        Runs on the worker pool under the session lock like any other
+        pipeline touch; returns how many texts replayed cleanly per kind.
+        """
+        self._check_open()
+        return await self._submit("precompile", shapes)
+
     def stats(self) -> Dict[str, Any]:
         """The per-session cache/plan/request statistics snapshot.
 
@@ -286,6 +313,16 @@ class NarrationSession:
         queue = self._queue
         assert queue is not None
         await queue.put(request)  # suspends while full: back-pressure
+        if self._closed and (self._drain_task is None or self._drain_task.done()):
+            # The put was suspended on a full queue while the session
+            # closed: the drain task is gone, so nothing will ever settle
+            # this future.  Reject it here (aclose's flush also sweeps the
+            # queue, so whichever side runs first wins — both check
+            # ``future.done()``).
+            if not future.done():
+                future.set_exception(
+                    ServiceClosed("the narration service has been closed")
+                )
         with self._stats_lock:
             self._counts[kind] = self._counts.get(kind, 0) + 1
             size = queue.qsize()
@@ -417,6 +454,17 @@ class NarrationSession:
         if kind == "narrate_relation":
             relation_name, kwargs = request.payload
             return self._shared_narrator().narrate_relation(relation_name, **kwargs)
+        if kind == "precompile":
+            shapes = request.payload
+            replayed = {
+                "translate": self.translator.precompile(shapes.get("translate", ()))
+            }
+            execute_shapes = shapes.get("execute", ())
+            if execute_shapes and self.database is not None:
+                replayed["execute"] = self._shared_executor().precompile(execute_shapes)
+            else:
+                replayed["execute"] = 0
+            return replayed
         raise ValueError(f"unknown request kind {kind!r}")  # pragma: no cover
 
     def _deliver(self, future: "asyncio.Future", result: Any = None,
@@ -476,7 +524,14 @@ class NarrationSession:
             raise ServiceClosed("the narration service has been closed")
 
     async def aclose(self) -> None:
-        """Finish queued work, then stop the drain task."""
+        """Finish queued work, stop the drain task, settle every straggler.
+
+        Requests already queued are drained and answered normally; after
+        the drain task stops, any request that slipped into the queue
+        through the close race (a producer suspended on a full queue wakes
+        *after* the drain finished) is settled with :class:`ServiceClosed`
+        rather than left pending forever.
+        """
         if self._closed:
             return
         self._closed = True
@@ -488,7 +543,39 @@ class NarrationSession:
                 await self._drain_task
             except asyncio.CancelledError:
                 pass
+            await self._flush_rejected()
         self._drain_task = None
+
+    async def _flush_rejected(self) -> None:
+        """Settle requests the dead drain task will never see.
+
+        Emptying the queue frees capacity, which wakes producers suspended
+        in ``queue.put``; each wake-up may enqueue another straggler, so
+        the sweep repeats (yielding to the loop between passes) until a
+        pass finds the queue empty and the previous pass settled nothing.
+        """
+        queue = self._queue
+        assert queue is not None
+        while True:
+            settled = 0
+            while True:
+                try:
+                    request = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                queue.task_done()
+                settled += 1
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServiceClosed("the narration service has been closed")
+                    )
+            if settled == 0:
+                break
+            # Let woken producers run their ``put`` before the next sweep.
+            await asyncio.sleep(0)
+        # One more yield: a producer woken by the final sweep may still be
+        # about to put; its request is settled by the _submit-side guard.
+        await asyncio.sleep(0)
 
 
 class NarrationService:

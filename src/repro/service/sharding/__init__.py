@@ -1,0 +1,32 @@
+"""Multi-process shard tier: consistent-hash shape routing over workers.
+
+Public surface:
+
+* :class:`~repro.service.sharding.router.ShardRouter` — the asyncio
+  client API mirroring a ``NarrationService`` session, backed by N
+  supervised worker processes;
+* :class:`~repro.service.sharding.router.HashRing` — the consistent-hash
+  ring the router places shape keys on;
+* :class:`~repro.service.sharding.supervisor.ShardError` /
+  :class:`~repro.service.sharding.supervisor.WorkerCrashed` — the typed
+  errors shard-tier callers handle.
+"""
+
+from repro.service.sharding.protocol import RemoteWorkerError
+from repro.service.sharding.router import HashRing, ShardRouter
+from repro.service.sharding.supervisor import (
+    ShardError,
+    WorkerCrashed,
+    WorkerHandle,
+    default_start_method,
+)
+
+__all__ = [
+    "HashRing",
+    "RemoteWorkerError",
+    "ShardError",
+    "ShardRouter",
+    "WorkerCrashed",
+    "WorkerHandle",
+    "default_start_method",
+]

@@ -1,0 +1,486 @@
+"""The shard router: consistent-hash shape routing over worker processes.
+
+:class:`ShardRouter` is the multi-process successor to a single
+:class:`~repro.service.service.NarrationService` session: same awaitable
+surface (``translate`` / ``execute`` / ``explain_empty`` /
+``narrate_database`` / ``narrate_relation`` / ``stats``), but behind it N
+worker processes each own a full (schema, database) replica and a private
+compiled pipeline — so throughput scales with cores instead of saturating
+one GIL.
+
+Routing
+-------
+
+Requests are routed by :func:`repro.sql.shape.shape_hash` — the
+process-stable 64-bit hash of the masked SQL shape — on a consistent-hash
+ring (:class:`HashRing`, virtual-node construction).  Every literal
+variant of one query shape therefore lands on the same worker, keeping
+that worker's phrase-plan store, exact-text LRU and parameterised-plan
+cache hot for the shapes it owns; and when the fleet is resized, only the
+ring segment of the changed worker moves.  Narration and explanation
+requests route by a stable hash of their arguments for the same affinity
+reason.
+
+Writes
+------
+
+A mutating statement broadcasts to *all* replicas under a monotonic
+sequence number.  The sequence is an ordering barrier twice over: on each
+worker the mutation waits for in-flight work and runs alone (see
+:mod:`.worker`), and on the router a read routed after a write is not
+sent until its target worker acked that write
+(:meth:`~.supervisor.WorkerHandle.wait_applied`).  Any interleaving of
+concurrent clients therefore observes some serial history, the *same*
+history on every replica — which is what makes shard-tier output
+byte-identical to the single-process service, the retained oracle.
+
+Supervision
+-----------
+
+A dead worker (socket EOF) fails its in-flight requests with the typed
+:class:`~.supervisor.WorkerCrashed`, then the router respawns it: fresh
+process from the same factories, the full mutation log replayed in
+sequence order (the replica converges to the fleet state), and the
+captured workload of the dead incarnation replayed through the
+warm-start API (:data:`~.protocol.PRECOMPILE`) so the respawned worker's
+first real request of every hot shape is a plan hit, not a cold compile.
+Requests that arrive while the respawn is in flight wait on the worker's
+ready gate rather than failing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.query_nl.translator import QueryTranslation
+from repro.service.service import ServiceClosed
+from repro.service.sharding.protocol import (
+    PRECOMPILE,
+    SHUTDOWN,
+    STATS,
+    unwire_translation,
+)
+from repro.service.sharding.supervisor import (
+    ShardError,
+    WorkerCrashed,
+    WorkerHandle,
+    default_start_method,
+)
+from repro.sql.shape import shape_hash, stable_hash
+from repro.utils.cache import LRUCache
+
+__all__ = ["HashRing", "ShardRouter"]
+
+
+def _is_mutation(sql: str) -> bool:
+    """Same conservative rule as the single-process service's grouping."""
+    return not sql.lstrip()[:6].lower().startswith("select")
+
+
+class HashRing:
+    """A consistent-hash ring mapping 64-bit keys to worker indices.
+
+    Each worker contributes ``replicas`` virtual nodes placed by
+    :func:`~repro.sql.shape.stable_hash`, so placement is identical in
+    every process and every run.  Removing a worker moves only the keys
+    it owned; adding one steals roughly ``1/n`` of each segment.
+    """
+
+    def __init__(self, worker_indices, replicas: int = 64) -> None:
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        points: List[Tuple[int, int]] = []
+        for index in worker_indices:
+            for replica in range(replicas):
+                points.append((stable_hash(f"shard-{index}#{replica}"), index))
+        if not points:
+            raise ValueError("a hash ring needs at least one worker")
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def route(self, key_hash: int) -> int:
+        """The worker index owning ``key_hash`` (clockwise successor)."""
+        position = bisect.bisect_right(self._hashes, key_hash)
+        if position == len(self._hashes):
+            position = 0
+        return self._owners[position]
+
+
+class ShardRouter:
+    """Consistent-hash shape routing over per-core worker processes.
+
+    ::
+
+        async with ShardRouter(movie_database, spec_factory=movie_spec,
+                               workers=4) as router:
+            translation = await router.translate(sql)
+            answer = await router.execute(sql)
+            await router.execute("insert into GENRE values (7, 'noir')")
+            print(router_stats_summary := await router.stats())
+
+    ``database_factory`` (and the optional ``spec_factory``) must be
+    importable module-level callables — each worker *builds* its replica
+    by calling them in its own process; nothing heavyweight is pickled
+    across.  The single-process service remains the oracle: every result
+    is byte-identical to what one ``NarrationService`` session would
+    return for the same request history.
+    """
+
+    def __init__(
+        self,
+        database_factory: Union[str, Callable],
+        spec_factory: Union[str, Callable, None] = None,
+        workers: int = 2,
+        service_workers: int = 2,
+        cache_size: int = 512,
+        phrase_plans: Optional[bool] = None,
+        start_method: Optional[str] = None,
+        ring_replicas: int = 64,
+        capture_limit: int = 512,
+        max_respawns: int = 8,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        if max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        self.workers = workers
+        self._spec = {
+            "database_factory": _factory_path(database_factory),
+            "spec_factory": (
+                _factory_path(spec_factory) if spec_factory is not None else None
+            ),
+            "service_workers": service_workers,
+            "cache_size": cache_size,
+            "phrase_plans": phrase_plans,
+        }
+        self._start_method = start_method or default_start_method()
+        self._ring = HashRing(range(workers), replicas=ring_replicas)
+        self._handles: List[WorkerHandle] = [
+            WorkerHandle(index, self._spec, self._start_method)
+            for index in range(workers)
+        ]
+        self._max_respawns = max_respawns
+        self._started = False
+        self._closed = False
+        self._start_lock = asyncio.Lock()
+        # Writes: the monotonic sequence and the replay log (seq, sql).
+        self._mutation_seq = 0
+        self._mutation_log: List[Tuple[int, str]] = []
+        self._mutation_lock = asyncio.Lock()
+        # Warm-start capture: per worker, one representative text per
+        # routed shape, bounded; replayed into a respawned incarnation.
+        self._captured: List[Dict[str, LRUCache]] = [
+            {"translate": LRUCache(capture_limit), "execute": LRUCache(capture_limit)}
+            for _ in range(workers)
+        ]
+        self._counts: Dict[str, int] = {}
+        self._crashes = 0
+        self._respawn_tasks: set = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn every worker and wait for the fleet to come up."""
+        async with self._start_lock:
+            if self._started:
+                return
+            self._check_open()
+            for handle in self._handles:
+                handle.set_crash_callback(self._on_crash)
+            results = await asyncio.gather(
+                *[handle.spawn() for handle in self._handles],
+                return_exceptions=True,
+            )
+            errors = [r for r in results if isinstance(r, BaseException)]
+            if errors:
+                for handle in self._handles:
+                    await handle.stop()
+                raise errors[0]
+            self._started = True
+
+    async def aclose(self) -> None:
+        """Gracefully shut the fleet down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for task in list(self._respawn_tasks):
+            task.cancel()
+        if self._started:
+            # Polite first: every live worker drains its service and
+            # exits 0; stop() then only has to join.
+            await asyncio.gather(
+                *[
+                    self._shutdown_worker(handle)
+                    for handle in self._handles
+                ],
+                return_exceptions=True,
+            )
+        for handle in self._handles:
+            await handle.stop()
+
+    @staticmethod
+    async def _shutdown_worker(handle: WorkerHandle) -> None:
+        if handle.alive:
+            try:
+                await asyncio.wait_for(handle.request(SHUTDOWN, None), timeout=10)
+            except Exception:
+                pass  # stop() terminates what would not drain
+
+    async def __aenter__(self) -> "ShardRouter":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Public request API (mirrors NarrationSession)
+    # ------------------------------------------------------------------
+
+    async def translate(self, sql: str) -> QueryTranslation:
+        """Translate SQL to natural language on the shape's worker."""
+        wire = await self._routed("translate", sql, shape_hash(sql), capture="translate")
+        return unwire_translation(wire)
+
+    async def execute(self, sql: str):
+        """Execute SQL: reads on the shape's worker, writes on every worker."""
+        if _is_mutation(sql):
+            return await self._broadcast_mutation(sql)
+        return await self._routed("execute", sql, shape_hash(sql), capture="execute")
+
+    async def explain_empty(self, sql: str):
+        """Explain an empty (or very large) answer on the shape's worker."""
+        return await self._routed("explain", sql, shape_hash(sql))
+
+    async def narrate_database(self, **kwargs) -> str:
+        """Narrate the database contents (routed by argument shape)."""
+        return await self._routed(
+            "narrate_database", kwargs, stable_hash(f"narrate_database:{sorted(kwargs.items())!r}")
+        )
+
+    async def narrate_relation(self, relation_name: str, **kwargs) -> str:
+        """Narrate one relation's (top) tuples (routed by relation)."""
+        return await self._routed(
+            "narrate_relation",
+            (relation_name, kwargs),
+            stable_hash(f"narrate_relation:{relation_name}:{sorted(kwargs.items())!r}"),
+        )
+
+    async def stats(self) -> Dict[str, Any]:
+        """The fleet view: per-worker session stats plus router aggregates.
+
+        ``fleet`` sums the interesting counters across workers (requests
+        by kind, fast-path hits, phrase-plan and parameterised-plan
+        hits/misses); ``workers`` holds each worker's full
+        :meth:`NarrationSession.stats` snapshot together with its pid,
+        mutation watermark and respawn count; ``router`` covers routing
+        itself (per-kind routed counts, mutations, crashes, respawns).
+        """
+        self._check_open()
+        await self.start()
+        snapshots: List[Optional[Dict[str, Any]]] = []
+        for handle in self._handles:
+            try:
+                await asyncio.wait_for(handle.ready.wait(), timeout=30)
+                remote = await handle.request(STATS, None)
+            except Exception:
+                snapshots.append(None)
+                continue
+            snapshots.append(
+                {
+                    "pid": remote["pid"],
+                    "applied_seq": handle.applied_seq,
+                    "respawns": handle.respawns,
+                    "session": remote["session"],
+                }
+            )
+        return {
+            "workers": snapshots,
+            "fleet": _aggregate_fleet(snapshots),
+            "router": {
+                "workers": self.workers,
+                "start_method": self._start_method,
+                "requests_by_kind": dict(self._counts),
+                "mutations": self._mutation_seq,
+                "mutation_log": len(self._mutation_log),
+                "crashes": self._crashes,
+                "respawns": sum(handle.respawns for handle in self._handles),
+            },
+        }
+
+    def kill_worker(self, index: int) -> Optional[int]:
+        """SIGKILL one worker (crash drills): returns its pid.
+
+        The router notices the death exactly as it would a real crash —
+        in-flight requests on that worker fail with
+        :class:`WorkerCrashed`, and supervision respawns, replays the
+        mutation log and warm-starts the replacement.
+        """
+        handle = self._handles[index]
+        pid = handle.pid
+        handle.kill()
+        return pid
+
+    # ------------------------------------------------------------------
+    # Routing internals
+    # ------------------------------------------------------------------
+
+    async def _routed(
+        self, kind: str, payload: Any, key_hash: int, capture: Optional[str] = None
+    ) -> Any:
+        self._check_open()
+        await self.start()
+        index = self._ring.route(key_hash)
+        handle = self._handles[index]
+        # Read-after-write barrier: never send a read to a worker that
+        # has not acked every mutation sequenced before this request.
+        barrier = self._mutation_seq
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        if capture is not None and isinstance(payload, str):
+            self._captured[index][capture].put(shape_hash(payload), payload)
+        await asyncio.wait_for(handle.ready.wait(), timeout=60)
+        await handle.wait_applied(barrier)
+        return await handle.request(kind, payload)
+
+    async def _broadcast_mutation(self, sql: str):
+        self._check_open()
+        await self.start()
+        async with self._mutation_lock:
+            # The lock holds across *all* sends: were two mutations to
+            # interleave their broadcasts, workers could apply them in
+            # different orders and the replicas would diverge forever.
+            self._mutation_seq += 1
+            seq = self._mutation_seq
+            self._mutation_log.append((seq, sql))
+            self._counts["execute_mutation"] = (
+                self._counts.get("execute_mutation", 0) + 1
+            )
+            results = []
+            failures: List[BaseException] = []
+            for handle in self._handles:
+                try:
+                    await asyncio.wait_for(handle.ready.wait(), timeout=60)
+                    results.append(await handle.request("execute", sql, seq=seq))
+                except WorkerCrashed as error:
+                    # The replica died mid-write; its respawn replays the
+                    # log (this mutation included), so the fleet still
+                    # converges.  The caller's result comes from the
+                    # survivors.
+                    failures.append(error)
+                except BaseException as error:
+                    # A *pipeline* error (bad SQL, constraint violation)
+                    # is deterministic: every replica rejects identically
+                    # and applies nothing, so surface the first.
+                    failures.append(error)
+                    if not isinstance(error, (ShardError, asyncio.TimeoutError)):
+                        raise
+            if not results:
+                raise failures[0] if failures else ShardError(
+                    "mutation reached no worker"
+                )
+            return results[0]
+
+    # ------------------------------------------------------------------
+    # Supervision internals
+    # ------------------------------------------------------------------
+
+    def _on_crash(self, handle: WorkerHandle) -> None:
+        if self._closed:
+            return
+        self._crashes += 1
+        task = asyncio.get_running_loop().create_task(self._respawn(handle))
+        self._respawn_tasks.add(task)
+        task.add_done_callback(self._respawn_tasks.discard)
+
+    async def _respawn(self, handle: WorkerHandle) -> None:
+        """Fresh process → replay mutation log → warm-start → reopen."""
+        if handle.respawns >= self._max_respawns:
+            return  # give up: requests to this worker keep failing typed
+        handle.respawns += 1
+        captured = self._captured[handle.index]
+        warm = {
+            "translate": [sql for _, sql in captured["translate"].items()],
+            "execute": [sql for _, sql in captured["execute"].items()],
+        }
+        try:
+            await handle.spawn()
+            # Replay under the mutation lock so a concurrent new mutation
+            # cannot interleave with the historical log on this socket.
+            async with self._mutation_lock:
+                for seq, sql in self._mutation_log:
+                    await handle.request("execute", sql, seq=seq)
+            if warm["translate"] or warm["execute"]:
+                await handle.request(PRECOMPILE, warm)
+        except asyncio.CancelledError:
+            raise
+        except BaseException:
+            # The respawn itself failed (possibly a crash loop); the
+            # crash callback of the failed incarnation tries again until
+            # max_respawns is exhausted.
+            return
+
+    # ------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosed("the shard router has been closed")
+
+
+def _factory_path(factory: Union[str, Callable]) -> str:
+    """``"module:qualname"`` for a module-level callable (validated)."""
+    if isinstance(factory, str):
+        path = factory
+    else:
+        path = f"{factory.__module__}:{factory.__qualname__}"
+    from repro.service.sharding.worker import resolve_factory
+
+    resolved = resolve_factory(path)  # raises early, in the parent
+    if not isinstance(factory, str) and resolved is not factory:
+        raise ValueError(
+            f"{factory!r} is not importable as {path!r}; worker factories"
+            " must be module-level callables"
+        )
+    return path
+
+
+def _aggregate_fleet(snapshots: List[Optional[Dict[str, Any]]]) -> Dict[str, Any]:
+    """Sum the load-bearing counters across worker snapshots."""
+    by_kind: Dict[str, int] = {}
+    fast_path_hits = 0
+    plan_hits = plan_misses = 0
+    shape_hits = shape_misses = shape_fallbacks = 0
+    live = 0
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        live += 1
+        session = snapshot["session"]
+        for kind, count in session["requests"]["by_kind"].items():
+            by_kind[kind] = by_kind.get(kind, 0) + count
+        fast_path_hits += session["requests"]["fast_path_hits"]
+        plan_store = session["translator"]["plan_store"]
+        if plan_store:
+            plan_hits += plan_store["hits"]
+            plan_misses += plan_store["misses"]
+        executor = session.get("executor")
+        if executor:
+            shape = executor["shape_plans"]
+            shape_hits += shape["hits"]
+            shape_misses += shape["misses"]
+            shape_fallbacks += shape["fallbacks"]
+    return {
+        "live_workers": live,
+        "requests_by_kind": by_kind,
+        "fast_path_hits": fast_path_hits,
+        "phrase_plans": {"hits": plan_hits, "misses": plan_misses},
+        "shape_plans": {
+            "hits": shape_hits,
+            "misses": shape_misses,
+            "fallbacks": shape_fallbacks,
+        },
+    }

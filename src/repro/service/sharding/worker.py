@@ -1,0 +1,184 @@
+"""Shard worker main: one process, one ``NarrationService`` replica.
+
+A worker owns a private replica of the (schema, database) pair — built in
+this process by the *factory* the router named, never pickled across —
+and serves requests from its socket through a private
+:class:`~repro.service.service.NarrationService` session, so every
+compiled cache (phrase plans, exact-text LRU, parameterised plans, scan
+and subquery caches, compiled templates) is process-local and stays hot
+for the shapes the router's consistent hash assigns to this worker.
+
+Pipelining and the write barrier
+--------------------------------
+
+Ordinary requests are *pipelined*: each becomes an asyncio task the
+moment its frame arrives, so many requests are in flight at once and the
+session's batching queue can group same-shape work exactly as it does in
+the single-process service.  A mutation broadcast (``seq is not None``)
+is a **barrier**: the read loop first awaits every in-flight task, then
+runs the mutation alone to completion and responds, and only then reads
+the next frame.  Combined with the router's ordering rule (a read routed
+after a write waits for that worker's ack) this makes each replica's
+visible history identical to the single-process service's — which is what
+keeps shard-tier results byte-identical to the oracle.
+
+Lifecycle
+---------
+
+On start the worker builds its replica, then sends the ready frame
+(request id 0) carrying its pid.  :data:`~.protocol.SHUTDOWN` drains
+in-flight work, closes the service gracefully (the drain/flush path in
+``NarrationService.aclose``) and exits 0.  A torn socket means the router
+died; the worker exits rather than serve nobody.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.service import NarrationService
+from repro.service.sharding.protocol import (
+    ERR,
+    OK,
+    PING,
+    PRECOMPILE,
+    READY_ID,
+    SHUTDOWN,
+    STATS,
+    FrameReader,
+    RemoteWorkerError,
+    send_frame,
+    wire_translation,
+)
+
+__all__ = ["resolve_factory", "worker_main"]
+
+
+def resolve_factory(path: str):
+    """Import ``"module:qualname"`` and return the callable it names."""
+    module_name, _, qualname = path.partition(":")
+    if not module_name or not qualname:
+        raise ValueError(f"factory path must be 'module:qualname', got {path!r}")
+    module = __import__(module_name, fromlist=["_"])
+    target: Any = module
+    for part in qualname.split("."):
+        target = getattr(target, part)
+    if not callable(target):
+        raise TypeError(f"{path!r} does not name a callable")
+    return target
+
+
+def worker_main(spec: Dict[str, Any], sock: socket.socket) -> None:
+    """Process entry point: build the replica, serve until shutdown."""
+    try:
+        asyncio.run(_serve(spec, sock))
+    finally:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+async def _serve(spec: Dict[str, Any], sock: socket.socket) -> None:
+    loop = asyncio.get_running_loop()
+    sock.setblocking(False)
+    write_lock = asyncio.Lock()
+    try:
+        service, session = _build_session(spec)
+    except BaseException as error:
+        # The replica could not be built; tell the router why, then exit.
+        await send_frame(loop, sock, (READY_ID, ERR, _wire_error(error)), write_lock)
+        return
+    await send_frame(loop, sock, (READY_ID, OK, {"pid": os.getpid()}), write_lock)
+
+    reader = FrameReader(loop, sock)
+    inflight: set = set()
+
+    async def respond(request_id: int, status: str, payload: Any) -> None:
+        await send_frame(loop, sock, (request_id, status, payload), write_lock)
+
+    async def handle(request_id: int, kind: str, payload: Any) -> None:
+        try:
+            result = await _run(session, kind, payload)
+        except BaseException as error:
+            await respond(request_id, ERR, _wire_error(error))
+        else:
+            await respond(request_id, OK, result)
+
+    shutdown_id: Optional[int] = None
+    while True:
+        message = await reader.read()
+        if message is None:  # router died or closed the socket
+            break
+        request_id, kind, payload, seq = message
+        if kind == SHUTDOWN:
+            shutdown_id = request_id
+            break
+        if seq is not None:
+            # Mutation barrier: everything in flight completes first, the
+            # mutation runs alone, and no later frame is even read until
+            # it has been acked.
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
+                inflight.clear()
+            await handle(request_id, kind, payload)
+            continue
+        task = loop.create_task(handle(request_id, kind, payload))
+        inflight.add(task)
+        task.add_done_callback(inflight.discard)
+
+    if inflight:
+        await asyncio.gather(*inflight, return_exceptions=True)
+    await service.aclose()
+    if shutdown_id is not None:
+        await respond(shutdown_id, OK, {"pid": os.getpid()})
+
+
+def _build_session(spec: Dict[str, Any]) -> Tuple[NarrationService, Any]:
+    database = resolve_factory(spec["database_factory"])()
+    spec_factory_path = spec.get("spec_factory")
+    service = NarrationService(max_workers=spec.get("service_workers", 2))
+    session = service.session(
+        database=database,
+        spec_factory=(
+            resolve_factory(spec_factory_path) if spec_factory_path else None
+        ),
+        cache_size=spec.get("cache_size", 512),
+        phrase_plans=spec.get("phrase_plans"),
+    )
+    return service, session
+
+
+async def _run(session, kind: str, payload: Any) -> Any:
+    if kind == "translate":
+        return wire_translation(await session.translate(payload))
+    if kind == "execute":
+        return await session.execute(payload)
+    if kind == "explain":
+        return await session.explain_empty(payload)
+    if kind == "narrate_database":
+        return await session.narrate_database(**payload)
+    if kind == "narrate_relation":
+        relation_name, kwargs = payload
+        return await session.narrate_relation(relation_name, **kwargs)
+    if kind == STATS:
+        return {"pid": os.getpid(), "session": session.stats()}
+    if kind == PRECOMPILE:
+        return await session.precompile(payload)
+    if kind == PING:
+        return {"pid": os.getpid()}
+    raise ValueError(f"unknown request kind {kind!r}")
+
+
+def _wire_error(error: BaseException) -> BaseException:
+    """``error`` itself when it pickles, else a faithful stand-in."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(error))
+        return error
+    except Exception:
+        return RemoteWorkerError(f"{type(error).__name__}: {error}")

@@ -38,6 +38,7 @@ bookkeeping safe under the service's worker threads.
 
 from __future__ import annotations
 
+import hashlib
 import re
 import threading
 from typing import Any, List, Optional, Sequence, Tuple
@@ -50,8 +51,10 @@ __all__ = [
     "STRING_MARK",
     "batch_key",
     "reconstruct_sql",
+    "shape_hash",
     "shape_of",
     "sql_shape",
+    "stable_hash",
 ]
 
 #: One-pass literal masker for the shape-cache fast path.  Comments and
@@ -114,6 +117,31 @@ def batch_key(sql: str) -> str:
     """
     masked = _mask(sql)
     return masked[0] if masked is not None else sql
+
+
+def stable_hash(text: str) -> int:
+    """A 64-bit hash of ``text`` that is identical in every Python process.
+
+    Python's built-in ``hash`` of strings is salted per process
+    (``PYTHONHASHSEED``), so it cannot place keys on a hash ring shared
+    by a router and its worker processes, nor survive a router restart.
+    This digest is a pure function of the text — same value in every
+    process, every run, every platform.
+    """
+    return int.from_bytes(
+        hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(), "big"
+    )
+
+
+def shape_hash(sql: str) -> int:
+    """A process-stable 64-bit hash of ``sql``'s masked shape.
+
+    Mask-equal texts (identical outside literal spans) hash equal, so the
+    shard tier can route every literal variant of one query shape to the
+    same worker — keeping that worker's phrase-plan store, exact-text LRU
+    and parameterised-plan cache hot for the shapes it owns.
+    """
+    return stable_hash(batch_key(sql))
 
 
 def sql_shape(sql: str) -> Optional[Tuple[Tuple[str, ...], Tuple[Any, ...]]]:

@@ -1,0 +1,574 @@
+"""Shard-tier suite: protocol, routing, ordering, crashes, warm-start.
+
+The contract under test mirrors the service suite's, one level up: any
+request history through a :class:`~repro.service.ShardRouter` — including
+interleaved mutations and a worker SIGKILLed mid-workload — produces
+results byte-identical to the same history against a single-process
+``NarrationService`` session (the retained oracle).
+"""
+
+import asyncio
+import os
+import pickle
+import socket
+import subprocess
+import sys
+
+import pytest
+
+from repro.content.presets import movie_spec
+from repro.datasets import generate_workload, movie_database
+from repro.engine import Executor
+from repro.oracle import oracle_enabled
+from repro.query_nl.translator import QueryTranslator
+from repro.service import (
+    HashRing,
+    NarrationService,
+    ServiceClosed,
+    ShardRouter,
+    WorkerCrashed,
+)
+from repro.service.sharding.protocol import (
+    FrameReader,
+    encode_frame,
+    unwire_translation,
+    wire_translation,
+)
+from repro.sql.shape import shape_hash, stable_hash
+
+DB_FACTORY = "repro.datasets.movies:movie_database"
+SPEC_FACTORY = "repro.content.presets:movie_spec"
+
+TIMEOUT = 60
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=TIMEOUT))
+
+
+def corpus_sql(count=50):
+    queries = [q.sql for q in generate_workload(queries_per_category=12, seed=7)]
+    return queries[:count]
+
+
+async def retry_crashed(call, attempts=80, delay=0.25):
+    """Retry ``call`` until the respawned worker serves it."""
+    for _ in range(attempts):
+        try:
+            return await call()
+        except WorkerCrashed:
+            await asyncio.sleep(delay)
+    raise AssertionError("worker never came back")
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def roundtrip(self, obj):
+        async def main():
+            left, right = socket.socketpair()
+            try:
+                left.setblocking(False)
+                right.setblocking(False)
+                loop = asyncio.get_running_loop()
+                await loop.sock_sendall(left, encode_frame(obj))
+                return await FrameReader(loop, right).read()
+            finally:
+                left.close()
+                right.close()
+
+        return run(main())
+
+    def test_request_tuple_roundtrip(self):
+        message = (7, "translate", "select * from MOVIES", None)
+        assert self.roundtrip(message) == message
+
+    def test_mutation_frame_carries_seq(self):
+        message = (9, "execute", "insert into GENRE values (1, 'x')", 4)
+        assert self.roundtrip(message) == message
+
+    def test_pickled_payloads_roundtrip(self):
+        database = movie_database()
+        result = Executor(database, compiled=True).execute_sql(
+            "select m.title from MOVIES m where m.year = 2004"
+        )
+        echoed = self.roundtrip((1, "ok", result))
+        assert echoed[2] == result
+        assert echoed[2].rows == result.rows
+
+    def test_frame_reader_handles_split_and_batched_frames(self):
+        frames = [
+            (1, "ok", {"pid": 42}),
+            (2, "ok", list(range(500))),
+            (3, "err", "boom"),
+        ]
+        blob = b"".join(encode_frame(frame) for frame in frames)
+
+        async def main():
+            left, right = socket.socketpair()
+            try:
+                left.setblocking(False)
+                right.setblocking(False)
+                loop = asyncio.get_running_loop()
+                reader = FrameReader(loop, right)
+
+                async def drip():
+                    # Worst-case framing: bytes arrive seven at a time,
+                    # so every header and payload is split mid-field.
+                    for start in range(0, len(blob), 7):
+                        await loop.sock_sendall(left, blob[start : start + 7])
+                    left.close()
+
+                feeder = loop.create_task(drip())
+                received = [await reader.read() for _ in frames]
+                assert await reader.read() is None  # clean EOF
+                await feeder
+                return received
+            finally:
+                right.close()
+
+        assert run(main()) == frames
+
+    def test_wire_translation_preserves_textual_fields(self):
+        database = movie_database()
+        translator = QueryTranslator(database.schema, spec=movie_spec(database.schema))
+        translation = translator.translate(
+            "select m.title from MOVIES m where m.year > 2000"
+        )
+        rebuilt = unwire_translation(
+            pickle.loads(pickle.dumps(wire_translation(translation)))
+        )
+        assert rebuilt == translation
+        assert rebuilt.text == translation.text
+        assert rebuilt.notes == translation.notes
+
+
+# ---------------------------------------------------------------------------
+# Stable hashing and the ring
+# ---------------------------------------------------------------------------
+
+
+class TestStableHashing:
+    def test_stable_hash_is_process_independent(self):
+        # Same text, different interpreter, different PYTHONHASHSEED:
+        # the routing hash must not move.
+        sql = "select m.title from MOVIES m where m.year = 2004"
+        expected = (stable_hash("shard-0#3"), shape_hash(sql))
+        script = (
+            "import sys; sys.path.insert(0, sys.argv[1]); "
+            "from repro.sql.shape import shape_hash, stable_hash; "
+            f"print(stable_hash('shard-0#3'), shape_hash({sql!r}))"
+        )
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env = dict(os.environ, PYTHONHASHSEED="12345")
+        output = subprocess.run(
+            [sys.executable, "-c", script, src],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        ).stdout.split()
+        assert (int(output[0]), int(output[1])) == expected
+
+    def test_shape_hash_ignores_literals_only(self):
+        base = "select m.title from MOVIES m where m.year = 2004"
+        assert shape_hash(base) == shape_hash(
+            "select m.title from MOVIES m where m.year = 1977"
+        )
+        assert shape_hash(base) != shape_hash(
+            "select m.title from MOVIES m where m.id = 2004"
+        )
+
+    def test_ring_is_deterministic(self):
+        ring_a = HashRing(range(4))
+        ring_b = HashRing(range(4))
+        keys = [stable_hash(f"key-{i}") for i in range(1000)]
+        assert [ring_a.route(k) for k in keys] == [ring_b.route(k) for k in keys]
+
+    def test_ring_balance(self):
+        ring = HashRing(range(4), replicas=64)
+        counts = {index: 0 for index in range(4)}
+        for i in range(8000):
+            counts[ring.route(stable_hash(f"key-{i}"))] += 1
+        for owned in counts.values():
+            assert owned > 8000 * 0.10  # no worker starves
+
+    def test_ring_minimal_movement_on_removal(self):
+        before = HashRing(range(4))
+        after = HashRing(range(3))  # worker 3 removed
+        moved = 0
+        for i in range(4000):
+            key = stable_hash(f"key-{i}")
+            owner = before.route(key)
+            if owner == 3:
+                moved += 1
+            else:
+                # Keys not owned by the removed worker must not move.
+                assert after.route(key) == owner
+        assert 0 < moved < 4000
+
+
+# ---------------------------------------------------------------------------
+# Router end-to-end equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestRouterEquivalence:
+    def test_corpus_byte_identical_to_single_process_oracle(self):
+        corpus = corpus_sql(50)
+        database = movie_database()
+        spec = movie_spec(database.schema)
+
+        async def main():
+            async with NarrationService(max_workers=2) as service:
+                oracle = service.session(database=database, spec=spec)
+                expected = {
+                    "translations": [await oracle.translate(sql) for sql in corpus],
+                    "results": [await oracle.execute(sql) for sql in corpus],
+                    "story": await oracle.narrate_database(),
+                    "relation": await oracle.narrate_relation("MOVIES"),
+                    "explanation": await oracle.explain_empty(
+                        "select m.title from MOVIES m where m.year = 1800"
+                    ),
+                }
+            async with ShardRouter(
+                DB_FACTORY, spec_factory=SPEC_FACTORY, workers=2
+            ) as router:
+                translations, results = await asyncio.gather(
+                    asyncio.gather(*[router.translate(sql) for sql in corpus]),
+                    asyncio.gather(*[router.execute(sql) for sql in corpus]),
+                )
+                story = await router.narrate_database()
+                relation = await router.narrate_relation("MOVIES")
+                explanation = await router.explain_empty(
+                    "select m.title from MOVIES m where m.year = 1800"
+                )
+                stats = await router.stats()
+            assert translations == expected["translations"]
+            assert [t.text for t in translations] == [
+                t.text for t in expected["translations"]
+            ]
+            for got, want in zip(results, expected["results"]):
+                assert got == want
+                assert got.rows == want.rows
+            assert story == expected["story"]
+            assert relation == expected["relation"]
+            assert explanation.text == expected["explanation"].text
+            return stats
+
+        stats = run(main())
+        assert stats["fleet"]["live_workers"] == 2
+        assert stats["router"]["crashes"] == 0
+        # The consistent hash spread the corpus over both workers.
+        per_worker = [
+            sum(w["session"]["requests"]["by_kind"].values())
+            for w in stats["workers"]
+        ]
+        assert all(count > 0 for count in per_worker)
+
+    def test_same_shape_routes_to_same_worker(self):
+        ring = HashRing(range(4))
+        variants = [
+            "select m.title from MOVIES m where m.year = 2004",
+            "select m.title from MOVIES m where m.year = 1977",
+            "select m.title from MOVIES m where m.year = 1995",
+        ]
+        owners = {ring.route(shape_hash(sql)) for sql in variants}
+        assert len(owners) == 1
+
+    def test_pipeline_errors_cross_the_wire_typed(self):
+        async def main():
+            async with ShardRouter(DB_FACTORY, workers=1) as router:
+                with pytest.raises(Exception) as excinfo:
+                    await router.execute("select nope from NOWHERE")
+                return excinfo.value
+
+        error = run(main())
+        # The worker's original exception class crossed the wire — not a
+        # WorkerCrashed, not an opaque RemoteWorkerError.
+        assert type(error).__name__ == "UnknownTableError"
+
+
+# ---------------------------------------------------------------------------
+# Mutation ordering
+# ---------------------------------------------------------------------------
+
+
+class TestMutationOrdering:
+    def test_interleaved_mutations_match_oracle_history(self):
+        reads = [
+            "select g.genre from GENRE g where g.mid = 1",
+            "select count(*) from GENRE",
+            "select m.title from MOVIES m where m.year > 1990",
+        ]
+        writes = [
+            "insert into GENRE values (1, 'ordering-a')",
+            "insert into GENRE values (2, 'ordering-b')",
+            "insert into GENRE values (3, 'ordering-c')",
+        ]
+        database = movie_database()
+
+        async def history(target):
+            outputs = []
+            for write in writes:
+                outputs.append(await target.execute(write))
+                for read in reads:
+                    outputs.append(await target.execute(read))
+            return outputs
+
+        async def main():
+            async with NarrationService(max_workers=2) as service:
+                oracle = service.session(database=database)
+                expected = await history(oracle)
+            async with ShardRouter(DB_FACTORY, workers=2) as router:
+                got = await history(router)
+                final = await asyncio.gather(
+                    *[router.execute("select count(*) from GENRE") for _ in range(8)]
+                )
+            return expected, got, final
+
+        expected, got, final = run(main())
+        assert got == expected
+        # Every replica applied every write: all post-history counts agree.
+        assert len({tuple(map(tuple, r.rows)) for r in final}) == 1
+
+    def test_reads_after_write_see_the_write(self):
+        async def main():
+            async with ShardRouter(DB_FACTORY, workers=2) as router:
+                await router.execute("insert into GENRE values (10, 'barrier')")
+                # Immediately-following reads (any worker) must see it.
+                results = await asyncio.gather(
+                    *[
+                        router.execute(
+                            "select g.genre from GENRE g where g.mid = 10"
+                        )
+                        for _ in range(6)
+                    ]
+                )
+                return results
+
+        results = run(main())
+        for result in results:
+            assert any("barrier" in str(row) for row in result.rows)
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery and warm-start
+# ---------------------------------------------------------------------------
+
+
+class TestCrashRecovery:
+    def test_killed_worker_respawns_with_mutations_replayed(self):
+        corpus = corpus_sql(50)
+        database = movie_database()
+
+        async def main():
+            async with NarrationService(max_workers=2) as service:
+                oracle = service.session(database=database)
+                await oracle.execute("insert into GENRE values (5, 'pre-crash')")
+                expected = [await oracle.execute(sql) for sql in corpus]
+            async with ShardRouter(DB_FACTORY, workers=2) as router:
+                await router.execute("insert into GENRE values (5, 'pre-crash')")
+                # Half the corpus warms the fleet, then worker 0 dies
+                # mid-workload.
+                for sql in corpus[:25]:
+                    await router.execute(sql)
+                killed_pid = router.kill_worker(0)
+                assert killed_pid is not None
+                results = []
+                for sql in corpus:
+                    results.append(
+                        await retry_crashed(lambda s=sql: router.execute(s))
+                    )
+                stats = await router.stats()
+            return expected, results, stats
+
+        expected, results, stats = run(main())
+        for got, want in zip(results, expected):
+            assert got == want
+            assert got.rows == want.rows
+        assert stats["router"]["crashes"] >= 1
+        assert stats["router"]["respawns"] >= 1
+        # The respawned replica replayed the mutation log: its applied
+        # watermark reached the fleet's.
+        live = [w for w in stats["workers"] if w is not None]
+        assert len(live) == 2
+        assert len({w["applied_seq"] for w in live}) == 1
+
+    def test_inflight_requests_fail_typed_not_hang(self):
+        async def main():
+            async with ShardRouter(DB_FACTORY, workers=1) as router:
+                await router.execute("select count(*) from MOVIES")
+                handle = router._handles[0]
+                # A request stuck in flight when the worker dies must
+                # fail with the typed error, promptly.
+                pending = asyncio.ensure_future(
+                    handle.request("execute", "select count(*) from MOVIES")
+                )
+                await asyncio.sleep(0)
+                router.kill_worker(0)
+                with pytest.raises(WorkerCrashed):
+                    await asyncio.wait_for(pending, timeout=30)
+                # ...and the router recovers for new traffic.
+                result = await retry_crashed(
+                    lambda: router.execute("select count(*) from MOVIES")
+                )
+                return result
+
+        result = run(main())
+        assert result.rows
+
+    def test_respawn_is_warm_started_from_captured_shapes(self):
+        corpus = corpus_sql(20)
+
+        async def main():
+            async with ShardRouter(
+                DB_FACTORY, workers=1, phrase_plans=True
+            ) as router:
+                for sql in corpus:
+                    await router.translate(sql)
+                    await router.execute(sql)
+                router.kill_worker(0)
+                await retry_crashed(
+                    lambda: router.execute("select count(*) from MOVIES")
+                )
+                return await router.stats()
+
+        stats = run(main())
+        worker = stats["workers"][0]
+        assert worker["respawns"] == 1
+        # The respawned process compiled plans before serving real
+        # traffic: its plan store is populated although this incarnation
+        # only ever saw one live query.
+        plan_store = worker["session"]["translator"]["plan_store"]
+        assert plan_store is not None and plan_store["size"] > 0
+        if not oracle_enabled():
+            # Oracle mode runs the per-text executor path (no shape
+            # plans), so there is nothing to capture on the execute side.
+            executor = worker["session"].get("executor")
+            assert executor is not None
+            assert executor["shape_plans"]["entries"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Graceful shutdown (satellite: service drain must not leak futures)
+# ---------------------------------------------------------------------------
+
+
+class TestGracefulShutdown:
+    def test_router_shutdown_is_clean(self):
+        async def main():
+            router = ShardRouter(DB_FACTORY, workers=2)
+            await router.start()
+            await router.execute("select count(*) from MOVIES")
+            pids = [handle.pid for handle in router._handles]
+            await router.aclose()
+            return router, pids
+
+        router, pids = run(main())
+        for handle in router._handles:
+            assert handle.process is not None
+            assert handle.process.exitcode is not None  # actually exited
+        with pytest.raises(ServiceClosed):
+            run(router.execute("select 1 from MOVIES"))
+
+    def test_service_aclose_settles_every_pending_future(self):
+        # Regression test for the drain leak: producers parked in
+        # ``queue.put`` on a full queue used to never settle when the
+        # drain task died first.
+        database = movie_database()
+
+        async def main():
+            service = NarrationService(max_workers=1, max_queue=2)
+            session = service.session(database=database)
+            requests = [
+                asyncio.ensure_future(
+                    session.execute("select count(*) from MOVIES")
+                )
+                for _ in range(32)
+            ]
+            await asyncio.sleep(0)  # let producers hit the queue
+            await service.aclose()
+            outcomes = await asyncio.gather(*requests, return_exceptions=True)
+            return outcomes
+
+        outcomes = run(main())
+        assert len(outcomes) == 32
+        for outcome in outcomes:
+            assert isinstance(outcome, ServiceClosed) or hasattr(outcome, "rows")
+
+
+# ---------------------------------------------------------------------------
+# Warm-start capture API (satellite: usable outside the shard tier)
+# ---------------------------------------------------------------------------
+
+
+class TestWarmStartCapture:
+    def test_translator_capture_and_replay(self):
+        corpus = corpus_sql(15)
+        database = movie_database()
+        spec = movie_spec(database.schema)
+        source = QueryTranslator(database.schema, spec=spec, phrase_plans=True)
+        for sql in corpus:
+            source.translate(sql)
+        captured = source.captured_shapes()
+        assert captured
+        fresh = QueryTranslator(
+            movie_database().schema, spec=spec, phrase_plans=True
+        )
+        replayed = fresh.precompile(captured)
+        assert replayed == len(captured)
+        before = fresh.stats()["plan_store"]["hits"]
+        for sql in corpus:
+            fresh.translate(sql)
+        assert fresh.stats()["plan_store"]["hits"] > before
+
+    def test_executor_capture_skips_mutations(self):
+        database = movie_database()
+        executor = Executor(
+            database, compiled=True, use_caches=True, parameterised=True
+        )
+        executor.execute_sql("select m.title from MOVIES m where m.year = 2004")
+        executor.execute_sql("insert into GENRE values (8, 'capture')")
+        captured = executor.captured_shapes()
+        assert any("select" in sql.lower() for sql in captured)
+        fresh = Executor(
+            movie_database(), compiled=True, use_caches=True, parameterised=True
+        )
+        replayed = fresh.precompile(
+            captured + ["insert into GENRE values (9, 'never')"]
+        )
+        assert replayed == len(captured)  # the mutation was refused
+        refused = fresh.execute_sql("select g.genre from GENRE g where g.mid = 9")
+        assert not refused.rows
+
+    def test_session_capture_round_trips_through_service(self):
+        corpus = corpus_sql(10)
+        database = movie_database()
+
+        async def main():
+            async with NarrationService(max_workers=2) as service:
+                session = service.session(database=database, phrase_plans=True)
+                for sql in corpus:
+                    await session.translate(sql)
+                    await session.execute(sql)
+                captured = session.captured_shapes()
+            async with NarrationService(max_workers=2) as fresh_service:
+                fresh = fresh_service.session(
+                    database=movie_database(), phrase_plans=True
+                )
+                counts = await fresh.precompile(captured)
+                stats = fresh.stats()
+            return captured, counts, stats
+
+        captured, counts, stats = run(main())
+        assert set(captured) == {"translate", "execute"}
+        assert captured["translate"]
+        if not oracle_enabled():  # no shape plans on the oracle executor
+            assert captured["execute"]
+        assert counts["translate"] == len(captured["translate"])
+        plan_store = stats["translator"]["plan_store"]
+        assert plan_store is not None and plan_store["size"] > 0
