@@ -37,15 +37,21 @@ byte-identical to the single-process service, the retained oracle.
 Supervision
 -----------
 
-A dead worker (socket EOF) fails its in-flight requests with the typed
+A dead worker (socket EOF, or a response frame the router cannot decode)
+fails its in-flight requests with the typed
 :class:`~.supervisor.WorkerCrashed`, then the router respawns it: fresh
 process from the same factories, the full mutation log replayed in
-sequence order (the replica converges to the fleet state), and the
-captured workload of the dead incarnation replayed through the
-warm-start API (:data:`~.protocol.PRECOMPILE`) so the respawned worker's
-first real request of every hot shape is a plan hit, not a cold compile.
-Requests that arrive while the respawn is in flight wait on the worker's
-ready gate rather than failing.
+sequence order (the replica converges to the fleet state; rejected
+entries re-reject and still advance the watermark), and the captured
+workload of the dead incarnation replayed through the warm-start API
+(:data:`~.protocol.PRECOMPILE`) so the respawned worker's first real
+request of every hot shape is a plan hit, not a cold compile.  The whole
+rebuild runs under the mutation lock and the worker reopens for traffic
+only once it has converged, so neither reads nor new writes can observe
+(or interleave with) a half-rebuilt replica.  Requests that arrive while
+the respawn is in flight wait on the worker's ready gate rather than
+failing; once ``max_respawns`` is exhausted the worker is marked
+permanently dead and its requests fail fast with :class:`ShardError`.
 """
 
 from __future__ import annotations
@@ -285,6 +291,9 @@ class ShardRouter:
         await self.start()
         snapshots: List[Optional[Dict[str, Any]]] = []
         for handle in self._handles:
+            if handle.gave_up:
+                snapshots.append(None)
+                continue
             try:
                 await asyncio.wait_for(handle.ready.wait(), timeout=30)
                 remote = await handle.request(STATS, None)
@@ -310,6 +319,9 @@ class ShardRouter:
                 "mutation_log": len(self._mutation_log),
                 "crashes": self._crashes,
                 "respawns": sum(handle.respawns for handle in self._handles),
+                "dead_workers": [
+                    handle.index for handle in self._handles if handle.gave_up
+                ],
             },
         }
 
@@ -337,13 +349,28 @@ class ShardRouter:
         await self.start()
         index = self._ring.route(key_hash)
         handle = self._handles[index]
+        if handle.gave_up:
+            raise ShardError(
+                f"worker {index} is permanently down (respawn budget of"
+                f" {self._max_respawns} exhausted)"
+            )
         # Read-after-write barrier: never send a read to a worker that
         # has not acked every mutation sequenced before this request.
         barrier = self._mutation_seq
         self._counts[kind] = self._counts.get(kind, 0) + 1
         if capture is not None and isinstance(payload, str):
             self._captured[index][capture].put(shape_hash(payload), payload)
-        await asyncio.wait_for(handle.ready.wait(), timeout=60)
+        try:
+            await asyncio.wait_for(handle.ready.wait(), timeout=60)
+        except asyncio.TimeoutError:
+            if handle.gave_up:  # the respawn budget ran out mid-wait
+                raise ShardError(
+                    f"worker {index} is permanently down (respawn budget of"
+                    f" {self._max_respawns} exhausted)"
+                ) from None
+            raise WorkerCrashed(
+                f"worker {index} did not come back within 60s"
+            ) from None
         await handle.wait_applied(barrier)
         return await handle.request(kind, payload)
 
@@ -362,9 +389,19 @@ class ShardRouter:
             )
             results = []
             failures: List[BaseException] = []
+            rejection: Optional[BaseException] = None
             for handle in self._handles:
+                if not handle.ready.is_set():
+                    # Dead, permanently down, or mid-respawn.  Skipping is
+                    # safe: the not-ready → ready transition only happens
+                    # in _respawn *under this same lock* after replaying
+                    # the complete log — which now contains this entry —
+                    # so the worker cannot reopen having missed the write.
+                    failures.append(
+                        WorkerCrashed(f"worker {handle.index} is down")
+                    )
+                    continue
                 try:
-                    await asyncio.wait_for(handle.ready.wait(), timeout=60)
                     results.append(await handle.request("execute", sql, seq=seq))
                 except WorkerCrashed as error:
                     # The replica died mid-write; its respawn replays the
@@ -372,13 +409,23 @@ class ShardRouter:
                     # converges.  The caller's result comes from the
                     # survivors.
                     failures.append(error)
+                except (ShardError, asyncio.TimeoutError) as error:
+                    failures.append(error)
+                except asyncio.CancelledError:
+                    raise
                 except BaseException as error:
                     # A *pipeline* error (bad SQL, constraint violation)
                     # is deterministic: every replica rejects identically
-                    # and applies nothing, so surface the first.
-                    failures.append(error)
-                    if not isinstance(error, (ShardError, asyncio.TimeoutError)):
-                        raise
+                    # and applies nothing.  Keep delivering the frame to
+                    # the remaining workers — each must still process the
+                    # barrier and ack the seq (request() advances the
+                    # watermark on ERR) — then surface the first.  The
+                    # entry stays in the log so replayed seqs stay
+                    # contiguous; replay tolerates the re-rejection.
+                    if rejection is None:
+                        rejection = error
+            if rejection is not None:
+                raise rejection
             if not results:
                 raise failures[0] if failures else ShardError(
                     "mutation reached no worker"
@@ -400,7 +447,11 @@ class ShardRouter:
     async def _respawn(self, handle: WorkerHandle) -> None:
         """Fresh process → replay mutation log → warm-start → reopen."""
         if handle.respawns >= self._max_respawns:
-            return  # give up: requests to this worker keep failing typed
+            # Permanently down: fail fast and typed from now on (the
+            # ready gate stays cleared; give_up also wakes any reader
+            # blocked on the watermark).
+            await handle.give_up()
+            return
         handle.respawns += 1
         captured = self._captured[handle.index]
         warm = {
@@ -408,14 +459,29 @@ class ShardRouter:
             "execute": [sql for _, sql in captured["execute"].items()],
         }
         try:
-            await handle.spawn()
-            # Replay under the mutation lock so a concurrent new mutation
-            # cannot interleave with the historical log on this socket.
+            # The whole rebuild holds the mutation lock, and the worker
+            # reopens (ready.set) only at the very end: a concurrent
+            # broadcast can therefore neither deliver a new seq before
+            # the historical log has been replayed (out-of-order apply)
+            # nor observe a reopened worker that missed a write — and
+            # reads keep waiting on the ready gate, never reaching the
+            # fresh replica before it has converged.
             async with self._mutation_lock:
+                await handle.spawn(open_for_traffic=False)
                 for seq, sql in self._mutation_log:
-                    await handle.request("execute", sql, seq=seq)
-            if warm["translate"] or warm["execute"]:
-                await handle.request(PRECOMPILE, warm)
+                    try:
+                        await handle.request("execute", sql, seq=seq)
+                    except (ShardError, asyncio.TimeoutError):
+                        raise  # the fresh incarnation itself died
+                    except Exception:
+                        # A deterministically-rejected mutation: the
+                        # fleet applied nothing for this seq and neither
+                        # does the replica — the watermark still
+                        # advanced, so keep replaying.
+                        pass
+                if warm["translate"] or warm["execute"]:
+                    await handle.request(PRECOMPILE, warm)
+                handle.ready.set()
         except asyncio.CancelledError:
             raise
         except BaseException:

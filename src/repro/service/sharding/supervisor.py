@@ -74,6 +74,7 @@ class WorkerHandle:
         self.pid: Optional[int] = None
         self.applied_seq = 0
         self.respawns = 0
+        self.gave_up = False
         self.ready = asyncio.Event()
         self._sock: Optional[socket.socket] = None
         self._reader_task: Optional["asyncio.Task"] = None
@@ -88,14 +89,24 @@ class WorkerHandle:
     # Lifecycle
     # ------------------------------------------------------------------
 
-    async def spawn(self) -> None:
+    async def spawn(self, open_for_traffic: bool = True) -> None:
         """Start (or restart) the worker process and await its ready frame.
+
+        A respawn passes ``open_for_traffic=False``: the fresh replica has
+        applied *nothing* yet, so the router keeps ``ready`` cleared (and
+        the watermark at zero) until the mutation log is replayed and the
+        warm-start precompile has run, then opens the gate itself.
 
         Raises :class:`ShardError` when the worker reports a build failure
         (e.g. an unresolvable factory path) instead of coming up.
         """
         loop = asyncio.get_running_loop()
         context = multiprocessing.get_context(self.start_method)
+        if self._sock is not None:  # a previous incarnation's leftover fd
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
         parent_sock, child_sock = socket.socketpair()
         process = context.Process(
             target=worker_main,
@@ -110,6 +121,7 @@ class WorkerHandle:
         parent_sock.setblocking(False)
         self.process = process
         self.pid = process.pid
+        self.applied_seq = 0  # a fresh incarnation has applied nothing
         self._sock = parent_sock
         self._next_id = READY_ID  # id 0 is reserved for the ready frame
         ready_future: "asyncio.Future" = loop.create_future()
@@ -119,7 +131,8 @@ class WorkerHandle:
         self._next_id = READY_ID + 1
         if not isinstance(hello, dict) or "pid" not in hello:
             raise ShardError(f"worker {self.index} sent a malformed ready frame")
-        self.ready.set()
+        if open_for_traffic:
+            self.ready.set()
 
     async def stop(self, timeout: float = 5.0) -> None:
         """Tear the worker down: cancel the reader, close, join/terminate."""
@@ -175,7 +188,22 @@ class WorkerHandle:
             raise WorkerCrashed(
                 f"worker {self.index} connection failed mid-send"
             ) from error
-        result = await future
+        try:
+            result = await future
+        except WorkerCrashed:
+            # The worker died before acking; whether the mutation landed
+            # is unknowable here.  The respawn replay re-delivers this
+            # seq from the log and advances the watermark then.
+            raise
+        except BaseException:
+            # The worker *did* process the barrier frame and responded
+            # ERR (pipeline rejections are deterministic and apply
+            # nothing).  The watermark must still advance — otherwise no
+            # worker ever acks this seq and every later read blocks
+            # forever in wait_applied.
+            if seq is not None:
+                await self.mark_applied(seq)
+            raise
         if seq is not None:
             await self.mark_applied(seq)
         return result
@@ -193,12 +221,30 @@ class WorkerHandle:
         This is the read-after-write barrier: a read routed after a write
         is not even *sent* until the target worker acknowledged that
         write, so no replica can serve the read from a pre-write state.
+        Raises :class:`ShardError` instead of waiting forever when the
+        worker's respawn budget has been exhausted (:meth:`give_up`).
         """
         if self.applied_seq >= seq:
             return
         async with self._applied_cond:
             while self.applied_seq < seq:
+                if self.gave_up:
+                    raise ShardError(
+                        f"worker {self.index} is permanently down"
+                        " (respawn budget exhausted)"
+                    )
                 await self._applied_cond.wait()
+
+    async def give_up(self) -> None:
+        """Mark this worker permanently dead and wake ordering waiters.
+
+        Called by the router when ``max_respawns`` is exhausted; from
+        then on requests fail fast and typed instead of stalling on the
+        ready gate or the watermark.
+        """
+        async with self._applied_cond:
+            self.gave_up = True
+            self._applied_cond.notify_all()
 
     # ------------------------------------------------------------------
     # Reader side
@@ -207,23 +253,45 @@ class WorkerHandle:
     async def _read_responses(self) -> None:
         assert self._sock is not None
         reader = FrameReader(asyncio.get_running_loop(), self._sock)
-        while True:
-            message = await reader.read()
-            if message is None:
-                break
-            request_id, status, payload = message
-            future = self._pending.pop(request_id, None)
-            if future is None or future.done():
-                continue  # cancelled by the caller, or a duplicate
-            if status == ERR:
-                error = payload
-                if not isinstance(error, BaseException):  # pragma: no cover
-                    error = RemoteWorkerError(repr(payload))
-                future.set_exception(error)
-            else:
-                future.set_result(payload)
+        desynced = False
+        try:
+            while True:
+                message = await reader.read()
+                if message is None:
+                    break
+                request_id, status, payload = message
+                future = self._pending.pop(request_id, None)
+                if future is None or future.done():
+                    continue  # cancelled by the caller, or a duplicate
+                if status == ERR:
+                    error = payload
+                    if not isinstance(error, BaseException):  # pragma: no cover
+                        error = RemoteWorkerError(repr(payload))
+                    future.set_exception(error)
+                else:
+                    future.set_result(payload)
+        except asyncio.CancelledError:
+            raise
+        except BaseException:
+            # A frame that fails to decode (malformed length, an unknown
+            # codec, an exception payload whose class does not unpickle
+            # router-side, ...) leaves the stream unusable.  Dying
+            # silently here would hang every pending future and skip the
+            # respawn, so treat it exactly like worker death.
+            desynced = True
         if not self._closing:
             self.ready.clear()
+            if desynced:
+                # The process may well still be alive; drop the broken
+                # connection and the process with it so supervision
+                # rebuilds a clean incarnation.
+                sock, self._sock = self._sock, None
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:  # pragma: no cover - best-effort
+                        pass
+                self.kill()
             self._fail_pending(
                 WorkerCrashed(f"worker {self.index} (pid {self.pid}) died")
             )

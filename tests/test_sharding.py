@@ -25,9 +25,12 @@ from repro.service import (
     HashRing,
     NarrationService,
     ServiceClosed,
+    ShardError,
     ShardRouter,
     WorkerCrashed,
 )
+from repro.service.sharding import WorkerHandle, default_start_method
+from repro.service.sharding import protocol as shard_protocol
 from repro.service.sharding.protocol import (
     FrameReader,
     encode_frame,
@@ -335,6 +338,55 @@ class TestMutationOrdering:
         # Every replica applied every write: all post-history counts agree.
         assert len({tuple(map(tuple, r.rows)) for r in final}) == 1
 
+    def test_rejected_mutation_does_not_wedge_reads(self):
+        # Regression: a pipeline-rejected mutation used to increment the
+        # broadcast seq without any worker ever acking it, so every later
+        # read deadlocked in wait_applied.  The worker processes the
+        # barrier frame either way (it applies nothing), so the watermark
+        # must advance and the fleet must keep serving.
+        poison = "insert into NOWHERE values (1, 'x')"
+
+        async def main():
+            async with ShardRouter(DB_FACTORY, workers=2) as router:
+                await router.execute("insert into GENRE values (4, 'pre')")
+                with pytest.raises(Exception) as excinfo:
+                    await router.execute(poison)
+                # The deterministic pipeline error crossed typed, not as
+                # a crash.
+                assert type(excinfo.value).__name__ == "UnknownTableError"
+                # Reads on every worker complete promptly — no wedge.
+                reads = await asyncio.wait_for(
+                    asyncio.gather(
+                        *[
+                            router.execute("select count(*) from GENRE")
+                            for _ in range(8)
+                        ]
+                    ),
+                    timeout=20,
+                )
+                # And the write path keeps working after the rejection.
+                await asyncio.wait_for(
+                    router.execute("insert into GENRE values (6, 'post')"),
+                    timeout=20,
+                )
+                post = await asyncio.wait_for(
+                    router.execute(
+                        "select g.genre from GENRE g where g.mid = 6"
+                    ),
+                    timeout=20,
+                )
+                stats = await router.stats()
+            return reads, post, stats
+
+        reads, post, stats = run(main())
+        assert len({tuple(map(tuple, r.rows)) for r in reads}) == 1
+        assert any("post" in str(row) for row in post.rows)
+        assert stats["router"]["crashes"] == 0
+        live = [w for w in stats["workers"] if w is not None]
+        assert len(live) == 2
+        # Every replica acked every seq, the rejected one included.
+        assert {w["applied_seq"] for w in live} == {stats["router"]["mutations"]}
+
     def test_reads_after_write_see_the_write(self):
         async def main():
             async with ShardRouter(DB_FACTORY, workers=2) as router:
@@ -420,6 +472,139 @@ class TestCrashRecovery:
 
         result = run(main())
         assert result.rows
+
+    def test_mutations_during_respawn_converge_with_rejected_log_entries(self):
+        # Regression twice over: (a) a respawned worker used to reopen
+        # for traffic before the mutation log was replayed, so a write
+        # landing mid-respawn could reach the fresh replica out of order
+        # (or be missed entirely); (b) a rejected mutation left in the
+        # log used to abort the replay at that entry.  Here the log holds
+        # a rejected entry, the worker is SIGKILLed, and a new write
+        # lands while the rebuild is in flight — the replica must still
+        # converge to the oracle history.
+        corpus = corpus_sql(12)
+        poison = "insert into NOWHERE values (1, 'x')"
+        database = movie_database()
+
+        async def main():
+            async with NarrationService(max_workers=2) as service:
+                oracle = service.session(database=database)
+                await oracle.execute("insert into GENRE values (7, 'alpha')")
+                with pytest.raises(Exception) as oracle_err:
+                    await oracle.execute(poison)
+                for sql in corpus:
+                    await oracle.execute(sql)
+                await oracle.execute("insert into GENRE values (8, 'beta')")
+                expected_count = await oracle.execute("select count(*) from GENRE")
+                expected_beta = await oracle.execute(
+                    "select g.genre from GENRE g where g.mid = 8"
+                )
+            async with ShardRouter(DB_FACTORY, workers=2) as router:
+                await router.execute("insert into GENRE values (7, 'alpha')")
+                with pytest.raises(Exception) as router_err:
+                    await router.execute(poison)
+                for sql in corpus:
+                    await router.execute(sql)
+                router.kill_worker(0)
+                # This write lands while worker 0 is down or rebuilding:
+                # the log replay (under the mutation lock, before the
+                # reopen) must deliver it in order.
+                await router.execute("insert into GENRE values (8, 'beta')")
+                counts = [
+                    await retry_crashed(
+                        lambda: router.execute("select count(*) from GENRE")
+                    )
+                    for _ in range(8)
+                ]
+                beta = await retry_crashed(
+                    lambda: router.execute(
+                        "select g.genre from GENRE g where g.mid = 8"
+                    )
+                )
+                stats = await router.stats()
+            return oracle_err.value, router_err.value, expected_count, expected_beta, counts, beta, stats
+
+        oracle_error, router_error, expected_count, expected_beta, counts, beta, stats = run(main())
+        assert type(router_error).__name__ == type(oracle_error).__name__
+        for count in counts:
+            assert count == expected_count
+            assert count.rows == expected_count.rows
+        assert beta == expected_beta
+        assert stats["router"]["respawns"] >= 1
+        live = [w for w in stats["workers"] if w is not None]
+        assert len(live) == 2
+        # The rebuilt replica replayed the full log, rejected entry and
+        # all: both watermarks sit at the fleet's seq.
+        assert {w["applied_seq"] for w in live} == {stats["router"]["mutations"]}
+
+    def test_undecodable_response_frame_is_treated_as_worker_death(self):
+        # Regression: a response frame the router cannot decode (unknown
+        # codec, an exception class that fails to unpickle router-side)
+        # used to kill the reader task silently — pending futures hung
+        # forever and no respawn ever fired.
+        async def main():
+            loop = asyncio.get_running_loop()
+            handle = WorkerHandle(0, {}, default_start_method())
+            left, right = socket.socketpair()
+            left.setblocking(False)
+            right.setblocking(False)
+            try:
+                handle._sock = left
+                crashes = []
+                handle.set_crash_callback(crashes.append)
+                handle.ready.set()
+                handle._reader_task = loop.create_task(handle._read_responses())
+                pending = asyncio.ensure_future(
+                    handle.request("execute", "select count(*) from MOVIES")
+                )
+                # Play the worker: swallow the request, answer garbage.
+                await FrameReader(loop, right).read()
+                await loop.sock_sendall(right, shard_protocol._HEADER.pack(7, 0))
+                with pytest.raises(WorkerCrashed):
+                    await asyncio.wait_for(pending, timeout=10)
+                await asyncio.sleep(0)
+                assert crashes == [handle]  # supervision was notified
+                assert not handle.ready.is_set()
+                handle._reader_task.cancel()
+            finally:
+                for sock in (left, right):
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+
+        run(main())
+
+    def test_exhausted_respawns_fail_fast_and_typed(self):
+        # Regression: once max_respawns ran out, requests to the dead
+        # worker used to stall the full 60s ready timeout and surface an
+        # untyped asyncio.TimeoutError; now the handle is marked
+        # permanently dead and fails fast with the typed ShardError.
+        async def main():
+            async with ShardRouter(DB_FACTORY, workers=1, max_respawns=0) as router:
+                await router.execute("select count(*) from MOVIES")
+                router.kill_worker(0)
+                for _ in range(int(TIMEOUT / 0.05)):
+                    if router._handles[0].gave_up:
+                        break
+                    await asyncio.sleep(0.05)
+                assert router._handles[0].gave_up
+                with pytest.raises(ShardError):
+                    await asyncio.wait_for(
+                        router.execute("select count(*) from MOVIES"), timeout=5
+                    )
+                with pytest.raises(ShardError):
+                    await asyncio.wait_for(
+                        router.execute("insert into GENRE values (3, 'x')"),
+                        timeout=5,
+                    )
+                stats = await router.stats()
+            return stats
+
+        stats = run(main())
+        assert stats["router"]["dead_workers"] == [0]
+        assert stats["workers"] == [None]
+        assert stats["fleet"]["live_workers"] == 0
 
     def test_respawn_is_warm_started_from_captured_shapes(self):
         corpus = corpus_sql(20)
