@@ -1,0 +1,169 @@
+"""Resilience-layer overhead benchmark: the policies must be ~free at rest.
+
+PR 7 threads a :class:`~repro.service.resilience.Deadline` and an
+:class:`~repro.service.resilience.AdmissionController` through every
+service request, and a retry/breaker/degradation loop through every
+shard-tier read.  The contract is that a *healthy* system pays almost
+nothing for this: every default is "off" (unbounded deadline, no depth
+threshold, closed breakers), so the hooks reduce to a singleton fetch
+and a couple of integer comparisons.
+
+This benchmark quantifies that claim three ways:
+
+* ``fast_path`` — warm direct-await translates (LRU hit, served inline
+  on the event loop) through a default session versus one whose
+  resilience hooks are stubbed out entirely;
+* ``queued_execute`` — warm single-shape executes through the full
+  queue → drain → worker-pool path, default versus stubbed (this is the
+  path that actually runs the admission check and deadline construction
+  per request);
+* ``micro_ns`` — the isolated per-call cost of each policy primitive.
+
+The acceptance budget is a warm fast-path p50 regression under 5% at
+defaults; measurements are interleaved (default / bypassed / default /
+bypassed ...) so clock drift and thermal state cancel instead of biasing
+one side.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datasets import movie_database  # noqa: E402
+from repro.service import NarrationService  # noqa: E402
+from repro.service.resilience import (  # noqa: E402
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+)
+
+__all__ = ["bench_resilience"]
+
+_SQL = "select m.title from MOVIES m where m.year = 2004"
+
+
+class _BypassAdmission(AdmissionController):
+    """Admission with the shed checks compiled out (the old edge)."""
+
+    def admit(self, depth, deadline=Deadline.NONE):  # noqa: D102
+        return None
+
+
+def _bypass_resilience(session) -> None:
+    """Stub the session's resilience hooks: the pre-PR 7 request path."""
+    session._admission = _BypassAdmission()
+    session._deadline = lambda timeout: Deadline.NONE
+
+
+async def _measure_path(session, kind: str, batches: int, calls: int):
+    """Per-call latencies (seconds) over ``batches`` timed batches."""
+    request = session.translate if kind == "translate" else session.execute
+    for _ in range(5):  # warm the caches and the queue machinery
+        await request(_SQL)
+    samples = []
+    for _ in range(batches):
+        start = time.perf_counter()
+        for _ in range(calls):
+            await request(_SQL)
+        samples.append((time.perf_counter() - start) / calls)
+    return samples
+
+
+async def _compare(kind: str, batches: int, calls: int):
+    """Interleaved default-vs-bypassed p50s for one request path."""
+    default_service = NarrationService(max_workers=2)
+    bypassed_service = NarrationService(max_workers=2)
+    try:
+        default_session = default_service.session(database=movie_database())
+        bypassed_session = bypassed_service.session(database=movie_database())
+        _bypass_resilience(bypassed_session)
+        default_samples, bypassed_samples = [], []
+        for _ in range(batches):
+            default_samples.extend(
+                await _measure_path(default_session, kind, 1, calls)
+            )
+            bypassed_samples.extend(
+                await _measure_path(bypassed_session, kind, 1, calls)
+            )
+        return (
+            statistics.median(default_samples),
+            statistics.median(bypassed_samples),
+        )
+    finally:
+        await default_service.aclose()
+        await bypassed_service.aclose()
+
+
+def _micro(fn, iterations: int) -> float:
+    """Per-call cost in nanoseconds (median of 5 timed rounds)."""
+    rounds = []
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            fn()
+        rounds.append((time.perf_counter() - start) / iterations)
+    return statistics.median(rounds) * 1e9
+
+
+def _regression_pct(default_s: float, bypassed_s: float) -> float:
+    return round((default_s - bypassed_s) / max(bypassed_s, 1e-12) * 100.0, 2)
+
+
+def bench_resilience(quick: bool = False) -> dict:
+    batches = 10 if quick else 20
+    calls = 100 if quick else 200
+    iterations = 20_000 if quick else 100_000
+
+    fast_default, fast_bypassed = asyncio.run(_compare("translate", batches, calls))
+    queued_default, queued_bypassed = asyncio.run(_compare("execute", batches, calls))
+
+    admission = AdmissionController()
+    breaker = CircuitBreaker()
+    policy = RetryPolicy()
+    deadline = Deadline.after(60.0)
+    micro = {
+        "deadline_after_none": _micro(lambda: Deadline.after(None), iterations),
+        "deadline_after_60s": _micro(lambda: Deadline.after(60.0), iterations),
+        "deadline_remaining": _micro(deadline.remaining, iterations),
+        "admission_admit": _micro(lambda: admission.admit(0), iterations),
+        "breaker_allow": _micro(breaker.allow, iterations),
+        "retry_delay": _micro(lambda: policy.delay(2, "execute:42"), iterations // 10),
+    }
+
+    fast_regression = _regression_pct(fast_default, fast_bypassed)
+    result = {
+        "note": (
+            "default resilience (unbounded deadline, no shed threshold,"
+            " closed breakers) vs the same session with the hooks stubbed"
+            " out; interleaved medians, per-call"
+        ),
+        "fast_path": {
+            "p50_default_us": round(fast_default * 1e6, 3),
+            "p50_bypassed_us": round(fast_bypassed * 1e6, 3),
+            "regression_pct": fast_regression,
+        },
+        "queued_execute": {
+            "p50_default_us": round(queued_default * 1e6, 3),
+            "p50_bypassed_us": round(queued_bypassed * 1e6, 3),
+            "regression_pct": _regression_pct(queued_default, queued_bypassed),
+        },
+        "micro_ns": {key: round(value, 1) for key, value in micro.items()},
+        "budget": "warm fast-path p50 regression < 5% at defaults",
+        "passes_budget": fast_regression < 5.0,
+    }
+    return result
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(bench_resilience(quick="--quick" in sys.argv), indent=2))

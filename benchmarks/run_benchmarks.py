@@ -29,6 +29,7 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from bench_parameterised import bench_parameterised_plans  # noqa: E402
+from bench_resilience import bench_resilience  # noqa: E402
 from bench_service_throughput import (  # noqa: E402
     bench_service_throughput,
     bench_shard_tier,
@@ -469,6 +470,8 @@ def main(argv=None) -> int:
     summary["service_throughput"] = bench_service_throughput(quick=args.quick)
     print("benchmarking shard tier ...", flush=True)
     summary["shard_tier"] = bench_shard_tier(quick=args.quick)
+    print("benchmarking resilience overhead ...", flush=True)
+    summary["resilience"] = bench_resilience(quick=args.quick)
     print("benchmarking translation core ...", flush=True)
     summary["translation_core"] = bench_translation_core(max(5, args.repeats))
     print("benchmarking narration front end ...", flush=True)
@@ -533,6 +536,17 @@ def main(argv=None) -> int:
             for workers, rps in shard_top.items()
         )
         + f" ipc round-trip p50 {shard['ipc_round_trip_p50_ms']:.2f}ms"
+    )
+    resilience = summary["resilience"]
+    print(
+        "  resilience overhead:"
+        f" fast path {resilience['fast_path']['p50_bypassed_us']:.1f}us ->"
+        f" {resilience['fast_path']['p50_default_us']:.1f}us"
+        f" ({resilience['fast_path']['regression_pct']:+.1f}%);"
+        f" queued execute {resilience['queued_execute']['p50_bypassed_us']:.1f}us ->"
+        f" {resilience['queued_execute']['p50_default_us']:.1f}us"
+        f" ({resilience['queued_execute']['regression_pct']:+.1f}%);"
+        f" budget {'met' if resilience['passes_budget'] else 'MISSED'}"
     )
     parameterised = summary["parameterised_plans"]
     print(

@@ -77,10 +77,17 @@ from repro.nlg import LengthBudget
 from repro.query_nl import AnswerExplainer, QueryTranslation, QueryTranslator, translate_query
 from repro.querygraph import QueryCategory, QueryGraph, build_query_graph, classify_query
 from repro.service import (
+    AdmissionController,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
     NarrationService,
     NarrationSession,
+    RetryPolicy,
     ServiceClosed,
+    ServiceOverloaded,
     ShardRouter,
+    ShardRouterConfig,
     WorkerCrashed,
 )
 from repro.sql import parse_select, parse_sql, to_sql
@@ -90,9 +97,13 @@ from repro.templates import TemplateRegistry, parse_list_template, parse_templat
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionController",
     "AnswerExplainer",
     "Attribute",
+    "CircuitBreaker",
     "ContentNarrator",
+    "Deadline",
+    "DeadlineExceeded",
     "DataType",
     "Database",
     "Executor",
@@ -112,12 +123,15 @@ __all__ = [
     "QueryTranslator",
     "Relation",
     "ReproError",
+    "RetryPolicy",
     "Row",
     "Schema",
     "SchemaBuilder",
     "SchemaGraph",
     "ServiceClosed",
+    "ServiceOverloaded",
     "ShardRouter",
+    "ShardRouterConfig",
     "SynthesisMode",
     "Table",
     "TemplateRegistry",

@@ -56,7 +56,7 @@ from repro.errors import EvaluationError, UnknownAttributeError, UnsupportedQuer
 from repro.oracle import resolve_compiled_default
 from repro.sql import ast
 from repro.sql.parser import parse_sql
-from repro.sql.shape import sql_shape
+from repro.sql.shape import is_mutation as _is_mutation_text, sql_shape
 from repro.storage.database import Database
 from repro.storage.row import Row
 from repro.storage.table import Table
@@ -109,11 +109,6 @@ def _analyze_correlation(statement: ast.SelectStatement) -> _CorrelationInfo:
             if node.table.lower() not in inner_bindings:
                 keys.add(node.qualified)
     return _CorrelationInfo(frozenset(inner_bindings), tuple(sorted(keys)), whole_row)
-
-
-def _is_mutation_text(sql: str) -> bool:
-    """Whether a SQL text may change data (same rule as the service's)."""
-    return not sql.lstrip()[:6].lower().startswith("select")
 
 
 class Executor:

@@ -5,20 +5,42 @@ thread-safety contract, and ``docs/performance.md`` ("Concurrent
 service") for the design discussion.
 """
 
+from repro.service.faults import FaultInjector, FaultPlan, parse_faults
+from repro.service.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    ServiceOverloaded,
+)
 from repro.service.service import NarrationService, NarrationSession, ServiceClosed
 from repro.service.sharding import (
     HashRing,
     ShardError,
     ShardRouter,
+    ShardRouterConfig,
     WorkerCrashed,
 )
 
 __all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "Deadline",
+    "DeadlineExceeded",
+    "FaultInjector",
+    "FaultPlan",
     "HashRing",
     "NarrationService",
     "NarrationSession",
+    "RetryPolicy",
     "ServiceClosed",
+    "ServiceOverloaded",
     "ShardError",
     "ShardRouter",
+    "ShardRouterConfig",
     "WorkerCrashed",
+    "parse_faults",
 ]

@@ -1,0 +1,223 @@
+"""Deterministic fault injection for the service and shard tier.
+
+Chaos testing is only useful when a failing run can be *replayed*: the
+whole point of the shard tier's oracle discipline is byte-equivalence
+under any request history, and a fault schedule that depends on wall
+clock or OS scheduling can never be reproduced in CI.  Following the
+simulation-first argument of the related work (PAPERS.md), every fault
+this module injects is a **pure function of (seed, scope, event kind,
+event index)** — no shared RNG stream whose draw order would depend on
+async interleaving, no clocks.  Same seed → same schedule, in every
+process, every run, every platform (the derivation goes through
+:func:`repro.sql.shape.stable_hash`, the same process-stable digest the
+hash ring uses).
+
+Enabling
+--------
+
+Set ``REPRO_FAULTS`` to a comma-separated spec, e.g.::
+
+    REPRO_FAULTS="seed=42,crash_nth=25,corrupt=0.02,drop=0.01,stall=0.2,stall_s=0.05"
+
+========== =========================================================
+key        meaning (defaults in parentheses)
+========== =========================================================
+seed       schedule seed (0)
+crash_nth  the worker process dies at exactly its Nth ordinary
+           request, once per incarnation (off)
+crash_every the worker dies at every Nth ordinary request (off)
+drop       probability a response frame is silently dropped (0)
+corrupt    probability a response frame is sent undecodable (0)
+delay      probability a response frame is delayed (0)
+delay_s    the delay applied when it is (0.05)
+stall      probability a request stalls before running (0) — the
+           slow-replica fault
+stall_s    the stall applied when it is (0.1)
+========== =========================================================
+
+Faults apply only to *ordinary* requests (translate / execute-read /
+explain / narrate): mutation barrier frames, control frames
+(stats/precompile/ping/shutdown) and the ready hello are exempt, so a
+fault schedule can never make replicas diverge (a worker that crashes
+*around* a mutation is converged by the router's log replay — that path
+is chaos-tested too, via ``crash_nth`` landing between mutations) and a
+respawned worker can always be rebuilt.
+
+Where the hooks live
+--------------------
+
+* :meth:`FaultInjector.crash_due` — checked in the worker's read loop;
+  a due crash is ``os._exit`` (indistinguishable from SIGKILL).
+* :meth:`FaultInjector.stall_for` — awaited by the worker before
+  running the request (the slow replica).
+* :meth:`FaultInjector.response_fate` — consulted by the worker before
+  sending an ordinary response frame: ``deliver``/``delay`` /``drop``
+  (the router's per-attempt timeout fires and the read retries) /
+  ``corrupt`` (the router's frame reader desyncs and treats the worker
+  as dead — exercising the crash path without a crash).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from random import Random
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sql.shape import stable_hash
+
+__all__ = ["FaultInjector", "FaultPlan", "corrupt_frame", "parse_faults"]
+
+#: The environment variable that arms fault injection.
+ENV_VAR = "REPRO_FAULTS"
+
+DELIVER = "deliver"
+DELAY = "delay"
+DROP = "drop"
+CORRUPT = "corrupt"
+
+_FLOAT_KEYS = {"drop", "corrupt", "delay", "delay_s", "stall", "stall_s"}
+_INT_KEYS = {"seed", "crash_nth", "crash_every"}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed ``REPRO_FAULTS`` spec (all faults off by default)."""
+
+    seed: int = 0
+    crash_nth: Optional[int] = None
+    crash_every: Optional[int] = None
+    drop: float = 0.0
+    corrupt: float = 0.0
+    delay: float = 0.0
+    delay_s: float = 0.05
+    stall: float = 0.0
+    stall_s: float = 0.1
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.crash_nth
+            or self.crash_every
+            or self.drop
+            or self.corrupt
+            or self.delay
+            or self.stall
+        )
+
+
+def parse_faults(spec: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`."""
+    values: Dict[str, Any] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, raw = item.partition("=")
+        key = key.strip()
+        if not sep:
+            raise ValueError(f"fault spec item {item!r} is not key=value")
+        if key in _INT_KEYS:
+            values[key] = int(raw)
+        elif key in _FLOAT_KEYS:
+            value = float(raw)
+            if key in ("drop", "corrupt", "delay", "stall") and not 0.0 <= value <= 1.0:
+                raise ValueError(f"fault rate {key} must be within [0, 1]")
+            values[key] = value
+        else:
+            raise ValueError(f"unknown fault spec key {key!r}")
+    return FaultPlan(**values)
+
+
+def corrupt_frame(frame: bytes) -> bytes:
+    """An undecodable variant of a wire frame (same length, bad codec).
+
+    The length prefix is left intact so the receiving
+    :class:`~repro.service.sharding.protocol.FrameReader` consumes the
+    whole frame and fails in ``_decode`` — the stream is then desynced
+    in a *detected* way, driving the supervisor's worker-death path.
+    """
+    return bytes([0xFF]) + frame[1:]
+
+
+class FaultInjector:
+    """Deterministic fault decisions for one scope (one worker process).
+
+    Every decision is derived from
+    ``stable_hash(f"{seed}:{scope}:{event}:{index}")`` — never from a
+    stream — so concurrent events cannot perturb each other's outcomes
+    and the full schedule can be precomputed (:meth:`schedule`) and
+    asserted identical across processes.
+    """
+
+    def __init__(self, plan: FaultPlan, scope: str) -> None:
+        self.plan = plan
+        self.scope = scope
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_env(cls, scope: str, environ=os.environ) -> Optional["FaultInjector"]:
+        """The injector armed by ``REPRO_FAULTS``, or ``None`` when quiet."""
+        spec = environ.get(ENV_VAR, "").strip()
+        if not spec:
+            return None
+        plan = parse_faults(spec)
+        return cls(plan, scope) if plan.active else None
+
+    # ------------------------------------------------------------------
+    # Decisions (pure functions of (seed, scope, event, index))
+    # ------------------------------------------------------------------
+
+    def _roll(self, event: str, index: int) -> float:
+        key = f"{self.plan.seed}:{self.scope}:{event}:{index}"
+        return Random(stable_hash(key)).random()
+
+    def crash_due(self, index: int) -> bool:
+        """Whether this incarnation dies at ordinary request ``index``."""
+        if self.plan.crash_nth is not None and index == self.plan.crash_nth:
+            return True
+        every = self.plan.crash_every
+        return bool(every) and index % every == 0
+
+    def crash(self) -> None:  # pragma: no cover - the exit kills coverage
+        """Die like SIGKILL would: no cleanup, no exception, exit 139."""
+        os._exit(139)
+
+    def stall_for(self, index: int) -> float:
+        """Seconds this request stalls before running (0.0 = no stall)."""
+        if self.plan.stall and self._roll("stall", index) < self.plan.stall:
+            return self.plan.stall_s
+        return 0.0
+
+    def response_fate(self, index: int) -> Tuple[str, float]:
+        """``(fate, delay_seconds)`` for ordinary response frame ``index``."""
+        plan = self.plan
+        if not (plan.drop or plan.corrupt or plan.delay):
+            return (DELIVER, 0.0)
+        roll = self._roll("frame", index)
+        if roll < plan.drop:
+            return (DROP, 0.0)
+        if roll < plan.drop + plan.corrupt:
+            return (CORRUPT, 0.0)
+        if roll < plan.drop + plan.corrupt + plan.delay:
+            return (DELAY, plan.delay_s)
+        return (DELIVER, 0.0)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests assert cross-process schedule identity)
+    # ------------------------------------------------------------------
+
+    def schedule(self, count: int) -> List[Dict[str, Any]]:
+        """The first ``count`` ordinary-request decisions, precomputed."""
+        return [
+            {
+                "index": index,
+                "crash": self.crash_due(index),
+                "stall": self.stall_for(index),
+                "fate": self.response_fate(index),
+            }
+            for index in range(1, count + 1)
+        ]

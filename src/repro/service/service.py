@@ -92,7 +92,8 @@ from repro.engine.executor import Executor
 from repro.lexicon.lexicon import Lexicon
 from repro.query_nl.empty_answer import AnswerExplainer
 from repro.query_nl.translator import QueryTranslation, QueryTranslator
-from repro.sql.shape import batch_key
+from repro.service.resilience import AdmissionController, Deadline
+from repro.sql.shape import batch_key, is_mutation as _is_mutation
 from repro.storage.database import Database
 
 __all__ = ["NarrationService", "NarrationSession", "ServiceClosed"]
@@ -102,26 +103,22 @@ class ServiceClosed(RuntimeError):
     """Raised when a request is submitted to a closed service/session."""
 
 
-def _is_mutation(sql: str) -> bool:
-    """Whether an execute payload may change data (a grouping barrier).
-
-    Anything that is not plainly a SELECT is treated as a potential
-    mutation — the conservative direction: a false positive only costs a
-    singleton group, a false negative could let a same-shape read jump a
-    write.
-    """
-    return not sql.lstrip()[:6].lower().startswith("select")
-
-
 class _Request:
-    """One queued unit of work: a kind, its payload and the caller's future."""
+    """One queued unit of work: kind, payload, deadline and the caller's future."""
 
-    __slots__ = ("kind", "payload", "future")
+    __slots__ = ("kind", "payload", "future", "deadline")
 
-    def __init__(self, kind: str, payload: Any, future: "asyncio.Future") -> None:
+    def __init__(
+        self,
+        kind: str,
+        payload: Any,
+        future: "asyncio.Future",
+        deadline: Deadline = Deadline.NONE,
+    ) -> None:
         self.kind = kind
         self.payload = payload
         self.future = future
+        self.deadline = deadline
 
 
 class NarrationSession:
@@ -145,6 +142,8 @@ class NarrationSession:
         max_batch: int,
         cache_size: Optional[int] = 512,
         phrase_plans: Optional[bool] = None,
+        admission: Optional[AdmissionController] = None,
+        default_timeout: Optional[float] = None,
     ) -> None:
         self._service = service
         self.schema = schema
@@ -159,6 +158,10 @@ class NarrationSession:
         )
         self._max_batch = max_batch
         self._max_queue = max_queue
+        # Resilience: admission control (shedding off unless configured)
+        # and the default per-request deadline (None = unbounded).
+        self._admission = admission if admission is not None else AdmissionController()
+        self._default_timeout = default_timeout
         # Serializes every pipeline touch; see the module docstring's
         # thread-safety contract.
         self._work_lock = threading.Lock()
@@ -185,11 +188,17 @@ class NarrationSession:
     # Public API
     # ------------------------------------------------------------------
 
-    async def translate(self, sql: str) -> QueryTranslation:
+    async def translate(
+        self, sql: str, timeout: Optional[float] = None
+    ) -> QueryTranslation:
         """Translate SQL to natural language (Section 3 of the paper).
 
         Plan/LRU hits are served inline; cold translations are batched by
-        shape and run on the worker pool.
+        shape and run on the worker pool.  ``timeout`` caps this one
+        request (falling back to the session's ``default_timeout``); the
+        deadline is honored at admission, in the queue and in the drain
+        task, and expiry raises the typed
+        :class:`~repro.service.resilience.DeadlineExceeded`.
         """
         self._check_open()
         if isinstance(sql, str) and self._work_lock.acquire(blocking=False):
@@ -202,9 +211,9 @@ class NarrationSession:
                     self._fast_path_hits += 1
                     self._counts["translate"] = self._counts.get("translate", 0) + 1
                 return fast
-        return await self._submit("translate", sql)
+        return await self._submit("translate", sql, self._deadline(timeout))
 
-    async def execute(self, sql: str):
+    async def execute(self, sql: str, timeout: Optional[float] = None):
         """Execute SQL on the session's shared (cached, compiled) executor.
 
         Concurrent same-shape requests are grouped by the drain task, so
@@ -213,22 +222,32 @@ class NarrationSession:
         and every later request of that shape — only rebind literals).
         """
         self._check_open()
-        return await self._submit("execute", sql)
+        return await self._submit("execute", sql, self._deadline(timeout))
 
-    async def explain_empty(self, sql: str):
+    async def explain_empty(self, sql: str, timeout: Optional[float] = None):
         """Explain an empty (or very large) answer (Section 3.1)."""
         self._check_open()
-        return await self._submit("explain", sql)
+        return await self._submit("explain", sql, self._deadline(timeout))
 
-    async def narrate_database(self, **kwargs) -> str:
+    async def narrate_database(self, *, timeout: Optional[float] = None, **kwargs) -> str:
         """Narrate the database contents (Section 2)."""
         self._check_open()
-        return await self._submit("narrate_database", kwargs)
+        return await self._submit("narrate_database", kwargs, self._deadline(timeout))
 
-    async def narrate_relation(self, relation_name: str, **kwargs) -> str:
+    async def narrate_relation(
+        self, relation_name: str, *, timeout: Optional[float] = None, **kwargs
+    ) -> str:
         """Narrate one relation's (top) tuples."""
         self._check_open()
-        return await self._submit("narrate_relation", (relation_name, kwargs))
+        return await self._submit(
+            "narrate_relation", (relation_name, kwargs), self._deadline(timeout)
+        )
+
+    def _deadline(self, timeout: Optional[float]) -> Deadline:
+        """The request deadline: explicit timeout, session default, or none."""
+        if timeout is None:
+            timeout = self._default_timeout
+        return Deadline.after(timeout)
 
     def captured_shapes(self) -> Dict[str, List[str]]:
         """The session's captured workload, one representative text per shape.
@@ -282,6 +301,8 @@ class NarrationSession:
                     for kind, counters in self._grouped_by_kind.items()
                 },
                 "queue_high_water": self._queue_high_water,
+                "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+                "shed": self._admission.stats(),
             }
         snapshot: Dict[str, Any] = {
             "schema": self.schema.name,
@@ -305,13 +326,19 @@ class NarrationSession:
     # Queueing and batching
     # ------------------------------------------------------------------
 
-    async def _submit(self, kind: str, payload: Any) -> Any:
+    async def _submit(
+        self, kind: str, payload: Any, deadline: Deadline = Deadline.NONE
+    ) -> Any:
         loop = asyncio.get_running_loop()
         self._ensure_started(loop)
-        future: "asyncio.Future" = loop.create_future()
-        request = _Request(kind, payload, future)
         queue = self._queue
         assert queue is not None
+        # Admission control: shed typed (ServiceOverloaded at the depth
+        # threshold, DeadlineExceeded for an already-expired budget)
+        # instead of queueing work that can only fail later.
+        self._admission.admit(queue.qsize(), deadline)
+        future: "asyncio.Future" = loop.create_future()
+        request = _Request(kind, payload, future, deadline)
         await queue.put(request)  # suspends while full: back-pressure
         if self._closed and (self._drain_task is None or self._drain_task.done()):
             # The put was suspended on a full queue while the session
@@ -434,6 +461,14 @@ class NarrationSession:
     def _process_group(self, group: List[_Request]) -> None:
         with self._work_lock:
             for request in group:
+                if request.deadline.expired:
+                    # The budget ran out while the request waited in the
+                    # queue or behind earlier group members: shed it now
+                    # rather than spend pipeline time on a dead request.
+                    with self._stats_lock:
+                        error = self._admission.shed_expired_in_queue()
+                    self._deliver(request.future, error=error)
+                    continue
                 try:
                     result = self._run(request)
                 except BaseException as error:  # delivered, never swallowed
@@ -630,6 +665,8 @@ class NarrationService:
         lexicon: Optional[Lexicon] = None,
         cache_size: Optional[int] = 512,
         phrase_plans: Optional[bool] = None,
+        admission: Optional[AdmissionController] = None,
+        default_timeout: Optional[float] = None,
     ) -> NarrationSession:
         """The session for ``(schema, database)``, created on first use.
 
@@ -637,11 +674,17 @@ class NarrationService:
         explain, narrate) or just a ``schema`` for translation only.
         ``spec_factory`` (e.g. ``movie_spec``) builds a narration spec
         from the schema once, when the session is first created.
+        ``admission`` installs load shedding (an
+        :class:`~repro.service.resilience.AdmissionController`; default:
+        deadline shedding only, no depth threshold) and
+        ``default_timeout`` the per-request deadline every request gets
+        unless it passes its own (default: unbounded).
 
         Configuration (``spec``/``spec_factory``/``lexicon``/
-        ``cache_size``/``phrase_plans``) applies on first creation only;
-        asking for an existing session *with* configuration raises rather
-        than silently answering with the first caller's settings.
+        ``cache_size``/``phrase_plans``/``admission``/
+        ``default_timeout``) applies on first creation only; asking for
+        an existing session *with* configuration raises rather than
+        silently answering with the first caller's settings.
         """
         if self._closed:
             raise ServiceClosed("the narration service has been closed")
@@ -655,6 +698,8 @@ class NarrationService:
             or lexicon is not None
             or cache_size != 512
             or phrase_plans is not None
+            or admission is not None
+            or default_timeout is not None
         )
         with self._sessions_lock:
             existing = self._sessions.get(key)
@@ -679,6 +724,8 @@ class NarrationService:
                 max_batch=self.max_batch,
                 cache_size=cache_size,
                 phrase_plans=phrase_plans,
+                admission=admission,
+                default_timeout=default_timeout,
             )
             self._sessions[key] = created
             return created

@@ -13,7 +13,7 @@ Public surface:
 """
 
 from repro.service.sharding.protocol import RemoteWorkerError
-from repro.service.sharding.router import HashRing, ShardRouter
+from repro.service.sharding.router import HashRing, ShardRouter, ShardRouterConfig
 from repro.service.sharding.supervisor import (
     ShardError,
     WorkerCrashed,
@@ -26,6 +26,7 @@ __all__ = [
     "RemoteWorkerError",
     "ShardError",
     "ShardRouter",
+    "ShardRouterConfig",
     "WorkerCrashed",
     "WorkerHandle",
     "default_start_method",

@@ -14,13 +14,20 @@ Frame
     needs negotiation.
 
 Request (router → worker)
-    ``(request_id, kind, payload, seq)``.  ``kind`` is one of the
+    ``(request_id, kind, payload, seq)`` or
+    ``(request_id, kind, payload, seq, budget)``.  ``kind`` is one of the
     session kinds (``translate``/``execute``/``explain``/
     ``narrate_database``/``narrate_relation``) or a control kind
     (:data:`STATS`, :data:`PRECOMPILE`, :data:`PING`, :data:`SHUTDOWN`).
     ``seq`` is ``None`` for ordinary requests; a mutation broadcast
     carries its monotonic sequence number here, which makes the request a
-    *barrier* on the worker (see :mod:`.worker`).
+    *barrier* on the worker (see :mod:`.worker`).  ``budget`` (optional,
+    seconds — *remaining* budget, never an absolute time, because the
+    processes do not share a clock) propagates the router-side deadline
+    so the worker's session queue can shed an expired read; barrier
+    frames never carry one (a replica that shed a write while another
+    applied it would diverge forever), so workers ignore ``budget`` when
+    ``seq`` is set.
 
 Response (worker → router)
     ``(request_id, status, payload)`` with ``status`` ``"ok"`` or

@@ -48,19 +48,55 @@ workload of the dead incarnation replayed through the warm-start API
 request of every hot shape is a plan hit, not a cold compile.  The whole
 rebuild runs under the mutation lock and the worker reopens for traffic
 only once it has converged, so neither reads nor new writes can observe
-(or interleave with) a half-rebuilt replica.  Requests that arrive while
-the respawn is in flight wait on the worker's ready gate rather than
-failing; once ``max_respawns`` is exhausted the worker is marked
-permanently dead and its requests fail fast with :class:`ShardError`.
+(or interleave with) a half-rebuilt replica.  Once ``max_respawns`` is
+exhausted the worker is marked permanently dead and its requests fail
+fast with :class:`ShardError`.
+
+Resilience
+----------
+
+Every knob lives in :class:`ShardRouterConfig`; the semantics are:
+
+* **Deadlines** — every request carries a
+  :class:`~repro.service.resilience.Deadline` (default
+  ``request_timeout``), honored while waiting for a ready worker, at the
+  read-after-write barrier, and across the worker round-trip; the
+  remaining budget also ships to the worker so its session queue can
+  shed an expired read.  Expiry raises the typed
+  :class:`~repro.service.resilience.DeadlineExceeded`.
+* **Retries** — reads are idempotent (routing is deterministic, replicas
+  are byte-equivalent), so a read that hits a crashed worker or an
+  attempt timeout retries under ``config.retry`` (exponential backoff,
+  seeded jitter) within its deadline.  **Mutations are never
+  auto-retried**: a crashed worker may or may not have applied the
+  write, and the log replay — not a blind resend — is what converges it.
+* **Degraded rerouting** — a read whose shape-owner is dead, rebuilding
+  or breaker-open reroutes to the next live node in ring order instead
+  of failing or waiting: every replica holds the full database, so the
+  result is byte-identical — only colder (the fallback's caches do not
+  own this shape).  The read still honors the write barrier on the
+  worker that actually serves it.
+* **Circuit breaking** — one closed/open/half-open
+  :class:`~repro.service.resilience.CircuitBreaker` per worker counts
+  infrastructure failures (crashes, attempt timeouts — never SQL
+  errors); an open breaker diverts reads away from a sick-but-connected
+  worker until its half-open probe succeeds.
 """
 
 from __future__ import annotations
 
 import asyncio
 import bisect
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.query_nl.translator import QueryTranslation
+from repro.service.resilience import (
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+)
 from repro.service.service import ServiceClosed
 from repro.service.sharding.protocol import (
     PRECOMPILE,
@@ -74,15 +110,76 @@ from repro.service.sharding.supervisor import (
     WorkerHandle,
     default_start_method,
 )
-from repro.sql.shape import shape_hash, stable_hash
+from repro.sql.shape import is_mutation as _is_mutation, shape_hash, stable_hash
 from repro.utils.cache import LRUCache
 
-__all__ = ["HashRing", "ShardRouter"]
+__all__ = ["HashRing", "ShardRouter", "ShardRouterConfig"]
 
 
-def _is_mutation(sql: str) -> bool:
-    """Same conservative rule as the single-process service's grouping."""
-    return not sql.lstrip()[:6].lower().startswith("select")
+@dataclass(frozen=True)
+class ShardRouterConfig:
+    """Every shard-tier timeout, budget and resilience knob, in one place.
+
+    The defaults reproduce the tier's long-standing behaviour (the
+    previously hardcoded 10/30/60 second timeouts) plus the PR 7
+    resilience semantics at conservative settings; construct with
+    overrides (or ``dataclasses.replace`` an existing config) to tune.
+
+    ============================ ==============================================
+    knob                         meaning
+    ============================ ==============================================
+    ``request_timeout``          overall per-read deadline in seconds
+                                 (``None`` = unbounded); the old hardcoded
+                                 60 s ready-wait
+    ``attempt_timeout``          one worker round-trip slice of that deadline —
+                                 a dropped response frame costs this much, not
+                                 the whole budget
+    ``mutation_timeout``         admission deadline for mutation broadcasts
+                                 (``None`` = unbounded).  Honored *before* the
+                                 broadcast; barrier frames in flight always run
+                                 to completion so the ack watermark stays sound
+    ``shutdown_timeout``         polite worker drain on ``aclose`` before the
+                                 supervisor terminates (the old hardcoded 10 s)
+    ``stats_timeout``            per-worker ready-wait inside ``stats()`` (the
+                                 old hardcoded 30 s)
+    ``stop_timeout``             process-join slice when tearing a worker down
+    ``max_respawns``             crash-respawn budget per worker slot before it
+                                 is marked permanently dead
+    ``retry``                    the :class:`RetryPolicy` for idempotent reads
+                                 (``attempts=1`` disables auto-retry)
+    ``degraded_reads``           reroute reads owned by a dead/rebuilding/
+                                 breaker-open worker to the next live ring node
+                                 (byte-identical, colder caches) instead of
+                                 waiting or failing
+    ``breaker_failures``         consecutive infrastructure failures that trip
+                                 a worker's circuit breaker open
+    ``breaker_reset``            seconds an open breaker waits before admitting
+                                 half-open probes
+    ``breaker_probes``           concurrent probes a half-open breaker admits
+    ``breaker_wait``             sleep slice while every candidate is ready but
+                                 breaker-blocked (bounded by the deadline)
+    ============================ ==============================================
+    """
+
+    request_timeout: Optional[float] = 60.0
+    attempt_timeout: float = 10.0
+    mutation_timeout: Optional[float] = None
+    shutdown_timeout: float = 10.0
+    stats_timeout: float = 30.0
+    stop_timeout: float = 5.0
+    max_respawns: int = 8
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    degraded_reads: bool = True
+    breaker_failures: int = 5
+    breaker_reset: float = 5.0
+    breaker_probes: int = 1
+    breaker_wait: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+        if self.attempt_timeout <= 0:
+            raise ValueError("attempt_timeout must be positive")
 
 
 class HashRing:
@@ -113,6 +210,26 @@ class HashRing:
         if position == len(self._hashes):
             position = 0
         return self._owners[position]
+
+    def preference(self, key_hash: int) -> List[int]:
+        """Every distinct worker in ring order starting at ``key_hash``.
+
+        ``preference(k)[0] == route(k)``; the rest is the degradation
+        order — the \"next live node\" a read falls back to is the first
+        later entry whose worker is up.  Like placement itself, the
+        order is a pure function of the key, identical in every process.
+        """
+        position = bisect.bisect_right(self._hashes, key_hash)
+        owners = self._owners
+        count = len(owners)
+        seen: set = set()
+        order: List[int] = []
+        for step in range(count):
+            owner = owners[(position + step) % count]
+            if owner not in seen:
+                seen.add(owner)
+                order.append(owner)
+        return order
 
 
 class ShardRouter:
@@ -146,12 +263,16 @@ class ShardRouter:
         start_method: Optional[str] = None,
         ring_replicas: int = 64,
         capture_limit: int = 512,
-        max_respawns: int = 8,
+        max_respawns: Optional[int] = None,
+        config: Optional[ShardRouterConfig] = None,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
-        if max_respawns < 0:
-            raise ValueError("max_respawns must be >= 0")
+        if config is None:
+            config = ShardRouterConfig()
+        if max_respawns is not None:  # convenience override, pre-config API
+            config = replace(config, max_respawns=max_respawns)
+        self._config = config
         self.workers = workers
         self._spec = {
             "database_factory": _factory_path(database_factory),
@@ -168,7 +289,15 @@ class ShardRouter:
             WorkerHandle(index, self._spec, self._start_method)
             for index in range(workers)
         ]
-        self._max_respawns = max_respawns
+        self._max_respawns = config.max_respawns
+        self._breakers: List[CircuitBreaker] = [
+            CircuitBreaker(
+                failure_threshold=config.breaker_failures,
+                reset_timeout=config.breaker_reset,
+                probes=config.breaker_probes,
+            )
+            for _ in range(workers)
+        ]
         self._started = False
         self._closed = False
         self._start_lock = asyncio.Lock()
@@ -184,6 +313,9 @@ class ShardRouter:
         ]
         self._counts: Dict[str, int] = {}
         self._crashes = 0
+        self._retries = 0
+        self._degraded_reads = 0
+        self._deadline_expired = 0
         self._respawn_tasks: set = set()
 
     # ------------------------------------------------------------------
@@ -227,13 +359,15 @@ class ShardRouter:
                 return_exceptions=True,
             )
         for handle in self._handles:
-            await handle.stop()
+            await handle.stop(timeout=self._config.stop_timeout)
 
-    @staticmethod
-    async def _shutdown_worker(handle: WorkerHandle) -> None:
+    async def _shutdown_worker(self, handle: WorkerHandle) -> None:
         if handle.alive:
             try:
-                await asyncio.wait_for(handle.request(SHUTDOWN, None), timeout=10)
+                await asyncio.wait_for(
+                    handle.request(SHUTDOWN, None),
+                    timeout=self._config.shutdown_timeout,
+                )
             except Exception:
                 pass  # stop() terminates what would not drain
 
@@ -248,33 +382,50 @@ class ShardRouter:
     # Public request API (mirrors NarrationSession)
     # ------------------------------------------------------------------
 
-    async def translate(self, sql: str) -> QueryTranslation:
+    async def translate(
+        self, sql: str, timeout: Optional[float] = None
+    ) -> QueryTranslation:
         """Translate SQL to natural language on the shape's worker."""
-        wire = await self._routed("translate", sql, shape_hash(sql), capture="translate")
+        wire = await self._routed(
+            "translate", sql, shape_hash(sql), capture="translate", timeout=timeout
+        )
         return unwire_translation(wire)
 
-    async def execute(self, sql: str):
-        """Execute SQL: reads on the shape's worker, writes on every worker."""
+    async def execute(self, sql: str, timeout: Optional[float] = None):
+        """Execute SQL: reads on the shape's worker, writes on every worker.
+
+        Reads are idempotent and auto-retry (and degrade to the next live
+        replica) under ``config.retry`` within their deadline; mutations
+        never do — see the module docstring's retry/idempotency contract.
+        """
         if _is_mutation(sql):
-            return await self._broadcast_mutation(sql)
-        return await self._routed("execute", sql, shape_hash(sql), capture="execute")
-
-    async def explain_empty(self, sql: str):
-        """Explain an empty (or very large) answer on the shape's worker."""
-        return await self._routed("explain", sql, shape_hash(sql))
-
-    async def narrate_database(self, **kwargs) -> str:
-        """Narrate the database contents (routed by argument shape)."""
+            return await self._broadcast_mutation(sql, timeout=timeout)
         return await self._routed(
-            "narrate_database", kwargs, stable_hash(f"narrate_database:{sorted(kwargs.items())!r}")
+            "execute", sql, shape_hash(sql), capture="execute", timeout=timeout
         )
 
-    async def narrate_relation(self, relation_name: str, **kwargs) -> str:
+    async def explain_empty(self, sql: str, timeout: Optional[float] = None):
+        """Explain an empty (or very large) answer on the shape's worker."""
+        return await self._routed("explain", sql, shape_hash(sql), timeout=timeout)
+
+    async def narrate_database(self, *, timeout: Optional[float] = None, **kwargs) -> str:
+        """Narrate the database contents (routed by argument shape)."""
+        return await self._routed(
+            "narrate_database",
+            kwargs,
+            stable_hash(f"narrate_database:{sorted(kwargs.items())!r}"),
+            timeout=timeout,
+        )
+
+    async def narrate_relation(
+        self, relation_name: str, *, timeout: Optional[float] = None, **kwargs
+    ) -> str:
         """Narrate one relation's (top) tuples (routed by relation)."""
         return await self._routed(
             "narrate_relation",
             (relation_name, kwargs),
             stable_hash(f"narrate_relation:{relation_name}:{sorted(kwargs.items())!r}"),
+            timeout=timeout,
         )
 
     async def stats(self) -> Dict[str, Any]:
@@ -291,18 +442,31 @@ class ShardRouter:
         await self.start()
         snapshots: List[Optional[Dict[str, Any]]] = []
         for handle in self._handles:
+            breaker = self._breakers[handle.index]
             if handle.gave_up:
-                snapshots.append(None)
+                snapshots.append(
+                    {"health": "dead", "breaker": breaker.stats(), "session": None}
+                )
                 continue
             try:
-                await asyncio.wait_for(handle.ready.wait(), timeout=30)
+                await asyncio.wait_for(
+                    handle.ready.wait(), timeout=self._config.stats_timeout
+                )
                 remote = await handle.request(STATS, None)
             except Exception:
-                snapshots.append(None)
+                snapshots.append(
+                    {
+                        "health": handle.health,
+                        "breaker": breaker.stats(),
+                        "session": None,
+                    }
+                )
                 continue
             snapshots.append(
                 {
                     "pid": remote["pid"],
+                    "health": handle.health,
+                    "breaker": breaker.stats(),
                     "applied_seq": handle.applied_seq,
                     "respawns": handle.respawns,
                     "session": remote["session"],
@@ -319,6 +483,11 @@ class ShardRouter:
                 "mutation_log": len(self._mutation_log),
                 "crashes": self._crashes,
                 "respawns": sum(handle.respawns for handle in self._handles),
+                "retries": self._retries,
+                "degraded_reads": self._degraded_reads,
+                "deadline_expired": self._deadline_expired,
+                "breaker_trips": sum(b.trips for b in self._breakers),
+                "worker_health": [handle.health for handle in self._handles],
                 "dead_workers": [
                     handle.index for handle in self._handles if handle.gave_up
                 ],
@@ -343,41 +512,165 @@ class ShardRouter:
     # ------------------------------------------------------------------
 
     async def _routed(
-        self, kind: str, payload: Any, key_hash: int, capture: Optional[str] = None
+        self,
+        kind: str,
+        payload: Any,
+        key_hash: int,
+        capture: Optional[str] = None,
+        timeout: Optional[float] = None,
     ) -> Any:
+        """Serve one idempotent read under the full resilience contract.
+
+        Pick a worker (the shape's owner, or — degraded — the next live
+        ring node when the owner is dead, rebuilding or breaker-open),
+        honor the read-after-write barrier on whichever worker serves,
+        and run the round-trip inside an attempt slice of the request
+        deadline.  Infrastructure failures (crash, attempt timeout,
+        mid-wait give-up) retry under ``config.retry``; pipeline errors
+        (the worker answered; the SQL was bad) propagate immediately and
+        count as breaker successes.  The deadline is terminal: expiry
+        raises :class:`DeadlineExceeded` no matter how many attempts
+        remain.
+        """
         self._check_open()
         await self.start()
-        index = self._ring.route(key_hash)
-        handle = self._handles[index]
-        if handle.gave_up:
-            raise ShardError(
-                f"worker {index} is permanently down (respawn budget of"
-                f" {self._max_respawns} exhausted)"
-            )
-        # Read-after-write barrier: never send a read to a worker that
-        # has not acked every mutation sequenced before this request.
-        barrier = self._mutation_seq
+        config = self._config
+        deadline = Deadline.after(
+            timeout if timeout is not None else config.request_timeout
+        )
+        order = self._ring.preference(key_hash)
+        primary = order[0]
         self._counts[kind] = self._counts.get(kind, 0) + 1
         if capture is not None and isinstance(payload, str):
-            self._captured[index][capture].put(shape_hash(payload), payload)
-        try:
-            await asyncio.wait_for(handle.ready.wait(), timeout=60)
-        except asyncio.TimeoutError:
-            if handle.gave_up:  # the respawn budget ran out mid-wait
-                raise ShardError(
-                    f"worker {index} is permanently down (respawn budget of"
-                    f" {self._max_respawns} exhausted)"
-                ) from None
-            raise WorkerCrashed(
-                f"worker {index} did not come back within 60s"
-            ) from None
-        await handle.wait_applied(barrier)
-        return await handle.request(kind, payload)
+            # Warm-start capture always belongs to the shape's owner:
+            # a degraded fallback serving it once must not pollute the
+            # fallback's respawn warm-set.
+            self._captured[primary][capture].put(shape_hash(payload), payload)
+        policy = config.retry
+        salt = f"{kind}:{key_hash}"
+        attempt = 0
+        while True:
+            attempt += 1
+            index, handle = await self._pick_worker(order, deadline)
+            if index != primary:
+                self._degraded_reads += 1
+            breaker = self._breakers[index]
+            # Read-after-write barrier: never send a read to a worker
+            # that has not acked every mutation sequenced before this
+            # request — degraded or not, every replica applies every
+            # write, so the barrier holds on whichever worker serves.
+            barrier = self._mutation_seq
+            try:
+                await asyncio.wait_for(
+                    handle.wait_applied(barrier), deadline.remaining()
+                )
+                result = await asyncio.wait_for(
+                    handle.request(
+                        kind,
+                        payload,
+                        budget=deadline.bound(config.attempt_timeout),
+                    ),
+                    deadline.bound(config.attempt_timeout),
+                )
+            except asyncio.CancelledError:
+                raise
+            except (ShardError, asyncio.TimeoutError) as error:
+                # Infrastructure failure: the worker crashed mid-request
+                # (WorkerCrashed), gave up mid-barrier-wait (ShardError),
+                # or the attempt slice / deadline ran out (TimeoutError —
+                # including a worker-side DeadlineExceeded shed).
+                breaker.record_failure()
+                if deadline.expired:
+                    self._deadline_expired += 1
+                    raise DeadlineExceeded(
+                        f"{kind} request deadline expired after {attempt}"
+                        f" attempt(s) (last failure: {error!r})"
+                    ) from error
+                if not policy.should_retry(attempt, deadline):
+                    raise
+                self._retries += 1
+                delay = deadline.bound(policy.delay(attempt, salt))
+                if delay:
+                    await asyncio.sleep(delay)
+            except BaseException:
+                # The worker answered; the *pipeline* rejected the
+                # request (bad SQL, constraint violation).  That is a
+                # healthy worker — and never retryable: the rejection is
+                # deterministic.
+                breaker.record_success()
+                raise
+            else:
+                breaker.record_success()
+                return result
 
-    async def _broadcast_mutation(self, sql: str):
+    async def _pick_worker(
+        self, order: List[int], deadline: Deadline
+    ) -> Tuple[int, WorkerHandle]:
+        """The first live, breaker-admitted worker in ring order.
+
+        With ``degraded_reads`` off only the shape's owner is eligible
+        (requests wait on its ready gate, the pre-PR 7 behaviour); with
+        it on, a dead/rebuilding/breaker-open owner is skipped in favour
+        of the next live node.  When nothing is immediately eligible the
+        pick waits — on the first viable worker's ready gate, or out a
+        breaker slice — bounded by the deadline.  Raises
+        :class:`ShardError` terminally when every worker's respawn
+        budget is exhausted.
+        """
+        config = self._config
+        while True:
+            viable = [i for i in order if not self._handles[i].gave_up]
+            if not viable:
+                raise ShardError(
+                    "every worker is permanently down (respawn budget of"
+                    f" {self._max_respawns} exhausted)"
+                )
+            candidates = viable if config.degraded_reads else viable[:1]
+            blocked_but_ready = False
+            for index in candidates:
+                handle = self._handles[index]
+                if not handle.ready.is_set():
+                    continue
+                if not self._breakers[index].allow():
+                    blocked_but_ready = True
+                    continue
+                return index, handle
+            if deadline.expired:
+                self._deadline_expired += 1
+                raise DeadlineExceeded(
+                    "deadline expired before any worker became available"
+                )
+            if blocked_but_ready:
+                # Ready workers exist but every breaker is open: wait out
+                # a slice of the breaker timer rather than busy-spinning.
+                await asyncio.sleep(deadline.bound(config.breaker_wait))
+                continue
+            # Nothing ready at all (fleet-wide respawn in flight): wait
+            # on the first viable worker's gate under the deadline.
+            target = self._handles[viable[0]]
+            try:
+                await asyncio.wait_for(target.ready.wait(), deadline.remaining())
+            except asyncio.TimeoutError:
+                self._deadline_expired += 1
+                raise DeadlineExceeded(
+                    f"deadline expired waiting for worker {target.index}"
+                    " to come back"
+                ) from None
+
+    async def _broadcast_mutation(self, sql: str, timeout: Optional[float] = None):
         self._check_open()
         await self.start()
+        deadline = Deadline.after(
+            timeout if timeout is not None else self._config.mutation_timeout
+        )
+        deadline.require("the mutation broadcast was admitted")
         async with self._mutation_lock:
+            # Deadlines stop at this door: once the broadcast holds the
+            # lock, every barrier frame runs to completion.  Cancelling a
+            # barrier round-trip mid-flight would leave the seq unacked
+            # on that worker and wedge (now: expire) every later read
+            # barriered on it — convergence outranks latency for writes.
+            deadline.require("the mutation broadcast began")
             # The lock holds across *all* sends: were two mutations to
             # interleave their broadcasts, workers could apply them in
             # different orders and the replicas would diverge forever.
@@ -482,6 +775,9 @@ class ShardRouter:
                 if warm["translate"] or warm["execute"]:
                     await handle.request(PRECOMPILE, warm)
                 handle.ready.set()
+                # A fresh, converged incarnation deserves a fresh breaker:
+                # the failures that tripped it died with the old process.
+                self._breakers[handle.index].reset()
         except asyncio.CancelledError:
             raise
         except BaseException:
@@ -522,7 +818,7 @@ def _aggregate_fleet(snapshots: List[Optional[Dict[str, Any]]]) -> Dict[str, Any
     shape_hits = shape_misses = shape_fallbacks = 0
     live = 0
     for snapshot in snapshots:
-        if snapshot is None:
+        if snapshot is None or snapshot.get("session") is None:
             continue
         live += 1
         session = snapshot["session"]

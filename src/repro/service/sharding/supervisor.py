@@ -110,7 +110,7 @@ class WorkerHandle:
         parent_sock, child_sock = socket.socketpair()
         process = context.Process(
             target=worker_main,
-            args=(self.spec, child_sock),
+            args=(self.spec, child_sock, self.index),
             name=f"repro-shard-{self.index}",
             daemon=True,
         )
@@ -166,13 +166,21 @@ class WorkerHandle:
     # Requests
     # ------------------------------------------------------------------
 
-    async def request(self, kind: str, payload: Any, seq: Optional[int] = None) -> Any:
+    async def request(
+        self,
+        kind: str,
+        payload: Any,
+        seq: Optional[int] = None,
+        budget: Optional[float] = None,
+    ) -> Any:
         """Send one request frame and await its response.
 
         Frames from concurrent callers interleave freely (the send lock
         inside :func:`send_frame` keeps each frame atomic); responses are
         matched back by request id, so out-of-order completion on the
-        worker is fine.
+        worker is fine.  ``budget`` ships the deadline's *remaining*
+        seconds to the worker (never with ``seq`` — barrier frames must
+        not be sheddable, see the protocol docs).
         """
         if self._sock is None or self._closing:
             raise WorkerCrashed(f"worker {self.index} is not connected")
@@ -181,8 +189,9 @@ class WorkerHandle:
         request_id = self._next_id
         future: "asyncio.Future" = loop.create_future()
         self._pending[request_id] = future
+        frame = (request_id, kind, payload, seq, None if seq is not None else budget)
         try:
-            await send_frame(loop, self._sock, (request_id, kind, payload, seq), self._send_lock)
+            await send_frame(loop, self._sock, frame, self._send_lock)
         except (ConnectionError, OSError) as error:
             self._pending.pop(request_id, None)
             raise WorkerCrashed(
@@ -323,3 +332,17 @@ class WorkerHandle:
             and self.process.exitcode is None
             and self._sock is not None
         )
+
+    @property
+    def health(self) -> str:
+        """This worker's health state: ``live``/``respawning``/``dead``.
+
+        The router surfaces it per worker in ``stats()``; the state
+        machine is documented in ``docs/architecture.md`` ("Failure
+        modes and resilience").
+        """
+        if self.gave_up:
+            return "dead"
+        if not self.ready.is_set():
+            return "respawning"
+        return "live"

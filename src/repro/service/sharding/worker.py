@@ -22,6 +22,25 @@ after a write waits for that worker's ack) this makes each replica's
 visible history identical to the single-process service's — which is what
 keeps shard-tier results byte-identical to the oracle.
 
+Deadlines and faults
+--------------------
+
+A request frame may carry a *budget* (seconds of deadline remaining,
+router-measured); the worker hands it to its session, whose queue and
+drain task shed the request typed when the budget runs out.  Barrier
+frames (mutations) never honor a budget — shedding a write on one
+replica while another applies it would diverge the fleet.
+
+When ``REPRO_FAULTS`` is set (see :mod:`repro.service.faults`) the
+worker arms a seeded :class:`~repro.service.faults.FaultInjector` scoped
+to its index: ordinary requests are counted, and the deterministic
+schedule decides which request the process dies at (``os._exit``,
+indistinguishable from SIGKILL), which requests stall before running
+(the slow replica), and which response frames are dropped, delayed or
+sent undecodable.  Control frames, barrier frames and the ready hello
+are exempt, so fault schedules can never diverge replica state or make
+a respawn unbuildable.
+
 Lifecycle
 ---------
 
@@ -39,6 +58,7 @@ import os
 import socket
 from typing import Any, Dict, Optional, Tuple
 
+from repro.service.faults import CORRUPT, DELAY, DROP, FaultInjector, corrupt_frame
 from repro.service.service import NarrationService
 from repro.service.sharding.protocol import (
     ERR,
@@ -50,6 +70,7 @@ from repro.service.sharding.protocol import (
     STATS,
     FrameReader,
     RemoteWorkerError,
+    encode_frame,
     send_frame,
     wire_translation,
 )
@@ -71,10 +92,10 @@ def resolve_factory(path: str):
     return target
 
 
-def worker_main(spec: Dict[str, Any], sock: socket.socket) -> None:
+def worker_main(spec: Dict[str, Any], sock: socket.socket, index: int = 0) -> None:
     """Process entry point: build the replica, serve until shutdown."""
     try:
-        asyncio.run(_serve(spec, sock))
+        asyncio.run(_serve(spec, sock, index))
     finally:
         try:
             sock.close()
@@ -82,10 +103,11 @@ def worker_main(spec: Dict[str, Any], sock: socket.socket) -> None:
             pass
 
 
-async def _serve(spec: Dict[str, Any], sock: socket.socket) -> None:
+async def _serve(spec: Dict[str, Any], sock: socket.socket, index: int = 0) -> None:
     loop = asyncio.get_running_loop()
     sock.setblocking(False)
     write_lock = asyncio.Lock()
+    injector = FaultInjector.from_env(f"worker-{index}")
     try:
         service, session = _build_session(spec)
     except BaseException as error:
@@ -97,36 +119,71 @@ async def _serve(spec: Dict[str, Any], sock: socket.socket) -> None:
     reader = FrameReader(loop, sock)
     inflight: set = set()
 
-    async def respond(request_id: int, status: str, payload: Any) -> None:
+    async def respond(
+        request_id: int, status: str, payload: Any, fault_index: int = 0
+    ) -> None:
+        if injector is not None and fault_index:
+            fate, seconds = injector.response_fate(fault_index)
+            if fate == DROP:
+                return  # the router's per-attempt timeout covers this
+            if fate == DELAY:
+                await asyncio.sleep(seconds)
+            elif fate == CORRUPT:
+                frame = corrupt_frame(encode_frame((request_id, status, payload)))
+                async with write_lock:
+                    await loop.sock_sendall(sock, frame)
+                return
         await send_frame(loop, sock, (request_id, status, payload), write_lock)
 
-    async def handle(request_id: int, kind: str, payload: Any) -> None:
+    async def handle(
+        request_id: int,
+        kind: str,
+        payload: Any,
+        budget: Optional[float] = None,
+        fault_index: int = 0,
+    ) -> None:
+        if injector is not None and fault_index:
+            stall = injector.stall_for(fault_index)
+            if stall:  # the slow replica: the request runs, late
+                await asyncio.sleep(stall)
         try:
-            result = await _run(session, kind, payload)
+            result = await _run(session, kind, payload, budget)
         except BaseException as error:
-            await respond(request_id, ERR, _wire_error(error))
+            await respond(request_id, ERR, _wire_error(error), fault_index)
         else:
-            await respond(request_id, OK, result)
+            await respond(request_id, OK, result, fault_index)
 
     shutdown_id: Optional[int] = None
+    ordinary = 0  # fault-injection event counter (ordinary requests only)
     while True:
         message = await reader.read()
         if message is None:  # router died or closed the socket
             break
-        request_id, kind, payload, seq = message
+        request_id, kind, payload, seq = message[:4]
+        budget = message[4] if len(message) > 4 else None
         if kind == SHUTDOWN:
             shutdown_id = request_id
             break
         if seq is not None:
             # Mutation barrier: everything in flight completes first, the
             # mutation runs alone, and no later frame is even read until
-            # it has been acked.
+            # it has been acked.  Barriers never honor a budget (a
+            # deadline shed must not be able to diverge replicas) and are
+            # exempt from fault injection.
             if inflight:
                 await asyncio.gather(*inflight, return_exceptions=True)
                 inflight.clear()
             await handle(request_id, kind, payload)
             continue
-        task = loop.create_task(handle(request_id, kind, payload))
+        fault_index = 0
+        if injector is not None and not kind.startswith("__"):
+            ordinary += 1
+            fault_index = ordinary
+            if injector.crash_due(fault_index):
+                injector.crash()  # os._exit: the deterministic SIGKILL
+        task = loop.create_task(
+            handle(request_id, kind, payload, budget, fault_index)
+        )
         inflight.add(task)
         task.add_done_callback(inflight.discard)
 
@@ -152,18 +209,20 @@ def _build_session(spec: Dict[str, Any]) -> Tuple[NarrationService, Any]:
     return service, session
 
 
-async def _run(session, kind: str, payload: Any) -> Any:
+async def _run(
+    session, kind: str, payload: Any, budget: Optional[float] = None
+) -> Any:
     if kind == "translate":
-        return wire_translation(await session.translate(payload))
+        return wire_translation(await session.translate(payload, timeout=budget))
     if kind == "execute":
-        return await session.execute(payload)
+        return await session.execute(payload, timeout=budget)
     if kind == "explain":
-        return await session.explain_empty(payload)
+        return await session.explain_empty(payload, timeout=budget)
     if kind == "narrate_database":
-        return await session.narrate_database(**payload)
+        return await session.narrate_database(timeout=budget, **payload)
     if kind == "narrate_relation":
         relation_name, kwargs = payload
-        return await session.narrate_relation(relation_name, **kwargs)
+        return await session.narrate_relation(relation_name, timeout=budget, **kwargs)
     if kind == STATS:
         return {"pid": os.getpid(), "session": session.stats()}
     if kind == PRECOMPILE:

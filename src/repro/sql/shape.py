@@ -50,11 +50,13 @@ __all__ = [
     "NUMBER_MARK",
     "STRING_MARK",
     "batch_key",
+    "is_mutation",
     "reconstruct_sql",
     "shape_hash",
     "shape_of",
     "sql_shape",
     "stable_hash",
+    "statement_keyword",
 ]
 
 #: One-pass literal masker for the shape-cache fast path.  Comments and
@@ -131,6 +133,50 @@ def stable_hash(text: str) -> int:
     return int.from_bytes(
         hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest(), "big"
     )
+
+
+def statement_keyword(sql: str) -> str:
+    """The first meaningful keyword of a SQL text, lowercased.
+
+    Skips leading whitespace, ``--`` line comments, ``/* ... */`` block
+    comments and opening parentheses (a parenthesized ``(select ...)`` is
+    still a read), then returns the first identifier-shaped word.  An
+    unterminated comment or an empty text returns ``""``.
+    """
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace() or ch == "(":
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i + 2)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "/" and sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            i = n if end < 0 else end + 2
+            continue
+        break
+    start = i
+    while i < n and (sql[i].isalpha() or sql[i] == "_"):
+        i += 1
+    return sql[start:i].lower()
+
+
+def is_mutation(sql: str) -> bool:
+    """Whether a SQL text may change data.
+
+    This is the write-barrier classifier: the service groups execute
+    requests around it, the shard tier broadcasts on it, and the router
+    only ever auto-retries statements it returns ``False`` for.  It is
+    deliberately conservative — anything whose first meaningful keyword
+    (after whitespace, comments and parentheses, see
+    :func:`statement_keyword`) is not ``select`` counts as a mutation.  A
+    false positive costs a singleton batch group or a skipped retry; a
+    false negative could let a read jump a write or replay a write twice.
+    """
+    return statement_keyword(sql) != "select"
 
 
 def shape_hash(sql: str) -> int:

@@ -77,6 +77,14 @@ class TestConcurrentEquivalence:
         for client in clients:
             assert client == expected
         assert stats["requests"]["by_kind"]["translate"] == 64 * len(corpus)
+        # Stats consistency: a drained, unconfigured session shed nothing
+        # and holds no queued work.
+        assert stats["requests"]["queue_depth"] == 0
+        assert stats["requests"]["shed"] == {
+            "overload": 0,
+            "deadline": 0,
+            "in_queue": 0,
+        }
 
     def test_execution_and_narration_match_sync_pipeline(self):
         database = movie_database()
@@ -202,6 +210,14 @@ class TestServiceMechanics:
         stats = run(main())
         assert stats["requests"]["queue_high_water"] <= 4
         assert stats["requests"]["by_kind"]["translate"] == 50
+        # Back-pressure suspends producers; the default admission
+        # controller must not have shed a single request.
+        assert stats["requests"]["queue_depth"] == 0
+        assert stats["requests"]["shed"] == {
+            "overload": 0,
+            "deadline": 0,
+            "in_queue": 0,
+        }
 
     def test_errors_propagate_to_the_awaiting_client(self):
         schema = movie_schema()

@@ -265,6 +265,20 @@ class TestRouterEquivalence:
         stats = run(main())
         assert stats["fleet"]["live_workers"] == 2
         assert stats["router"]["crashes"] == 0
+        # Stats consistency: a fault-free run exercises none of the
+        # resilience machinery.
+        assert stats["router"]["retries"] == 0
+        assert stats["router"]["degraded_reads"] == 0
+        assert stats["router"]["deadline_expired"] == 0
+        assert stats["router"]["breaker_trips"] == 0
+        assert stats["router"]["worker_health"] == ["live", "live"]
+        for worker in stats["workers"]:
+            assert worker["breaker"]["state"] == "closed"
+            assert worker["session"]["requests"]["shed"] == {
+                "overload": 0,
+                "deadline": 0,
+                "in_queue": 0,
+            }
         # The consistent hash spread the corpus over both workers.
         per_worker = [
             sum(w["session"]["requests"]["by_kind"].values())
@@ -603,7 +617,9 @@ class TestCrashRecovery:
 
         stats = run(main())
         assert stats["router"]["dead_workers"] == [0]
-        assert stats["workers"] == [None]
+        assert stats["router"]["worker_health"] == ["dead"]
+        assert stats["workers"][0]["health"] == "dead"
+        assert stats["workers"][0]["session"] is None
         assert stats["fleet"]["live_workers"] == 0
 
     def test_respawn_is_warm_started_from_captured_shapes(self):
