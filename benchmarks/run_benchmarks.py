@@ -28,6 +28,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from bench_durability import bench_durability  # noqa: E402
 from bench_parameterised import bench_parameterised_plans  # noqa: E402
 from bench_resilience import bench_resilience  # noqa: E402
 from bench_service_throughput import (  # noqa: E402
@@ -472,6 +473,8 @@ def main(argv=None) -> int:
     summary["shard_tier"] = bench_shard_tier(quick=args.quick)
     print("benchmarking resilience overhead ...", flush=True)
     summary["resilience"] = bench_resilience(quick=args.quick)
+    print("benchmarking durability cost ...", flush=True)
+    summary["durability"] = bench_durability(quick=args.quick)
     print("benchmarking translation core ...", flush=True)
     summary["translation_core"] = bench_translation_core(max(5, args.repeats))
     print("benchmarking narration front end ...", flush=True)
@@ -547,6 +550,16 @@ def main(argv=None) -> int:
         f" {resilience['queued_execute']['p50_default_us']:.1f}us"
         f" ({resilience['queued_execute']['regression_pct']:+.1f}%);"
         f" budget {'met' if resilience['passes_budget'] else 'MISSED'}"
+    )
+    durability = summary["durability"]["service"]
+    print(
+        "  durability cost (service mutations):"
+        f" non-durable {durability['plain_ops_s']:.0f}/s ->"
+        f" fsync=batch {durability['batch_ops_s']:.0f}/s"
+        f" ({durability['batch_slowdown']:.2f}x, budget"
+        f" {'met' if durability['passes_budget'] else 'MISSED'}),"
+        f" fsync=always {durability['always_ops_s']:.0f}/s"
+        f" ({durability['always_slowdown']:.2f}x)"
     )
     parameterised = summary["parameterised_plans"]
     print(

@@ -91,7 +91,7 @@ from repro.service import (
     WorkerCrashed,
 )
 from repro.sql import parse_select, parse_sql, to_sql
-from repro.storage import Database, Row, Table
+from repro.storage import Database, DurabilityConfig, DurabilityManager, Row, Table
 from repro.templates import TemplateRegistry, parse_list_template, parse_template
 
 __version__ = "1.0.0"
@@ -106,6 +106,8 @@ __all__ = [
     "DeadlineExceeded",
     "DataType",
     "Database",
+    "DurabilityConfig",
+    "DurabilityManager",
     "Executor",
     "ForeignKey",
     "LengthBudget",

@@ -80,6 +80,27 @@ class UnknownTableError(StorageError):
     """The named table does not exist in the database."""
 
 
+class DurabilityError(StorageError):
+    """Base class for write-ahead-log and snapshot problems."""
+
+
+class WalCorruptionError(DurabilityError):
+    """A WAL record *before* the tail failed its checksum or framing.
+
+    A torn final record is expected after a crash and is silently
+    truncated; corruption in the middle of the log means the file was
+    damaged after it was written, and recovery must not guess past it.
+    """
+
+
+class SnapshotError(DurabilityError):
+    """A snapshot file is missing, unreadable or fails its checksum."""
+
+
+class RecoveryError(DurabilityError):
+    """Snapshot and log disagree (e.g. a sequence gap between them)."""
+
+
 # ---------------------------------------------------------------------------
 # SQL front-end errors
 # ---------------------------------------------------------------------------

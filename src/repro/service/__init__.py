@@ -23,9 +23,12 @@ from repro.service.sharding import (
     ShardRouterConfig,
     WorkerCrashed,
 )
+from repro.storage.durability import DurabilityConfig, DurabilityManager
 
 __all__ = [
     "AdmissionController",
+    "DurabilityConfig",
+    "DurabilityManager",
     "CircuitBreaker",
     "CircuitOpen",
     "Deadline",

@@ -33,6 +33,10 @@ delay_s    the delay applied when it is (0.05)
 stall      probability a request stalls before running (0) — the
            slow-replica fault
 stall_s    the stall applied when it is (0.1)
+wal_crash_nth the process dies right after its Nth WAL append — the
+           crash-between-append-and-ack window (off)
+fsync_stall probability a WAL fsync stalls before running (0)
+fsync_stall_s the stall applied when it does (0.02)
 ========== =========================================================
 
 Faults apply only to *ordinary* requests (translate / execute-read /
@@ -55,6 +59,15 @@ Where the hooks live
   (the router's per-attempt timeout fires and the read retries) /
   ``corrupt`` (the router's frame reader desyncs and treats the worker
   as dead — exercising the crash path without a crash).
+* :meth:`FaultInjector.wal_crash_due` / :meth:`FaultInjector.fsync_stall_for`
+  — duck-typed by :class:`~repro.storage.wal.WriteAheadLog` (pass the
+  injector via :class:`~repro.storage.durability.DurabilityConfig`): a
+  due WAL crash is ``os._exit`` right after the append, before any ack;
+  a due fsync stall sleeps before syncing.
+* :func:`tear_wal_tail` / :func:`corrupt_wal_record` — *offline* file
+  mutilators for recovery drills: deterministically truncate a log
+  mid-final-record (the torn write) or flip a byte inside record ``k``
+  (mid-log corruption, which recovery must refuse typed).
 """
 
 from __future__ import annotations
@@ -66,7 +79,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sql.shape import stable_hash
 
-__all__ = ["FaultInjector", "FaultPlan", "corrupt_frame", "parse_faults"]
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "corrupt_frame",
+    "corrupt_wal_record",
+    "parse_faults",
+    "tear_wal_tail",
+]
 
 #: The environment variable that arms fault injection.
 ENV_VAR = "REPRO_FAULTS"
@@ -76,13 +96,31 @@ DELAY = "delay"
 DROP = "drop"
 CORRUPT = "corrupt"
 
-_FLOAT_KEYS = {"drop", "corrupt", "delay", "delay_s", "stall", "stall_s"}
-_INT_KEYS = {"seed", "crash_nth", "crash_every"}
+_FLOAT_KEYS = {
+    "drop",
+    "corrupt",
+    "delay",
+    "delay_s",
+    "stall",
+    "stall_s",
+    "fsync_stall",
+    "fsync_stall_s",
+}
+_INT_KEYS = {"seed", "crash_nth", "crash_every", "wal_crash_nth"}
 
 
 @dataclass(frozen=True)
 class FaultPlan:
-    """A parsed ``REPRO_FAULTS`` spec (all faults off by default)."""
+    """A parsed ``REPRO_FAULTS`` spec (all faults off by default).
+
+    The disk fates (``wal_crash_nth``, ``fsync_stall``/``fsync_stall_s``)
+    drive the durability drills: the first kills the process between a
+    WAL append and its acknowledgement (the canonical torn-tail /
+    lost-ack window), the second makes chosen fsyncs take visibly long
+    (the storage stall).  Both are decided by the same pure
+    (seed, scope, event, index) derivation as every other fault, so a
+    recovery drill replays identically from its seed.
+    """
 
     seed: int = 0
     crash_nth: Optional[int] = None
@@ -93,6 +131,9 @@ class FaultPlan:
     delay_s: float = 0.05
     stall: float = 0.0
     stall_s: float = 0.1
+    wal_crash_nth: Optional[int] = None
+    fsync_stall: float = 0.0
+    fsync_stall_s: float = 0.02
 
     @property
     def active(self) -> bool:
@@ -103,6 +144,8 @@ class FaultPlan:
             or self.corrupt
             or self.delay
             or self.stall
+            or self.wal_crash_nth
+            or self.fsync_stall
         )
 
 
@@ -207,6 +250,39 @@ class FaultInjector:
         return (DELIVER, 0.0)
 
     # ------------------------------------------------------------------
+    # Disk fates (consulted by repro.storage.wal via duck typing)
+    # ------------------------------------------------------------------
+
+    def wal_crash_due(self, index: int) -> bool:
+        """Whether the process dies right after WAL append ``index``.
+
+        The crash lands *between* the append (already flushed to the OS)
+        and the caller's acknowledgement — the canonical lost-ack window:
+        the write is on disk but no client was ever told, and recovery
+        must surface it anyway.
+        """
+        nth = self.plan.wal_crash_nth
+        return nth is not None and index == nth
+
+    def fsync_stall_for(self, index: int) -> float:
+        """Seconds fsync number ``index`` stalls before running (0 = none)."""
+        plan = self.plan
+        if plan.fsync_stall and self._roll("fsync", index) < plan.fsync_stall:
+            return plan.fsync_stall_s
+        return 0.0
+
+    def torn_tail_keep(self, size: int) -> int:
+        """How many bytes of a ``size``-byte final record a torn write kept.
+
+        Used by :func:`tear_wal_tail` to truncate a log mid-record the
+        way a crash mid-``write`` would; the cut point is a pure function
+        of (seed, scope), so the same drill tears the same byte.
+        """
+        if size <= 1:
+            return 0
+        return stable_hash(f"{self.plan.seed}:{self.scope}:torn") % size
+
+    # ------------------------------------------------------------------
     # Introspection (tests assert cross-process schedule identity)
     # ------------------------------------------------------------------
 
@@ -221,3 +297,57 @@ class FaultInjector:
             }
             for index in range(1, count + 1)
         ]
+
+
+# ---------------------------------------------------------------------------
+# Offline WAL mutilators (recovery drills operate on closed log files)
+# ---------------------------------------------------------------------------
+
+
+def tear_wal_tail(path, seed: int = 0, scope: str = "tear") -> int:
+    """Truncate a closed WAL mid-final-record, like a crash mid-``write``.
+
+    The cut point inside the last record is chosen by
+    :meth:`FaultInjector.torn_tail_keep` — a pure function of
+    ``(seed, scope)`` — so the same drill always tears the same byte.
+    Returns how many bytes of the final record survive (0 means even its
+    header is gone).  Raises :class:`ValueError` on an empty log: there
+    is no record to tear.
+    """
+    from repro.storage.wal import scan_wal
+
+    scan = scan_wal(path, strict=True)
+    if not scan.records:
+        raise ValueError(f"{path} holds no records to tear")
+    last = scan.records[-1]
+    keep = FaultInjector(FaultPlan(seed=seed), scope).torn_tail_keep(last.length)
+    with open(path, "r+b") as handle:
+        handle.truncate(last.offset + keep)
+    return keep
+
+
+def corrupt_wal_record(path, k: int) -> int:
+    """Flip one payload byte of record ``k`` (0-based) in a closed WAL.
+
+    When ``k`` is not the final record this manufactures *mid-log*
+    corruption — damage followed by intact data — which recovery must
+    refuse with a typed :class:`~repro.errors.WalCorruptionError` rather
+    than truncate through.  On the final record it manufactures the
+    garbled-in-place torn tail instead.  Returns the absolute file
+    offset of the flipped byte.
+    """
+    from repro.storage.wal import _RECORD_HEADER, scan_wal
+
+    scan = scan_wal(path, strict=True)
+    if not 0 <= k < len(scan.records):
+        raise ValueError(
+            f"{path} has {len(scan.records)} records; cannot corrupt record {k}"
+        )
+    record = scan.records[k]
+    target = record.offset + _RECORD_HEADER.size  # first payload byte
+    with open(path, "r+b") as handle:
+        handle.seek(target)
+        original = handle.read(1)
+        handle.seek(target)
+        handle.write(bytes([original[0] ^ 0xFF]))
+    return target

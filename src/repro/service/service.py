@@ -95,6 +95,7 @@ from repro.query_nl.translator import QueryTranslation, QueryTranslator
 from repro.service.resilience import AdmissionController, Deadline
 from repro.sql.shape import batch_key, is_mutation as _is_mutation
 from repro.storage.database import Database
+from repro.storage.durability import DurabilityConfig, DurabilityManager
 
 __all__ = ["NarrationService", "NarrationSession", "ServiceClosed"]
 
@@ -144,9 +145,19 @@ class NarrationSession:
         phrase_plans: Optional[bool] = None,
         admission: Optional[AdmissionController] = None,
         default_timeout: Optional[float] = None,
+        durability: Optional[DurabilityConfig] = None,
     ) -> None:
         self._service = service
         self.schema = schema
+        # Durability attaches before anything caches the database object:
+        # with prior state on disk, attach() *replaces* the database with
+        # the recovered one (the argument was only a schema-shaped vessel).
+        self._durability: Optional[DurabilityManager] = None
+        if durability is not None:
+            if database is None:
+                raise ValueError("durability requires a database-backed session")
+            self._durability = DurabilityManager(durability)
+            database = self._durability.attach(database)
         self.database = database
         self.spec = spec
         self.translator = QueryTranslator(
@@ -276,6 +287,35 @@ class NarrationSession:
         self._check_open()
         return await self._submit("precompile", shapes)
 
+    async def checkpoint(self) -> int:
+        """Snapshot the session's database now; returns the WAL seq covered.
+
+        Only meaningful on a durable session (one created with a
+        ``durability`` config) — raises :class:`ValueError` otherwise.
+        Runs on the worker pool under the session work lock, so the
+        snapshot sees no half-applied mutation.
+        """
+        self._check_open()
+        if self._durability is None:
+            raise ValueError("this session has no durability configured")
+        return await self._submit("checkpoint", None)
+
+    @property
+    def durability(self) -> Optional[DurabilityManager]:
+        return self._durability
+
+    async def snapshot_to(self, directory: str, wal_seq: int) -> Dict[str, Any]:
+        """Write an atomic snapshot of this session's database to ``directory``.
+
+        Unlike :meth:`checkpoint` this needs no durability config: the
+        shard tier uses it to checkpoint a worker replica into the
+        *router's* durability directory (the router owns the WAL and its
+        compaction; the worker only contributes the state bytes).  Runs
+        under the session work lock like every pipeline touch.
+        """
+        self._check_open()
+        return await self._submit("snapshot_to", (directory, wal_seq))
+
     def stats(self) -> Dict[str, Any]:
         """The per-session cache/plan/request statistics snapshot.
 
@@ -310,6 +350,8 @@ class NarrationSession:
             "requests": requests,
             "translator": self.translator.stats(),
         }
+        if self._durability is not None:
+            snapshot["durability"] = self._durability.stats()
         if self._executor is not None:
             snapshot["executor"] = self._executor.cache_stats
             shape = snapshot["executor"]["shape_plans"]
@@ -500,6 +542,15 @@ class NarrationSession:
             else:
                 replayed["execute"] = 0
             return replayed
+        if kind == "checkpoint":
+            assert self._durability is not None
+            return self._durability.checkpoint()
+        if kind == "snapshot_to":
+            from repro.storage.snapshot import write_snapshot
+
+            directory, wal_seq = request.payload
+            info = write_snapshot(directory, self._require_database(), wal_seq)
+            return {"path": str(info.path), "wal_seq": wal_seq}
         raise ValueError(f"unknown request kind {kind!r}")  # pragma: no cover
 
     def _deliver(self, future: "asyncio.Future", result: Any = None,
@@ -580,6 +631,10 @@ class NarrationSession:
                 pass
             await self._flush_rejected()
         self._drain_task = None
+        if self._durability is not None:
+            # Flush any batched WAL appends; the directory stays valid
+            # for the next session generation to recover from.
+            self._durability.close()
 
     async def _flush_rejected(self) -> None:
         """Settle requests the dead drain task will never see.
@@ -667,6 +722,7 @@ class NarrationService:
         phrase_plans: Optional[bool] = None,
         admission: Optional[AdmissionController] = None,
         default_timeout: Optional[float] = None,
+        durability: Optional[DurabilityConfig] = None,
     ) -> NarrationSession:
         """The session for ``(schema, database)``, created on first use.
 
@@ -678,13 +734,18 @@ class NarrationService:
         :class:`~repro.service.resilience.AdmissionController`; default:
         deadline shedding only, no depth threshold) and
         ``default_timeout`` the per-request deadline every request gets
-        unless it passes its own (default: unbounded).
+        unless it passes its own (default: unbounded).  ``durability``
+        (a :class:`~repro.storage.durability.DurabilityConfig`) makes
+        the session persistent: mutations are write-ahead logged before
+        applied, checkpoints happen on the configured cadence, and when
+        the directory already holds state the session starts from the
+        *recovered* database rather than the one passed in.
 
         Configuration (``spec``/``spec_factory``/``lexicon``/
         ``cache_size``/``phrase_plans``/``admission``/
-        ``default_timeout``) applies on first creation only; asking for
-        an existing session *with* configuration raises rather than
-        silently answering with the first caller's settings.
+        ``default_timeout``/``durability``) applies on first creation
+        only; asking for an existing session *with* configuration raises
+        rather than silently answering with the first caller's settings.
         """
         if self._closed:
             raise ServiceClosed("the narration service has been closed")
@@ -700,6 +761,7 @@ class NarrationService:
             or phrase_plans is not None
             or admission is not None
             or default_timeout is not None
+            or durability is not None
         )
         with self._sessions_lock:
             existing = self._sessions.get(key)
@@ -726,6 +788,7 @@ class NarrationService:
                 phrase_plans=phrase_plans,
                 admission=admission,
                 default_timeout=default_timeout,
+                durability=durability,
             )
             self._sessions[key] = created
             return created

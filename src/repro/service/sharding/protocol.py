@@ -59,6 +59,7 @@ except Exception:  # pragma: no cover - the common case in this container
     _msgpack = None
 
 __all__ = [
+    "CHECKPOINT",
     "CODEC_MSGPACK",
     "CODEC_PICKLE",
     "ERR",
@@ -81,6 +82,7 @@ STATS = "__stats__"
 PRECOMPILE = "__precompile__"
 PING = "__ping__"
 SHUTDOWN = "__shutdown__"
+CHECKPOINT = "__checkpoint__"
 
 #: Response statuses.
 OK = "ok"

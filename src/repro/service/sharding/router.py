@@ -99,6 +99,7 @@ from repro.service.resilience import (
 )
 from repro.service.service import ServiceClosed
 from repro.service.sharding.protocol import (
+    CHECKPOINT,
     PRECOMPILE,
     SHUTDOWN,
     STATS,
@@ -111,6 +112,9 @@ from repro.service.sharding.supervisor import (
     default_start_method,
 )
 from repro.sql.shape import is_mutation as _is_mutation, shape_hash, stable_hash
+from repro.storage.durability import DurabilityConfig
+from repro.storage.snapshot import latest_snapshot, prune_snapshots
+from repro.storage.wal import WriteAheadLog
 from repro.utils.cache import LRUCache
 
 __all__ = ["HashRing", "ShardRouter", "ShardRouterConfig"]
@@ -265,6 +269,7 @@ class ShardRouter:
         capture_limit: int = 512,
         max_respawns: Optional[int] = None,
         config: Optional[ShardRouterConfig] = None,
+        durability: Optional[DurabilityConfig] = None,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -274,6 +279,7 @@ class ShardRouter:
             config = replace(config, max_respawns=max_respawns)
         self._config = config
         self.workers = workers
+        self._durability = durability
         self._spec = {
             "database_factory": _factory_path(database_factory),
             "spec_factory": (
@@ -282,6 +288,9 @@ class ShardRouter:
             "service_workers": service_workers,
             "cache_size": cache_size,
             "phrase_plans": phrase_plans,
+            "durability_dir": (
+                str(durability.directory) if durability is not None else None
+            ),
         }
         self._start_method = start_method or default_start_method()
         self._ring = HashRing(range(workers), replicas=ring_replicas)
@@ -302,9 +311,18 @@ class ShardRouter:
         self._closed = False
         self._start_lock = asyncio.Lock()
         # Writes: the monotonic sequence and the replay log (seq, sql).
+        # With durability configured the log's source of truth is the
+        # WAL on disk (opened in start()); this list is the in-memory
+        # tail since the last checkpoint, bounded by compaction.
         self._mutation_seq = 0
         self._mutation_log: List[Tuple[int, str]] = []
         self._mutation_lock = asyncio.Lock()
+        self._wal: Optional[WriteAheadLog] = None
+        self._snapshot_seq = 0  # newest on-disk checkpoint's seq
+        self._since_checkpoint = 0
+        self._checkpoints = 0
+        self._compactions = 0
+        self._recovered_mutations = 0
         # Warm-start capture: per worker, one representative text per
         # routed shape, bounded; replayed into a respawned incarnation.
         self._captured: List[Dict[str, LRUCache]] = [
@@ -323,15 +341,26 @@ class ShardRouter:
     # ------------------------------------------------------------------
 
     async def start(self) -> None:
-        """Spawn every worker and wait for the fleet to come up."""
+        """Spawn every worker and wait for the fleet to come up.
+
+        With durability configured, starting *is* recovery: the WAL is
+        opened (truncating a torn tail, failing typed on mid-log
+        corruption), the mutation sequence resumes where the previous
+        router generation left off, each worker fast-forwards from the
+        newest snapshot, and the router replays only the log tail the
+        snapshot does not cover — all before the first request is
+        admitted.
+        """
         async with self._start_lock:
             if self._started:
                 return
             self._check_open()
+            if self._durability is not None and self._wal is None:
+                self._open_wal()
             for handle in self._handles:
                 handle.set_crash_callback(self._on_crash)
             results = await asyncio.gather(
-                *[handle.spawn() for handle in self._handles],
+                *[self._start_worker(handle) for handle in self._handles],
                 return_exceptions=True,
             )
             errors = [r for r in results if isinstance(r, BaseException)]
@@ -340,6 +369,60 @@ class ShardRouter:
                     await handle.stop()
                 raise errors[0]
             self._started = True
+
+    def _open_wal(self) -> None:
+        """Open (= recover) the router's WAL and resume the sequence."""
+        from repro.errors import RecoveryError
+
+        durability = self._durability
+        assert durability is not None
+        info = latest_snapshot(durability.directory)
+        self._snapshot_seq = info.wal_seq if info is not None else 0
+        self._wal = WriteAheadLog(
+            durability.wal_path,
+            fsync=durability.fsync,
+            batch_every=durability.batch_every,
+            injector=durability.injector,
+        )
+        if not self._wal.recovered:
+            self._wal.set_base(self._snapshot_seq)
+        tail = [
+            (record.seq, record.payload["sql"])
+            for record in self._wal.recovered
+            if record.seq > self._snapshot_seq
+        ]
+        if tail and tail[0][0] > self._snapshot_seq + 1:
+            raise RecoveryError(
+                f"WAL gap: snapshot covers seq {self._snapshot_seq} but the"
+                f" log resumes at seq {tail[0][0]}"
+            )
+        self._mutation_seq = max(self._wal.last_seq, self._snapshot_seq)
+        self._mutation_log = tail
+        self._since_checkpoint = len(tail)
+        self._recovered_mutations = len(tail)
+
+    async def _start_worker(self, handle: WorkerHandle) -> None:
+        """Spawn one worker and converge it before opening for traffic.
+
+        The fresh replica restored the newest snapshot in its own
+        process (``restored_seq`` in the hello); the router fast-forwards
+        the ack watermark to that seq and replays only the mutations the
+        snapshot does not cover.  Without durability the log is empty at
+        start and this is exactly the old spawn-and-open.
+        """
+        await handle.spawn(open_for_traffic=False)
+        if handle.restored_seq:
+            await handle.mark_applied(handle.restored_seq)
+        for seq, sql in self._mutation_log:
+            if seq <= handle.restored_seq:
+                continue
+            try:
+                await handle.request("execute", sql, seq=seq)
+            except (ShardError, asyncio.TimeoutError):
+                raise  # the fresh incarnation itself died
+            except Exception:
+                pass  # a deterministically-rejected mutation re-rejected
+        handle.ready.set()
 
     async def aclose(self) -> None:
         """Gracefully shut the fleet down (idempotent)."""
@@ -360,6 +443,9 @@ class ShardRouter:
             )
         for handle in self._handles:
             await handle.stop(timeout=self._config.stop_timeout)
+        if self._wal is not None:
+            self._wal.close()  # flush any batched group commit
+            self._wal = None
 
     async def _shutdown_worker(self, handle: WorkerHandle) -> None:
         if handle.alive:
@@ -472,6 +558,16 @@ class ShardRouter:
                     "session": remote["session"],
                 }
             )
+        durability_stats: Optional[Dict[str, Any]] = None
+        if self._wal is not None:
+            durability_stats = {
+                "directory": self._spec["durability_dir"],
+                "recovered_mutations": self._recovered_mutations,
+                "snapshot_seq": self._snapshot_seq,
+                "checkpoints": self._checkpoints,
+                "since_checkpoint": self._since_checkpoint,
+                "wal": self._wal.stats(),
+            }
         return {
             "workers": snapshots,
             "fleet": _aggregate_fleet(snapshots),
@@ -481,6 +577,8 @@ class ShardRouter:
                 "requests_by_kind": dict(self._counts),
                 "mutations": self._mutation_seq,
                 "mutation_log": len(self._mutation_log),
+                "compactions": self._compactions,
+                "durability": durability_stats,
                 "crashes": self._crashes,
                 "respawns": sum(handle.respawns for handle in self._handles),
                 "retries": self._retries,
@@ -671,11 +769,27 @@ class ShardRouter:
             # on that worker and wedge (now: expire) every later read
             # barriered on it — convergence outranks latency for writes.
             deadline.require("the mutation broadcast began")
+            # Checkpoint on cadence *before* admitting the next write:
+            # under the lock the fleet is quiescent and every ready
+            # worker has applied everything up to _mutation_seq, so the
+            # snapshot is consistent by construction.
+            if (
+                self._wal is not None
+                and self._durability.checkpoint_every
+                and self._since_checkpoint >= self._durability.checkpoint_every
+            ):
+                await self._checkpoint_locked()
             # The lock holds across *all* sends: were two mutations to
             # interleave their broadcasts, workers could apply them in
             # different orders and the replicas would diverge forever.
             self._mutation_seq += 1
             seq = self._mutation_seq
+            if self._wal is not None:
+                # Log-before-broadcast: once any replica applies this
+                # write, it is already on disk and survives losing every
+                # process (fsync policy decides about losing the machine).
+                self._wal.append({"sql": sql}, seq=seq)
+                self._since_checkpoint += 1
             self._mutation_log.append((seq, sql))
             self._counts["execute_mutation"] = (
                 self._counts.get("execute_mutation", 0) + 1
@@ -726,6 +840,63 @@ class ShardRouter:
             return results[0]
 
     # ------------------------------------------------------------------
+    # Checkpointing (durability)
+    # ------------------------------------------------------------------
+
+    async def checkpoint(self) -> Optional[int]:
+        """Checkpoint the fleet now; returns the seq covered (or ``None``).
+
+        Only meaningful with durability configured.  Takes the mutation
+        lock, so it serialises against broadcasts and respawns exactly
+        like the automatic cadence checkpoint does.
+        """
+        if self._wal is None:
+            raise ValueError("this router has no durability configured")
+        self._check_open()
+        await self.start()
+        async with self._mutation_lock:
+            return await self._checkpoint_locked()
+
+    async def _checkpoint_locked(self) -> Optional[int]:
+        """Snapshot one ready replica, then compact (mutation lock held).
+
+        Any ready worker's state is every worker's state (replicas are
+        byte-identical by the barrier protocol), so the first ready one
+        contributes the snapshot.  Best-effort: if no worker is ready or
+        the snapshot fails, the WAL still holds the full tail and the
+        next cadence hit tries again.  On success the WAL and the
+        in-memory mutation log both drop everything the snapshot covers —
+        which is what bounds the router's memory on write-heavy runs.
+        """
+        assert self._wal is not None and self._durability is not None
+        seq = self._mutation_seq
+        target = next(
+            (handle for handle in self._handles if handle.ready.is_set()), None
+        )
+        if target is None:
+            return None
+        directory = self._spec["durability_dir"]
+        try:
+            await target.request(CHECKPOINT, (directory, seq))
+        except asyncio.CancelledError:
+            raise
+        except BaseException:
+            return None
+        self._wal.commit()  # the tail is synced before anything is dropped
+        self._wal.compact(seq)
+        prune_snapshots(directory, keep=self._durability.keep_snapshots)
+        self._snapshot_seq = seq
+        self._mutation_log = [
+            (entry_seq, entry_sql)
+            for entry_seq, entry_sql in self._mutation_log
+            if entry_seq > seq
+        ]
+        self._since_checkpoint = len(self._mutation_log)
+        self._checkpoints += 1
+        self._compactions += 1
+        return seq
+
+    # ------------------------------------------------------------------
     # Supervision internals
     # ------------------------------------------------------------------
 
@@ -761,7 +932,14 @@ class ShardRouter:
             # fresh replica before it has converged.
             async with self._mutation_lock:
                 await handle.spawn(open_for_traffic=False)
+                if handle.restored_seq:
+                    # The fresh replica fast-forwarded from the newest
+                    # snapshot in its own process; only the log tail
+                    # beyond it needs replaying.
+                    await handle.mark_applied(handle.restored_seq)
                 for seq, sql in self._mutation_log:
+                    if seq <= handle.restored_seq:
+                        continue
                     try:
                         await handle.request("execute", sql, seq=seq)
                     except (ShardError, asyncio.TimeoutError):

@@ -73,6 +73,10 @@ class WorkerHandle:
         self.process: Optional[multiprocessing.process.BaseProcess] = None
         self.pid: Optional[int] = None
         self.applied_seq = 0
+        #: WAL seq the incarnation's snapshot restore covers (0 = built
+        #: fresh from the factory); the router skips replaying log
+        #: entries at or below it and fast-forwards the watermark.
+        self.restored_seq = 0
         self.respawns = 0
         self.gave_up = False
         self.ready = asyncio.Event()
@@ -108,9 +112,15 @@ class WorkerHandle:
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
         parent_sock, child_sock = socket.socketpair()
+        # Under fork the child inherits every open fd — including this
+        # very socketpair's *parent* side.  Left open there, a worker
+        # orphaned by router death never sees EOF on its own socket (it
+        # holds the peer itself) and lives forever; ship the fd number so
+        # the child closes it first thing.  Spawn inherits nothing.
+        parent_fd = parent_sock.fileno() if self.start_method == "fork" else None
         process = context.Process(
             target=worker_main,
-            args=(self.spec, child_sock, self.index),
+            args=(self.spec, child_sock, self.index, parent_fd),
             name=f"repro-shard-{self.index}",
             daemon=True,
         )
@@ -131,6 +141,7 @@ class WorkerHandle:
         self._next_id = READY_ID + 1
         if not isinstance(hello, dict) or "pid" not in hello:
             raise ShardError(f"worker {self.index} sent a malformed ready frame")
+        self.restored_seq = hello.get("restored_seq", 0)
         if open_for_traffic:
             self.ready.set()
 

@@ -61,6 +61,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.service.faults import CORRUPT, DELAY, DROP, FaultInjector, corrupt_frame
 from repro.service.service import NarrationService
 from repro.service.sharding.protocol import (
+    CHECKPOINT,
     ERR,
     OK,
     PING,
@@ -92,8 +93,24 @@ def resolve_factory(path: str):
     return target
 
 
-def worker_main(spec: Dict[str, Any], sock: socket.socket, index: int = 0) -> None:
-    """Process entry point: build the replica, serve until shutdown."""
+def worker_main(
+    spec: Dict[str, Any],
+    sock: socket.socket,
+    index: int = 0,
+    parent_fd: Optional[int] = None,
+) -> None:
+    """Process entry point: build the replica, serve until shutdown.
+
+    ``parent_fd`` is the router-side end of this worker's socketpair as
+    inherited across ``fork``; it must be closed here, else this worker
+    holds its own connection's peer open and an orphaned worker (router
+    SIGKILLed, workers not) never reads EOF and never exits.
+    """
+    if parent_fd is not None:
+        try:
+            os.close(parent_fd)
+        except OSError:  # pragma: no cover - already closed is fine
+            pass
     try:
         asyncio.run(_serve(spec, sock, index))
     finally:
@@ -109,12 +126,17 @@ async def _serve(spec: Dict[str, Any], sock: socket.socket, index: int = 0) -> N
     write_lock = asyncio.Lock()
     injector = FaultInjector.from_env(f"worker-{index}")
     try:
-        service, session = _build_session(spec)
+        service, session, restored_seq = _build_session(spec)
     except BaseException as error:
         # The replica could not be built; tell the router why, then exit.
         await send_frame(loop, sock, (READY_ID, ERR, _wire_error(error)), write_lock)
         return
-    await send_frame(loop, sock, (READY_ID, OK, {"pid": os.getpid()}), write_lock)
+    await send_frame(
+        loop,
+        sock,
+        (READY_ID, OK, {"pid": os.getpid(), "restored_seq": restored_seq}),
+        write_lock,
+    )
 
     reader = FrameReader(loop, sock)
     inflight: set = set()
@@ -194,8 +216,27 @@ async def _serve(spec: Dict[str, Any], sock: socket.socket, index: int = 0) -> N
         await respond(shutdown_id, OK, {"pid": os.getpid()})
 
 
-def _build_session(spec: Dict[str, Any]) -> Tuple[NarrationService, Any]:
+def _build_session(spec: Dict[str, Any]) -> Tuple[NarrationService, Any, int]:
+    """Build this worker's replica; returns (service, session, restored_seq).
+
+    With a ``durability_dir`` in the spec the factory-built database is
+    fast-forwarded from the newest snapshot there — the router then only
+    replays the WAL records *after* the snapshot's seq instead of the
+    whole history.  The worker never opens the WAL itself: the router
+    owns the log (one writer), replicas only contribute snapshots on
+    request (:data:`~.protocol.CHECKPOINT`).
+    """
     database = resolve_factory(spec["database_factory"])()
+    restored_seq = 0
+    durability_dir = spec.get("durability_dir")
+    if durability_dir:
+        from repro.storage.snapshot import latest_snapshot, load_snapshot, restore_into
+
+        info = latest_snapshot(durability_dir)
+        if info is not None:
+            state = load_snapshot(info.path)
+            restore_into(database, state)
+            restored_seq = state["wal_seq"]
     spec_factory_path = spec.get("spec_factory")
     service = NarrationService(max_workers=spec.get("service_workers", 2))
     session = service.session(
@@ -206,7 +247,7 @@ def _build_session(spec: Dict[str, Any]) -> Tuple[NarrationService, Any]:
         cache_size=spec.get("cache_size", 512),
         phrase_plans=spec.get("phrase_plans"),
     )
-    return service, session
+    return service, session, restored_seq
 
 
 async def _run(
@@ -227,6 +268,9 @@ async def _run(
         return {"pid": os.getpid(), "session": session.stats()}
     if kind == PRECOMPILE:
         return await session.precompile(payload)
+    if kind == CHECKPOINT:
+        directory, wal_seq = payload
+        return await session.snapshot_to(directory, wal_seq)
     if kind == PING:
         return {"pid": os.getpid()}
     raise ValueError(f"unknown request kind {kind!r}")

@@ -1,19 +1,34 @@
-"""In-memory storage engine: rows, tables, indexes, databases, loaders."""
+"""In-memory storage engine: rows, tables, indexes, databases, loaders.
+
+Durability (WAL + snapshots) lives in :mod:`repro.storage.wal`,
+:mod:`repro.storage.snapshot` and :mod:`repro.storage.durability`; the
+headline entry points are re-exported here.
+"""
 
 from repro.storage.database import Database
+from repro.storage.durability import DurabilityConfig, DurabilityManager
 from repro.storage.index import HashIndex, build_index
 from repro.storage.loader import dump_records, load_csv_file, load_csv_text, load_records
 from repro.storage.row import Row
+from repro.storage.snapshot import latest_snapshot, load_snapshot, write_snapshot
 from repro.storage.table import Table
+from repro.storage.wal import WriteAheadLog, scan_wal
 
 __all__ = [
     "Database",
+    "DurabilityConfig",
+    "DurabilityManager",
     "HashIndex",
     "Row",
     "Table",
+    "WriteAheadLog",
     "build_index",
     "dump_records",
+    "latest_snapshot",
     "load_csv_file",
     "load_csv_text",
     "load_records",
+    "load_snapshot",
+    "scan_wal",
+    "write_snapshot",
 ]

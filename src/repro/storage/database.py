@@ -2,10 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.catalog.schema import Schema
-from repro.errors import ForeignKeyViolationError, UnknownTableError
+from repro.errors import (
+    ForeignKeyViolationError,
+    RecoveryError,
+    ReproError,
+    UnknownTableError,
+)
 from repro.storage.row import Row
 from repro.storage.table import Table
 
@@ -27,6 +33,13 @@ class Database:
         self._tables: Dict[str, Table] = {
             relation.name: Table(relation) for relation in schema.relations
         }
+        #: Optional write-ahead log (anything with ``append(payload)``,
+        #: e.g. :class:`~repro.storage.wal.WriteAheadLog` or the
+        #: :class:`~repro.storage.durability.DurabilityManager` wrapping
+        #: one).  When attached, every mutation is logged before it is
+        #: applied; ``None`` keeps the database purely in-memory.
+        self._wal: Optional[Any] = None
+        self._replaying = False
 
     # ------------------------------------------------------------------
     # Table access
@@ -74,6 +87,37 @@ class Database:
         return sum(table.version for table in self._tables.values())
 
     # ------------------------------------------------------------------
+    # Durability hooks
+    # ------------------------------------------------------------------
+
+    def attach_wal(self, wal: Any) -> None:
+        """Attach a write-ahead log; mutations are logged before applied.
+
+        ``wal`` needs an ``append(payload)`` method; an optional
+        ``note_applied()`` is called after each successful apply (the
+        :class:`~repro.storage.durability.DurabilityManager` uses it to
+        count mutations toward its next checkpoint).
+        """
+        self._wal = wal
+
+    def detach_wal(self) -> None:
+        self._wal = None
+
+    @property
+    def wal(self) -> Optional[Any]:
+        return self._wal
+
+    def _log(self, op: Tuple[Any, ...]) -> None:
+        if self._wal is not None and not self._replaying:
+            self._wal.append(op)
+
+    def _note_applied(self) -> None:
+        if self._wal is not None and not self._replaying:
+            note = getattr(self._wal, "note_applied", None)
+            if note is not None:
+                note()
+
+    # ------------------------------------------------------------------
     # Mutation with FK enforcement
     # ------------------------------------------------------------------
 
@@ -82,7 +126,13 @@ class Database:
         table = self.table(table_name)
         if self.enforce_foreign_keys:
             self._check_foreign_keys(table.name, values)
-        return table.insert(values, coerce=coerce)
+        # Log-before-apply: a logged insert may still be rejected by a
+        # table constraint below, but replay re-runs the identical check
+        # on identical state, so it re-rejects identically.
+        self._log(("insert", table.name, dict(values), coerce))
+        rowid = table.insert(values, coerce=coerce)
+        self._note_applied()
+        return rowid
 
     def insert_many(
         self, table_name: str, rows: Iterable[Mapping[str, Any]], coerce: bool = False
@@ -107,7 +157,15 @@ class Database:
         if self.enforce_foreign_keys:
             for rowid in to_delete:
                 self._check_no_referencing_children(table.name, table.row_by_id(rowid))
-        return table.delete_rows(to_delete)
+        if to_delete:
+            # The *resolved* rowids are logged, never the predicate: a
+            # Python callable is not durably serialisable, and rowids
+            # make replay independent of predicate re-evaluation order.
+            self._log(("delete", table.name, list(to_delete)))
+        removed = table.delete_rows(to_delete)
+        if removed:
+            self._note_applied()
+        return removed
 
     def update_where(self, table_name: str, predicate, changes: Mapping[str, Any]) -> int:
         """Update rows matching ``predicate(row)`` with ``changes``."""
@@ -116,7 +174,125 @@ class Database:
         if self.enforce_foreign_keys:
             merged_probe = dict(changes)
             self._check_foreign_keys(table.name, merged_probe, partial=True)
-        return table.update_rows(to_update, changes)
+        if to_update:
+            self._log(("update", table.name, list(to_update), dict(changes)))
+        updated = table.update_rows(to_update, changes)
+        if updated:
+            self._note_applied()
+        return updated
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def _apply_logged(self, op: Tuple[Any, ...]) -> None:
+        """Apply one logged operation during replay (no re-logging)."""
+        kind = op[0]
+        if kind == "insert":
+            _, table_name, values, coerce = op
+            table = self.table(table_name)
+            if self.enforce_foreign_keys:
+                self._check_foreign_keys(table.name, values)
+            table.insert(values, coerce=coerce)
+        elif kind == "delete":
+            _, table_name, rowids = op
+            table = self.table(table_name)
+            if self.enforce_foreign_keys:
+                for rowid in rowids:
+                    if rowid in table._rows:
+                        self._check_no_referencing_children(
+                            table.name, table.row_by_id(rowid)
+                        )
+            table.delete_rows(rowids)
+        elif kind == "update":
+            _, table_name, rowids, changes = op
+            table = self.table(table_name)
+            if self.enforce_foreign_keys:
+                self._check_foreign_keys(table.name, dict(changes), partial=True)
+            table.update_rows(rowids, changes)
+        else:
+            raise RecoveryError(f"unknown logged operation kind {kind!r}")
+
+    def replay(self, payloads: Iterable[Tuple[Any, ...]]) -> Tuple[int, int]:
+        """Re-apply logged operations in order; returns (applied, rejected).
+
+        Operations that were rejected when first attempted (the log is
+        written *before* constraint checks at the table layer) re-reject
+        here with the identical typed error — replay runs the same code
+        over the same state — so rejection is counted, not fatal.
+        """
+        applied = 0
+        rejected = 0
+        self._replaying = True
+        try:
+            for payload in payloads:
+                try:
+                    self._apply_logged(payload)
+                    applied += 1
+                except ReproError:
+                    rejected += 1
+        finally:
+            self._replaying = False
+        return applied, rejected
+
+    @classmethod
+    def recover(
+        cls,
+        directory: Union[str, Path],
+        schema: Optional[Schema] = None,
+        enforce_foreign_keys: bool = True,
+    ) -> Tuple["Database", Dict[str, Any]]:
+        """Rebuild a database from a durability directory: snapshot + replay.
+
+        Loads the newest intact snapshot (if any), restores it, then
+        replays every WAL record after the snapshot's sequence number.
+        ``schema`` is only needed when the directory holds no snapshot
+        (the baseline the :class:`~repro.storage.durability.DurabilityManager`
+        writes on first attach makes that case rare).  A torn final WAL
+        record is tolerated (truncated by the next writer); mid-log
+        corruption raises :class:`~repro.errors.WalCorruptionError`; a
+        sequence gap between snapshot and log raises
+        :class:`~repro.errors.RecoveryError`.  Returns the database and
+        a recovery report dict.
+        """
+        from repro.storage.snapshot import latest_snapshot, load_snapshot, restore_into
+        from repro.storage.wal import WAL_NAME, scan_wal
+
+        directory = Path(directory)
+        info = latest_snapshot(directory)
+        snapshot_seq = 0
+        if info is not None:
+            state = load_snapshot(info.path)
+            database = cls(
+                state["schema"],
+                enforce_foreign_keys=state["enforce_foreign_keys"],
+            )
+            restore_into(database, state)
+            snapshot_seq = state["wal_seq"]
+        else:
+            if schema is None:
+                raise RecoveryError(
+                    f"{directory} holds no snapshot and no schema was given;"
+                    " recovery cannot invent the relations"
+                )
+            database = cls(schema, enforce_foreign_keys=enforce_foreign_keys)
+        scan = scan_wal(directory / WAL_NAME)  # strict: mid-log damage raises
+        tail = [record for record in scan.records if record.seq > snapshot_seq]
+        if tail and tail[0].seq > snapshot_seq + 1:
+            raise RecoveryError(
+                f"WAL gap: snapshot covers seq {snapshot_seq} but the log"
+                f" resumes at seq {tail[0].seq}"
+            )
+        applied, rejected = database.replay(record.payload for record in tail)
+        report = {
+            "snapshot": str(info.path) if info is not None else None,
+            "snapshot_seq": snapshot_seq,
+            "wal_last_seq": scan.last_seq,
+            "replayed": applied,
+            "rejected": rejected,
+            "torn_bytes": scan.torn_bytes,
+        }
+        return database, report
 
     # ------------------------------------------------------------------
     # Foreign key checks

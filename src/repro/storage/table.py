@@ -176,6 +176,32 @@ class Table:
             for observer in self._observers:
                 observer.table_truncated(self)
 
+    def restore(self, rows: Iterable[Tuple[int, Mapping[str, Any]]], next_rowid: int) -> None:
+        """Replace the table's contents with snapshot state, rowids included.
+
+        Values are taken as already validated (they passed constraint
+        checks when originally inserted), so no re-checking happens —
+        restoring must succeed even under constraints a partially-built
+        state would violate mid-way.  The rowid counter is restored too,
+        so rows inserted after recovery get the same ids they would have
+        gotten had the process never died.  Bumps the version so caches
+        keyed on table contents are invalidated.
+        """
+        self.truncate()
+        for rowid, values in rows:
+            stored = dict(values)
+            self._rows[rowid] = stored
+            for column, value in stored.items():
+                if value is None:
+                    self._null_counts[column] += 1
+            for index in self._indexes.values():
+                index.add(index.key_for(stored), rowid)
+            if self._observers:
+                for observer in self._observers:
+                    observer.row_inserted(self, rowid, stored)
+        self._next_rowid = next_rowid
+        self._version += 1
+
     def null_count(self, column: str) -> int:
         """How many rows currently store NULL in ``column``."""
         return self._null_counts[self.relation.attribute(column).name]

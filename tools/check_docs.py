@@ -9,13 +9,15 @@ the tier-1 suite (``tests/test_docs.py``):
   anchor) must point at an existing file or directory.
 * **Examples** — every ``examples/*.py`` must run to completion (exit
   code 0) under the same interpreter that runs the tier-1 tests, with
-  ``src/`` on the path.
+  ``src/`` on the path.  The operator-tool demos documented in the docs
+  (currently ``tools/wal_dump.py --demo``) run in the same pass under
+  the same rule.
 
 Usage::
 
     python tools/check_docs.py            # both passes
     python tools/check_docs.py --links    # link check only
-    python tools/check_docs.py --examples # example runs only
+    python tools/check_docs.py --examples # example + tool-demo runs only
 """
 
 from __future__ import annotations
@@ -64,6 +66,12 @@ def broken_links() -> List[Tuple[Path, str]]:
     return broken
 
 
+#: Operator-tool demo invocations that must run clean, like examples.
+TOOL_DEMOS: List[List[str]] = [
+    ["tools/wal_dump.py", "--demo"],
+]
+
+
 def run_examples() -> List[Tuple[Path, str]]:
     """``(example, stderr tail)`` for every example that fails to run."""
     failures: List[Tuple[Path, str]] = []
@@ -71,9 +79,11 @@ def run_examples() -> List[Tuple[Path, str]]:
     environment["PYTHONPATH"] = (
         str(REPO / "src") + os.pathsep + environment.get("PYTHONPATH", "")
     ).rstrip(os.pathsep)
-    for example in sorted((REPO / "examples").glob("*.py")):
+    runs = [[str(example)] for example in sorted((REPO / "examples").glob("*.py"))]
+    runs.extend([str(REPO / part) for part in demo[:1]] + demo[1:] for demo in TOOL_DEMOS)
+    for command in runs:
         result = subprocess.run(
-            [sys.executable, str(example)],
+            [sys.executable, *command],
             cwd=REPO,
             env=environment,
             capture_output=True,
@@ -81,7 +91,7 @@ def run_examples() -> List[Tuple[Path, str]]:
             timeout=300,
         )
         if result.returncode != 0:
-            failures.append((example, result.stderr.strip()[-2000:]))
+            failures.append((Path(command[0]), result.stderr.strip()[-2000:]))
     return failures
 
 
@@ -110,7 +120,8 @@ def main(argv=None) -> int:
         if failures:
             status = 1
         else:
-            print(f"examples ok ({len(list((REPO / 'examples').glob('*.py')))} scripts)")
+            count = len(list((REPO / "examples").glob("*.py"))) + len(TOOL_DEMOS)
+            print(f"examples ok ({count} scripts)")
     return status
 
 
