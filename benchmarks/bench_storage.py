@@ -1,0 +1,198 @@
+"""Storage engine benchmark: columnar scans vs. the row oracle, paged I/O.
+
+Three measurements, each with an in-run correctness guard (the numbers
+are meaningless if the engines disagree, so equivalence is asserted in
+the same run that produces them):
+
+* ``columnar`` — full-scan filter queries at 200 and 2000 movies,
+  dict-row engine vs. the columnar engine's vectorized path.  The
+  acceptance budget lives here: at 2000 movies the columnar engine must
+  be at least :data:`BUDGET_MIN_SPEEDUP` times faster than the row
+  oracle on the scan-filter shape.
+* ``paged`` — the 50-query corpus against a paged-heap database whose
+  dataset spans at least 4x more pages than the buffer pool holds,
+  cold (first touch faults every page) vs. warm pool, byte-identical
+  to the dict-row oracle throughout.
+* ``equivalence`` — the explicit in-run check: paper queries plus the
+  generated corpus across all three engines.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datasets import PAPER_QUERIES  # noqa: E402
+from repro.datasets.generator import GeneratorConfig, generate_movie_database  # noqa: E402
+from repro.datasets.workload import generate_workload  # noqa: E402
+from repro.engine.executor import Executor  # noqa: E402
+from repro.storage import StorageConfig  # noqa: E402
+
+__all__ = ["bench_storage"]
+
+#: Acceptance budget: vectorized full-scan filter at 2000 movies must be
+#: at least this many times faster than the dict-row path.
+BUDGET_MIN_SPEEDUP = 3.0
+
+#: Pool sized far below the dataset so eviction is on the query path.
+PAGED_CONFIG = {"page_size": 512, "buffer_pool_pages": 4}
+
+#: The scan-filter shapes the speedup is measured on (full scans only —
+#: no equality conjuncts, so the row path cannot hide behind an index).
+SCAN_QUERIES = [
+    "select m.title from MOVIES m where m.year > 1990 and m.title like '%a%'",
+    "select m.title, m.year from MOVIES m where m.year between 1960 and 1980",
+]
+
+
+def _config(movies: int) -> GeneratorConfig:
+    return GeneratorConfig(
+        movies=movies, directors=max(20, movies // 10), actors=max(60, movies // 4)
+    )
+
+
+def _median(run, repeats: int) -> float:
+    return statistics.median(run() for _ in range(repeats))
+
+
+def _rows(result):
+    return [dict(row.raw) for row in result.rows]
+
+
+def _scan_pair(movies: int, repeats: int) -> dict:
+    config = _config(movies)
+    rows_db = generate_movie_database(config)
+    col_db = generate_movie_database(config).with_storage(
+        StorageConfig(default_engine="columnar")
+    )
+    rows_ex, col_ex = Executor(rows_db), Executor(col_db)
+    out = {"movies": movies}
+    speedups = []
+    for index, sql in enumerate(SCAN_QUERIES):
+        assert _rows(col_ex.execute_sql(sql)) == _rows(rows_ex.execute_sql(sql))
+        row_s = _median(lambda: _time(rows_ex, sql), repeats)
+        col_s = _median(lambda: _time(col_ex, sql), repeats)
+        speedup = row_s / col_s if col_s else float("inf")
+        speedups.append(speedup)
+        out[f"q{index}_rows_ms"] = round(row_s * 1e3, 4)
+        out[f"q{index}_columnar_ms"] = round(col_s * 1e3, 4)
+        out[f"q{index}_speedup"] = round(speedup, 2)
+    out["min_speedup"] = round(min(speedups), 2)
+    out["vector_scans"] = col_ex.vector_scans
+    return out
+
+
+def _time(executor, sql: str) -> float:
+    start = time.perf_counter()
+    executor.execute_sql(sql)
+    return time.perf_counter() - start
+
+
+def _paged_corpus(repeats: int, corpus_size: int) -> dict:
+    config = _config(400)
+    corpus = generate_workload(queries_per_category=corpus_size, seed=2009)
+    oracle_db = generate_movie_database(config)
+    oracle = Executor(oracle_db)
+    expected = [_rows(oracle.execute_sql(q.sql)) for q in corpus]
+
+    def cold_run() -> float:
+        database = generate_movie_database(config).with_storage(
+            StorageConfig(default_engine="paged", **PAGED_CONFIG)
+        )
+        executor = Executor(database)
+        start = time.perf_counter()
+        for query, want in zip(corpus, expected):
+            got = _rows(executor.execute_sql(query.sql))
+            assert got == want, query.name  # byte-identical to the oracle
+        return time.perf_counter() - start
+
+    database = generate_movie_database(config).with_storage(
+        StorageConfig(default_engine="paged", **PAGED_CONFIG)
+    )
+    executor = Executor(database)
+    for query in corpus:  # warm the pool and the plan caches
+        executor.execute_sql(query.sql)
+
+    def warm_run() -> float:
+        start = time.perf_counter()
+        for query, want in zip(corpus, expected):
+            got = _rows(executor.execute_sql(query.sql))
+            assert got == want, query.name
+        return time.perf_counter() - start
+
+    cold = _median(cold_run, repeats)
+    warm = _median(warm_run, repeats)
+    stats = database.storage_stats()["MOVIES"]
+    pool = stats["buffer_pool"]
+    return {
+        "corpus_queries": len(corpus),
+        "movies": config.movies,
+        "heap_pages": stats["disk"]["pages"],
+        "pool_pages": PAGED_CONFIG["buffer_pool_pages"],
+        "dataset_over_pool": round(
+            stats["disk"]["pages"] / PAGED_CONFIG["buffer_pool_pages"], 1
+        ),
+        "cold_s": round(cold, 4),
+        "warm_s": round(warm, 4),
+        "cold_over_warm": round(cold / warm, 2) if warm else None,
+        "pool_hits": pool["hits"],
+        "pool_misses": pool["misses"],
+        "pool_evictions": pool["evictions"],
+        "byte_identical": True,  # asserted query-by-query above
+    }
+
+
+def _equivalence_check() -> dict:
+    from repro.datasets import movie_database
+
+    configs = {
+        "rows": StorageConfig(),
+        "paged": StorageConfig(default_engine="paged", **PAGED_CONFIG),
+        "columnar": StorageConfig(default_engine="columnar"),
+    }
+    databases = {
+        name: movie_database().with_storage(config)
+        for name, config in configs.items()
+    }
+    executors = {name: Executor(db) for name, db in databases.items()}
+    checked = 0
+    corpus = [sql for _name, sql in sorted(PAPER_QUERIES.items())]
+    corpus += [q.sql for q in generate_workload(queries_per_category=4, seed=11)]
+    for sql in corpus:
+        want = _rows(executors["rows"].execute_sql(sql))
+        for name in ("paged", "columnar"):
+            assert _rows(executors[name].execute_sql(sql)) == want, (name, sql)
+        checked += 1
+    return {"queries_checked": checked, "engines": sorted(configs), "identical": True}
+
+
+def bench_storage(quick: bool = False) -> dict:
+    repeats = 3 if quick else 7
+    summary = {
+        "budget_min_speedup": BUDGET_MIN_SPEEDUP,
+        "equivalence": _equivalence_check(),
+        "columnar": {
+            "small": _scan_pair(200, repeats),
+            "large": _scan_pair(2000, repeats),
+        },
+        "paged": _paged_corpus(2 if quick else 3, 4 if quick else 10),
+    }
+    large = summary["columnar"]["large"]
+    summary["columnar"]["passes_budget"] = large["min_speedup"] >= BUDGET_MIN_SPEEDUP
+    assert summary["columnar"]["passes_budget"], (
+        f"columnar speedup {large['min_speedup']}x at 2000 movies is below "
+        f"the {BUDGET_MIN_SPEEDUP}x budget"
+    )
+    return summary
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(bench_storage(quick="--quick" in sys.argv), indent=2))

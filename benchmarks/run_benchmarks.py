@@ -35,6 +35,7 @@ from bench_service_throughput import (  # noqa: E402
     bench_service_throughput,
     bench_shard_tier,
 )
+from bench_storage import bench_storage  # noqa: E402
 
 from repro.content.narrator import ContentNarrator  # noqa: E402
 from repro.content.presets import movie_spec  # noqa: E402
@@ -475,6 +476,8 @@ def main(argv=None) -> int:
     summary["resilience"] = bench_resilience(quick=args.quick)
     print("benchmarking durability cost ...", flush=True)
     summary["durability"] = bench_durability(quick=args.quick)
+    print("benchmarking storage engines ...", flush=True)
+    summary["storage"] = bench_storage(quick=args.quick)
     print("benchmarking translation core ...", flush=True)
     summary["translation_core"] = bench_translation_core(max(5, args.repeats))
     print("benchmarking narration front end ...", flush=True)
@@ -560,6 +563,18 @@ def main(argv=None) -> int:
         f" {'met' if durability['passes_budget'] else 'MISSED'}),"
         f" fsync=always {durability['always_ops_s']:.0f}/s"
         f" ({durability['always_slowdown']:.2f}x)"
+    )
+    storage = summary["storage"]
+    large = storage["columnar"]["large"]
+    paged = storage["paged"]
+    print(
+        "  storage engines:"
+        f" columnar full-scan filter at {large['movies']} movies"
+        f" {large['min_speedup']:.2f}x over dict rows (budget"
+        f" {'met' if storage['columnar']['passes_budget'] else 'MISSED'});"
+        f" paged corpus with dataset {paged['dataset_over_pool']}x the pool"
+        f" cold {paged['cold_s']:.2f}s / warm {paged['warm_s']:.2f}s,"
+        f" byte-identical {paged['byte_identical']}"
     )
     parameterised = summary["parameterised_plans"]
     print(

@@ -91,7 +91,15 @@ from repro.service import (
     WorkerCrashed,
 )
 from repro.sql import parse_select, parse_sql, to_sql
-from repro.storage import Database, DurabilityConfig, DurabilityManager, Row, Table
+from repro.storage import (
+    Database,
+    DurabilityConfig,
+    DurabilityManager,
+    Row,
+    StorageConfig,
+    Table,
+    TableStorage,
+)
 from repro.templates import TemplateRegistry, parse_list_template, parse_template
 
 __version__ = "1.0.0"
@@ -135,7 +143,9 @@ __all__ = [
     "ShardRouter",
     "ShardRouterConfig",
     "SynthesisMode",
+    "StorageConfig",
     "Table",
+    "TableStorage",
     "TemplateRegistry",
     "TupleStyle",
     "UserProfile",

@@ -31,7 +31,7 @@ from repro.catalog.relation import Relation
 from repro.content.personalization import DEFAULT_PROFILE, UserProfile
 from repro.storage.database import Database
 from repro.storage.row import Row
-from repro.storage.table import Table
+from repro.storage.api import TableStorage
 
 
 @dataclass(frozen=True)
@@ -129,7 +129,7 @@ class ConnectivityTracker:
 
     # -- observer protocol ---------------------------------------------
 
-    def row_inserted(self, table: Table, rowid: int, values: Mapping[str, Any]) -> None:
+    def row_inserted(self, table: TableStorage, rowid: int, values: Mapping[str, Any]) -> None:
         if self._needs_rebuild:
             return
         name = table.name
@@ -166,7 +166,7 @@ class ConnectivityTracker:
         for relation_name in dirty:
             self._orders.pop(relation_name, None)
 
-    def row_deleted(self, table: Table, rowid: int, values: Mapping[str, Any]) -> None:
+    def row_deleted(self, table: TableStorage, rowid: int, values: Mapping[str, Any]) -> None:
         if self._needs_rebuild:
             return
         name = table.name
@@ -197,7 +197,7 @@ class ConnectivityTracker:
 
     def row_updated(
         self,
-        table: Table,
+        table: TableStorage,
         rowid: int,
         old_values: Mapping[str, Any],
         new_values: Mapping[str, Any],
@@ -246,7 +246,7 @@ class ConnectivityTracker:
         for relation_name in dirty:
             self._orders.pop(relation_name, None)
 
-    def table_truncated(self, table: Table) -> None:
+    def table_truncated(self, table: TableStorage) -> None:
         # Truncation invalidates counts across every FK-connected relation;
         # it is rare, so the tracker just rebuilds lazily on next access.
         self._needs_rebuild = True

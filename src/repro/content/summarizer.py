@@ -98,10 +98,10 @@ def describe_sample(
     lexicon = lexicon or default_lexicon(database.schema)
     relation = database.schema.relation(relation_name)
     heading = relation.heading_attribute.name
-    values = [
-        str(row.get(heading))
-        for row in list(database.table(relation.name).rows())[:sample_size]
-    ]
+    # Batch column accessor: one call instead of materialising whole rows
+    # (the columnar engine answers this without touching other columns).
+    column = database.table(relation.name).column(heading)
+    values = [str(value) for value in column[:sample_size]]
     if not values:
         return realize_paragraph(
             [f"The {lexicon.concept(relation_name)} relation is currently empty"]

@@ -33,6 +33,7 @@ from repro.engine.evaluator import ExpressionEvaluator
 from repro.engine.parameterised import (
     UNPARAMETERISABLE,
     ParamExpressionCompiler,
+    ParamVectorCompiler,
     ParameterisedPlan,
     analyze_statement,
     guard_key,
@@ -52,6 +53,7 @@ from repro.engine.plan import (
     SortNode,
 )
 from repro.engine.result import DmlResult, QueryResult
+from repro.engine.vector import VectorExpressionCompiler, VectorUnsupported
 from repro.errors import EvaluationError, UnknownAttributeError, UnsupportedQueryError
 from repro.oracle import resolve_compiled_default
 from repro.sql import ast
@@ -59,7 +61,7 @@ from repro.sql.parser import parse_sql
 from repro.sql.shape import is_mutation as _is_mutation_text, sql_shape
 from repro.storage.database import Database
 from repro.storage.row import Row
-from repro.storage.table import Table
+from repro.storage.api import TableStorage
 from repro.utils.cache import LRUCache
 
 _EMPTY_ROW = Row({})
@@ -160,6 +162,13 @@ class Executor:
         self.shape_hits = 0
         self.shape_misses = 0
         self.shape_fallbacks = 0
+        # Vectorized scan counters: how many filter/projection nodes ran
+        # column-at-a-time over columnar arrays, and how many started to
+        # and handed back to the row path mid-run (data-dependent
+        # evaluation error — the row path re-raises it with the oracle's
+        # exact short-circuit semantics).
+        self.vector_scans = 0
+        self.vector_fallbacks = 0
         # Caches.  Parse and plan caches hold data-independent artefacts;
         # the scan cache and subquery memo depend on table contents and are
         # validated against Database.data_version before every top-level
@@ -502,6 +511,11 @@ class Executor:
         if isinstance(node, ScanNode):
             yield from self._run_scan(node, outer_row)
         elif isinstance(node, FilterNode):
+            if outer_row is None:
+                vectorized = self._try_vectorized(node)
+                if vectorized is not None:
+                    yield from vectorized
+                    return
             predicate = self._ops(node)
             if outer_row is None:
                 for row in self._run_node(node.child, outer_row):
@@ -516,6 +530,11 @@ class Executor:
         elif isinstance(node, AggregateNode):
             yield from self._run_aggregate(node, outer_row)
         elif isinstance(node, ProjectNode):
+            if outer_row is None:
+                vectorized = self._try_vectorized(node)
+                if vectorized is not None:
+                    yield from vectorized
+                    return
             yield from self._run_project(node, outer_row)
         elif isinstance(node, DistinctNode):
             yield from self._run_distinct(node, outer_row)
@@ -570,13 +589,13 @@ class Executor:
                 if all(predicate(scoped) for predicate in predicates):
                     yield row
 
-    def _scan_index(self, table: Table, columns: Tuple[str, ...]):
+    def _scan_index(self, table: TableStorage, columns: Tuple[str, ...]):
         try:
             return table.ensure_index(columns)
         except UnknownAttributeError:
             return None
 
-    def _scan_rows(self, table: Table, binding: str) -> List[Row]:
+    def _scan_rows(self, table: TableStorage, binding: str) -> List[Row]:
         """Prefixed rows of a full scan, cached per table version."""
         if not self.use_caches:
             return [row.prefixed(binding) for row in table.rows()]
@@ -587,6 +606,86 @@ class Executor:
         rows = [row.prefixed(binding) for row in table.rows()]
         self._scan_cache[key] = (table.version, rows)
         return rows
+
+    # ------------------------------------------------------------------
+    # Vectorized scans (columnar engine, compiled mode only)
+    # ------------------------------------------------------------------
+
+    def _try_vectorized(self, node: PlanNode) -> Optional[List[Row]]:
+        """Run a Filter/Project node column-at-a-time, or None to decline.
+
+        Applies when the node sits directly over a full scan (no pushed
+        equality conjuncts — the index path beats any scan there) of a
+        table exposing columnar arrays, the executor is in compiled
+        mode, and the expressions fit the vectorized subset.  The result
+        list is byte-identical to the row path: same rows, same key
+        order, same insertion order.  Data-dependent evaluation errors
+        hand back to the row path, which re-runs with the oracle's exact
+        short-circuit semantics (see :mod:`repro.engine.vector`).
+        """
+        if not self.compiled:
+            return None
+        cached = getattr(node, "_vec_ops", None)
+        if cached is not None and cached[0] is self:
+            ops = cached[1]
+        else:
+            ops = self._build_vector_ops(node)
+            node._vec_ops = (self, ops)  # type: ignore[attr-defined]
+        if ops is None:
+            return None
+        table_name, selection_fn, build_fn = ops
+        table = self.database.table(table_name)
+        arrays = table.columnar_arrays()
+        if arrays is None:
+            return None
+        count = table.row_count
+        try:
+            selection = selection_fn(arrays, count)
+            rows = build_fn(arrays, count, selection)
+        except (EvaluationError, TypeError, ZeroDivisionError):
+            self.vector_fallbacks += 1
+            return None
+        self.vector_scans += 1
+        return rows
+
+    def _build_vector_ops(self, node: PlanNode) -> Optional[Tuple[str, Any, Any]]:
+        """Compile (table, selection, builder) for a node, or None."""
+        if isinstance(node, FilterNode):
+            chain = _filter_chain(node)
+            project_items = None
+        elif isinstance(node, ProjectNode):
+            chain = _filter_chain(node.child)
+            project_items = []
+            for item in node.items:
+                if isinstance(item.expression, ast.Star):
+                    return None
+                project_items.append((item.output_name, item.expression))
+        else:
+            return None
+        if chain is None:
+            return None
+        scan, predicates = chain
+        table = self.database.table(scan.table_name)
+        compiler = self._vector_compiler(table.relation, scan.binding)
+        try:
+            selection_fn = compiler.compile_conjunction(predicates)
+            if project_items is None:
+                build_fn = _prefixed_row_builder(table.relation, scan.binding)
+            else:
+                build_fn = compiler.compile_projection(project_items)
+        except VectorUnsupported:
+            return None
+        return (scan.table_name, selection_fn, build_fn)
+
+    def _vector_compiler(self, relation, binding: str) -> VectorExpressionCompiler:
+        if self._param_active:
+            return ParamVectorCompiler(
+                relation,
+                binding,
+                params_box=self._params_box,
+                ordinals=self._param_compiler.ordinals,
+            )
+        return VectorExpressionCompiler(relation, binding)
 
     # ------------------------------------------------------------------
     # Joins
@@ -979,6 +1078,52 @@ class Executor:
 # ---------------------------------------------------------------------------
 # Helpers
 # ---------------------------------------------------------------------------
+
+
+def _filter_chain(
+    node: PlanNode,
+) -> Optional[Tuple[ScanNode, List[ast.Expression]]]:
+    """Descend Filter* -> Scan; predicates returned innermost first.
+
+    The planner stacks one FilterNode per AND conjunct, so vectorizing
+    only filters *directly* over a scan would leave every multi-conjunct
+    WHERE mostly row-at-a-time.  Scans with pushed equality conjuncts
+    are excluded — their index probes beat any full scan.
+    """
+    predicates: List[ast.Expression] = []
+    current = node
+    while isinstance(current, FilterNode):
+        predicates.append(current.predicate)
+        current = current.child
+    if (
+        not isinstance(current, ScanNode)
+        or not current.table_name
+        or current.eq_columns
+    ):
+        return None
+    predicates.reverse()
+    return current, predicates
+
+
+def _prefixed_row_builder(
+    relation: Any, binding: str
+) -> Callable[[Dict[str, List[Any]], int, Iterable[int]], List[Row]]:
+    """Build ``binding.attr``-keyed rows from columnar arrays.
+
+    Key order is relation declaration order — the same order
+    ``_scan_rows``'s ``row.prefixed(binding)`` produces, so a vectorized
+    filter's output rows are indistinguishable from the row path's.
+    """
+    names = [(f"{binding}.{a.name}", a.name) for a in relation.attributes]
+
+    def build(
+        arrays: Dict[str, List[Any]], n: int, selection: Iterable[int]
+    ) -> List[Row]:
+        columns = [(key, arrays[name]) for key, name in names]
+        adopt = Row.adopt
+        return [adopt({key: column[i] for key, column in columns}) for i in selection]
+
+    return build
 
 
 def _expression_key(expression: ast.Expression) -> str:

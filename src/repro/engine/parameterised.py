@@ -52,11 +52,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.compile import CompiledExpr, ExpressionCompiler
 from repro.engine.plan import LogicalPlan
+from repro.engine.vector import Vec, VectorExpressionCompiler
 from repro.sql import ast
 
 __all__ = [
     "UNPARAMETERISABLE",
     "ParamExpressionCompiler",
+    "ParamVectorCompiler",
     "ParameterisedPlan",
     "ShapeInfo",
     "analyze_statement",
@@ -262,6 +264,11 @@ class ParamExpressionCompiler(ExpressionCompiler):
         """Install the ordinal map of the statement about to execute."""
         self._ordinals = ordinals
 
+    @property
+    def ordinals(self) -> Dict[int, int]:
+        """The ordinal map currently installed (read by the vector path)."""
+        return self._ordinals
+
     def compile(self, expression: ast.Expression) -> CompiledExpr:
         key = id(expression)
         entry = self._id_memo.get(key)
@@ -285,6 +292,45 @@ class ParamExpressionCompiler(ExpressionCompiler):
                 box = self._params_box
                 return lambda row, _p=position: box[0][_p]
         return super()._compile(e)
+
+    def _is_constant(self, literal: ast.Literal) -> bool:
+        return id(literal) not in self._ordinals
+
+
+class ParamVectorCompiler(VectorExpressionCompiler):
+    """Vector compiler whose parameter-slot literals read the bound vector.
+
+    The mirror of :class:`ParamExpressionCompiler` for the columnar
+    path: ordinal-mapped literals become scalar vectors that read
+    ``box[0][position]`` at evaluation time, and :meth:`_is_constant`
+    keeps them out of the value-specialised fused fast paths (baked
+    LIKE regexes, frozen IN sets), whose closures would otherwise bake
+    the first variant's values into every later one.
+
+    Built fresh per (plan node, ordinal map): the executor constructs
+    one whenever it compiles vector ops while a parameterised execution
+    is active, and the captured ordinal map is the owning statement's —
+    safe because a plan node belongs to exactly one parameterised entry
+    (the same invariant the row path's node-cached closures rely on).
+    """
+
+    def __init__(
+        self,
+        relation: Any,
+        binding: str,
+        params_box: List[Tuple[Any, ...]],
+        ordinals: Dict[int, int],
+    ) -> None:
+        super().__init__(relation, binding)
+        self._params_box = params_box
+        self._ordinals = dict(ordinals)
+
+    def _literal(self, e: ast.Literal) -> Vec:
+        position = self._ordinals.get(id(e))
+        if position is not None:
+            box = self._params_box
+            return Vec(True, lambda arrays, n, _p=position: box[0][_p])
+        return super()._literal(e)
 
     def _is_constant(self, literal: ast.Literal) -> bool:
         return id(literal) not in self._ordinals

@@ -112,6 +112,7 @@ from repro.service.sharding.supervisor import (
     default_start_method,
 )
 from repro.sql.shape import is_mutation as _is_mutation, shape_hash, stable_hash
+from repro.storage.config import StorageConfig
 from repro.storage.durability import DurabilityConfig
 from repro.storage.snapshot import latest_snapshot, prune_snapshots
 from repro.storage.wal import WriteAheadLog
@@ -270,6 +271,7 @@ class ShardRouter:
         max_respawns: Optional[int] = None,
         config: Optional[ShardRouterConfig] = None,
         durability: Optional[DurabilityConfig] = None,
+        storage: Optional[StorageConfig] = None,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -291,6 +293,13 @@ class ShardRouter:
             "durability_dir": (
                 str(durability.directory) if durability is not None else None
             ),
+            # A frozen dataclass of plain values: pickles across the
+            # process boundary as-is.  Workers apply it when building
+            # their replicas, so every shard runs the same engines.
+            # Leave ``directory`` unset for the paged engine here —
+            # workers sharing one heap directory would clobber each
+            # other's files; each replica gets its own temp-file heap.
+            "storage": storage,
         }
         self._start_method = start_method or default_start_method()
         self._ring = HashRing(range(workers), replicas=ring_replicas)

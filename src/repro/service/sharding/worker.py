@@ -227,6 +227,12 @@ def _build_session(spec: Dict[str, Any]) -> Tuple[NarrationService, Any, int]:
     request (:data:`~.protocol.CHECKPOINT`).
     """
     database = resolve_factory(spec["database_factory"])()
+    storage = spec.get("storage")
+    if storage is not None and storage != database.storage_config:
+        # The router's StorageConfig travels in the spec; rebuild the
+        # factory's database under it so every replica runs the same
+        # engines (rowids and insertion order carry over).
+        database = database.with_storage(storage)
     restored_seq = 0
     durability_dir = spec.get("durability_dir")
     if durability_dir:

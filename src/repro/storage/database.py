@@ -12,14 +12,18 @@ from repro.errors import (
     ReproError,
     UnknownTableError,
 )
+from repro.storage.config import StorageConfig
+from repro.storage.engine import BaseTableStorage, create_storage
 from repro.storage.row import Row
-from repro.storage.table import Table
+from repro.storage.table import Table  # noqa: F401  (historical re-export)
 
 
 class Database:
-    """An in-memory relational database instance.
+    """A relational database instance: one storage engine per relation.
 
-    The database owns one :class:`Table` per relation of its
+    The database owns one table (any :class:`~repro.storage.api.TableStorage`
+    engine — dict rows, paged heap, or columnar, routed by a
+    :class:`~repro.storage.config.StorageConfig`) per relation of its
     :class:`Schema` and enforces foreign-key constraints on insert and
     delete when ``enforce_foreign_keys`` is enabled (the default).  It is
     the substrate both for content translation (Section 2 of the paper:
@@ -27,11 +31,22 @@ class Database:
     verify query translations and to explain empty answers).
     """
 
-    def __init__(self, schema: Schema, enforce_foreign_keys: bool = True) -> None:
+    def __init__(
+        self,
+        schema: Schema,
+        enforce_foreign_keys: bool = True,
+        storage: Optional[StorageConfig] = None,
+    ) -> None:
         self.schema = schema
         self.enforce_foreign_keys = enforce_foreign_keys
-        self._tables: Dict[str, Table] = {
-            relation.name: Table(relation) for relation in schema.relations
+        #: The storage routing this database was built with; recovery and
+        #: sharding propagate it so rebuilt databases keep their engines.
+        self.storage_config: StorageConfig = (
+            storage if storage is not None else StorageConfig.from_env()
+        )
+        self._tables: Dict[str, BaseTableStorage] = {
+            relation.name: create_storage(relation, self.storage_config)
+            for relation in schema.relations
         }
         #: Optional write-ahead log (anything with ``append(payload)``,
         #: e.g. :class:`~repro.storage.wal.WriteAheadLog` or the
@@ -45,7 +60,7 @@ class Database:
     # Table access
     # ------------------------------------------------------------------
 
-    def table(self, name: str) -> Table:
+    def table(self, name: str) -> BaseTableStorage:
         """Look up a table by (case-insensitive) relation name."""
         if name in self._tables:
             return self._tables[name]
@@ -66,8 +81,31 @@ class Database:
             return False
 
     @property
-    def tables(self) -> Tuple[Table, ...]:
+    def tables(self) -> Tuple[BaseTableStorage, ...]:
         return tuple(self._tables[name] for name in self.schema.relation_names)
+
+    def with_storage(self, storage: StorageConfig) -> "Database":
+        """A new database with identical contents under another config.
+
+        Rowids, insertion order, and the next-rowid counters carry over
+        (each table is rebuilt via :meth:`~repro.storage.api.TableStorage.restore`
+        of its export), so the copy is byte-identical to this database
+        under every query — the mechanism the differential storage
+        suite leans on.  The WAL, if any, stays attached to *this*
+        database only.
+        """
+        clone = Database(
+            self.schema,
+            enforce_foreign_keys=self.enforce_foreign_keys,
+            storage=storage,
+        )
+        for table in self.tables:
+            clone.table(table.name).restore(table.export_rows(), table.next_rowid)
+        return clone
+
+    def storage_stats(self) -> Dict[str, Any]:
+        """Per-table engine stats (engine tag, pool counters, ...)."""
+        return {table.name: table.stats() for table in self.tables}
 
     def row_counts(self) -> Dict[str, int]:
         return {table.name: len(table) for table in self.tables}
@@ -199,7 +237,7 @@ class Database:
             table = self.table(table_name)
             if self.enforce_foreign_keys:
                 for rowid in rowids:
-                    if rowid in table._rows:
+                    if table.has_row(rowid):
                         self._check_no_referencing_children(
                             table.name, table.row_by_id(rowid)
                         )
@@ -241,6 +279,7 @@ class Database:
         directory: Union[str, Path],
         schema: Optional[Schema] = None,
         enforce_foreign_keys: bool = True,
+        storage: Optional[StorageConfig] = None,
     ) -> Tuple["Database", Dict[str, Any]]:
         """Rebuild a database from a durability directory: snapshot + replay.
 
@@ -248,7 +287,10 @@ class Database:
         replays every WAL record after the snapshot's sequence number.
         ``schema`` is only needed when the directory holds no snapshot
         (the baseline the :class:`~repro.storage.durability.DurabilityManager`
-        writes on first attach makes that case rare).  A torn final WAL
+        writes on first attach makes that case rare).  ``storage``
+        chooses the engines the rebuilt database uses — snapshots and
+        the WAL are engine-agnostic, so state written under one config
+        recovers byte-identically into any other.  A torn final WAL
         record is tolerated (truncated by the next writer); mid-log
         corruption raises :class:`~repro.errors.WalCorruptionError`; a
         sequence gap between snapshot and log raises
@@ -266,6 +308,7 @@ class Database:
             database = cls(
                 state["schema"],
                 enforce_foreign_keys=state["enforce_foreign_keys"],
+                storage=storage,
             )
             restore_into(database, state)
             snapshot_seq = state["wal_seq"]
@@ -275,7 +318,9 @@ class Database:
                     f"{directory} holds no snapshot and no schema was given;"
                     " recovery cannot invent the relations"
                 )
-            database = cls(schema, enforce_foreign_keys=enforce_foreign_keys)
+            database = cls(
+                schema, enforce_foreign_keys=enforce_foreign_keys, storage=storage
+            )
         scan = scan_wal(directory / WAL_NAME)  # strict: mid-log damage raises
         tail = [record for record in scan.records if record.seq > snapshot_seq]
         if tail and tail[0].seq > snapshot_seq + 1:

@@ -125,7 +125,13 @@ class DurabilityManager:
             or scan_wal(self.config.wal_path, strict=False).records
         )
         if has_state:
-            database, report = Database.recover(self.directory, schema=database.schema)
+            # Recover into the same storage engines the vessel database
+            # was built with: durability composes with StorageConfig.
+            database, report = Database.recover(
+                self.directory,
+                schema=database.schema,
+                storage=database.storage_config,
+            )
             self._recovered = True
             self._recovery_report = report
         self._wal = WriteAheadLog(

@@ -43,6 +43,9 @@ def load_records(
 
 def dump_records(database: Database) -> Dict[str, List[Dict[str, Any]]]:
     """Export every table's rows as plain dictionaries (insertion order)."""
+    # export_rows is the protocol-level batch export (rowid, values)
+    # pairs; engines answer it from their own physical layout.
     return {
-        table.name: [row.as_dict() for row in table.rows()] for table in database.tables
+        table.name: [values for _rowid, values in table.export_rows()]
+        for table in database.tables
     }

@@ -76,8 +76,8 @@ def snapshot_state(database, wal_seq: int) -> Dict[str, Any]:
     tables: Dict[str, Dict[str, Any]] = {}
     for table in database.tables:
         tables[table.name] = {
-            "next_rowid": table._next_rowid,
-            "rows": [(rowid, dict(values)) for rowid, values in table._rows.items()],
+            "next_rowid": table.next_rowid,
+            "rows": table.export_rows(),
         }
     return {
         "format": 1,

@@ -1,324 +1,29 @@
-"""In-memory table with constraint checking and hash indexes."""
+"""The historical home of the in-memory table.
+
+The implementation now lives in :mod:`repro.storage.engine`:
+:class:`~repro.storage.engine.base.BaseTableStorage` carries the
+logical layer (constraints, indexes, observers, NULL tallies) and
+:class:`~repro.storage.engine.rows.RowStorage` the dict-row physical
+layer.  :class:`Table` remains this module's export — the name the
+rest of the codebase and its tests grew up with — as the ``rows``
+engine, which doubles as the differential oracle every other engine
+(paged, columnar) is held byte-identical to.
+
+Nothing was renamed: ``Table`` is ``RowStorage`` with the historical
+``repr`` and is what :class:`~repro.storage.database.Database` builds
+under the default :class:`~repro.storage.config.StorageConfig`.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
-
-from repro.catalog.relation import Relation
-from repro.catalog.types import check_value, coerce_value
-from repro.errors import (
-    NotNullViolationError,
-    PrimaryKeyViolationError,
-    UnknownAttributeError,
-)
-from repro.storage.index import HashIndex
-from repro.storage.row import Row
+from repro.storage.engine.rows import RowStorage
 
 
-class Table:
-    """An in-memory table storing rows that conform to a :class:`Relation`.
-
-    Rows are stored in insertion order and identified by a monotonically
-    increasing integer row id.  A unique hash index is maintained over the
-    primary key (when the relation declares one); additional indexes can be
-    created on demand and are kept up to date by inserts/deletes/updates.
-    """
-
-    def __init__(self, relation: Relation) -> None:
-        self.relation = relation
-        self._rows: Dict[int, Dict[str, Any]] = {}
-        self._next_rowid = 1
-        self._version = 0
-        self._indexes: Dict[str, HashIndex] = {}
-        #: Per-column NULL tallies, maintained by every mutation.  The
-        #: streaming narrator uses them to prove a heading-only fallback
-        #: clause cannot occur (no row has all narrated attributes NULL).
-        self._null_counts: Dict[str, int] = {a.name: 0 for a in relation.attributes}
-        #: Mutation observers (maintained ranking structures, like the
-        #: indexes but cross-table).  Notified after the row store and
-        #: indexes reflect the change.
-        self._observers: List[Any] = []
-        if relation.primary_key_names:
-            self.create_index("pk", relation.primary_key_names, unique=True)
-
-    # ------------------------------------------------------------------
-    # Basic accessors
-    # ------------------------------------------------------------------
-
-    @property
-    def name(self) -> str:
-        return self.relation.name
-
-    @property
-    def row_count(self) -> int:
-        return len(self._rows)
-
-    @property
-    def version(self) -> int:
-        """Monotonic counter bumped by every mutating call.
-
-        Caches keyed on table contents (scan caches, subquery memos)
-        compare versions instead of subscribing to change events.
-        """
-        return self._version
-
-    def __len__(self) -> int:
-        return len(self._rows)
-
-    def rows(self) -> Iterator[Row]:
-        """Iterate over the table's rows in insertion order.
-
-        Rowids are assigned monotonically and never reused, and dicts
-        preserve insertion order, so no sort is needed.
-        """
-        for values in self._rows.values():
-            yield Row(values)
-
-    def rows_with_ids(self) -> Iterator[Tuple[int, Row]]:
-        for rowid, values in self._rows.items():
-            yield rowid, Row(values)
-
-    def row_by_id(self, rowid: int) -> Row:
-        return Row(self._rows[rowid])
-
-    # ------------------------------------------------------------------
-    # Mutation
-    # ------------------------------------------------------------------
-
-    def insert(self, values: Mapping[str, Any], coerce: bool = False) -> int:
-        """Insert a row given a column/value mapping; returns the new row id.
-
-        Unknown columns raise :class:`UnknownAttributeError`; missing
-        columns default to ``None`` (subject to NOT NULL checks).  With
-        ``coerce=True`` textual values are converted to the declared types,
-        which is what the CSV/dict loaders use.
-        """
-        normalised = self._normalise(values, coerce=coerce)
-        self._check_not_null(normalised)
-        self._check_unique_indexes(normalised)
-        rowid = self._next_rowid
-        self._next_rowid += 1
-        self._rows[rowid] = normalised
-        self._version += 1
-        for column, value in normalised.items():
-            if value is None:
-                self._null_counts[column] += 1
-        for index in self._indexes.values():
-            index.add(index.key_for(normalised), rowid)
-        if self._observers:
-            for observer in self._observers:
-                observer.row_inserted(self, rowid, normalised)
-        return rowid
-
-    def insert_many(self, rows: Iterable[Mapping[str, Any]], coerce: bool = False) -> List[int]:
-        return [self.insert(row, coerce=coerce) for row in rows]
-
-    def delete_rows(self, rowids: Iterable[int]) -> int:
-        """Delete the rows with the given ids; returns how many were removed."""
-        removed = 0
-        for rowid in list(rowids):
-            values = self._rows.pop(rowid, None)
-            if values is None:
-                continue
-            for column, value in values.items():
-                if value is None:
-                    self._null_counts[column] -= 1
-            for index in self._indexes.values():
-                index.remove(index.key_for(values), rowid)
-            if self._observers:
-                for observer in self._observers:
-                    observer.row_deleted(self, rowid, values)
-            removed += 1
-        if removed:
-            self._version += 1
-        return removed
-
-    def update_rows(self, rowids: Iterable[int], changes: Mapping[str, Any]) -> int:
-        """Apply ``changes`` to each of the given rows; returns how many changed."""
-        updated = 0
-        for rowid in list(rowids):
-            current = self._rows.get(rowid)
-            if current is None:
-                continue
-            merged = dict(current)
-            for column, value in changes.items():
-                attribute = self.relation.attribute(column)
-                merged[attribute.name] = check_value(
-                    attribute.dtype, value, context=attribute.qualified_name
-                )
-            self._check_not_null(merged)
-            self._check_unique_indexes(merged, ignore_rowid=rowid)
-            for column in merged:
-                was_null = current.get(column) is None
-                is_null = merged[column] is None
-                if was_null != is_null:
-                    self._null_counts[column] += 1 if is_null else -1
-            for index in self._indexes.values():
-                index.remove(index.key_for(current), rowid)
-                index.add(index.key_for(merged), rowid)
-            self._rows[rowid] = merged
-            if self._observers:
-                for observer in self._observers:
-                    observer.row_updated(self, rowid, current, merged)
-            updated += 1
-        if updated:
-            self._version += 1
-        return updated
-
-    def truncate(self) -> None:
-        """Remove every row (indexes are cleared)."""
-        self._rows.clear()
-        self._version += 1
-        self._null_counts = {a.name: 0 for a in self.relation.attributes}
-        for index in self._indexes.values():
-            index.clear()
-        if self._observers:
-            for observer in self._observers:
-                observer.table_truncated(self)
-
-    def restore(self, rows: Iterable[Tuple[int, Mapping[str, Any]]], next_rowid: int) -> None:
-        """Replace the table's contents with snapshot state, rowids included.
-
-        Values are taken as already validated (they passed constraint
-        checks when originally inserted), so no re-checking happens —
-        restoring must succeed even under constraints a partially-built
-        state would violate mid-way.  The rowid counter is restored too,
-        so rows inserted after recovery get the same ids they would have
-        gotten had the process never died.  Bumps the version so caches
-        keyed on table contents are invalidated.
-        """
-        self.truncate()
-        for rowid, values in rows:
-            stored = dict(values)
-            self._rows[rowid] = stored
-            for column, value in stored.items():
-                if value is None:
-                    self._null_counts[column] += 1
-            for index in self._indexes.values():
-                index.add(index.key_for(stored), rowid)
-            if self._observers:
-                for observer in self._observers:
-                    observer.row_inserted(self, rowid, stored)
-        self._next_rowid = next_rowid
-        self._version += 1
-
-    def null_count(self, column: str) -> int:
-        """How many rows currently store NULL in ``column``."""
-        return self._null_counts[self.relation.attribute(column).name]
-
-    def add_observer(self, observer: Any) -> None:
-        """Register a mutation observer (idempotent per object)."""
-        if observer not in self._observers:
-            self._observers.append(observer)
-
-    def remove_observer(self, observer: Any) -> None:
-        if observer in self._observers:
-            self._observers.remove(observer)
-
-    # ------------------------------------------------------------------
-    # Indexes
-    # ------------------------------------------------------------------
-
-    def create_index(self, name: str, columns: Sequence[str], unique: bool = False) -> HashIndex:
-        """Create (or return an existing) index over ``columns``."""
-        canonical = tuple(self.relation.attribute(c).name for c in columns)
-        key = name.lower()
-        if key in self._indexes:
-            return self._indexes[key]
-        index = HashIndex(name, canonical, unique=unique)
-        for rowid, values in self._rows.items():
-            index.add(index.key_for(values), rowid)
-        self._indexes[key] = index
-        return index
-
-    def index(self, name: str) -> Optional[HashIndex]:
-        return self._indexes.get(name.lower())
-
-    def indexes(self) -> Tuple[HashIndex, ...]:
-        return tuple(self._indexes.values())
-
-    def find_index(self, columns: Sequence[str]) -> Optional[HashIndex]:
-        """An existing index exactly covering ``columns``, if any."""
-        canonical = tuple(self.relation.attribute(c).name for c in columns)
-        for index in self._indexes.values():
-            if index.columns == canonical:
-                return index
-        return None
-
-    def ensure_index(self, columns: Sequence[str]) -> HashIndex:
-        """Find an index covering ``columns``, creating one on demand.
-
-        The executor uses this to self-tune: the first index-backed scan
-        over a column set pays the build cost, later scans get O(1) probes.
-        """
-        existing = self.find_index(columns)
-        if existing is not None:
-            return existing
-        canonical = tuple(self.relation.attribute(c).name for c in columns)
-        # "," cannot appear in identifiers, so differently-shaped column
-        # sets never produce the same name (("a","b") vs ("a_b",)); the
-        # loop guards against a user-created index squatting on the name.
-        base = "auto_" + ",".join(canonical)
-        name = base
-        suffix = 0
-        while True:
-            index = self.create_index(name, canonical)
-            if index.columns == canonical:
-                return index
-            suffix += 1
-            name = f"{base}~{suffix}"
-
-    def lookup(self, columns: Sequence[str], values: Sequence[Any]) -> List[Row]:
-        """Fetch rows whose ``columns`` equal ``values`` through a hash index.
-
-        Self-tuning like the executor's index scans: the first lookup on a
-        column set builds the index (``ensure_index``), later lookups are
-        O(1) probes.  Rowids are monotonic, so the sorted probe result
-        preserves the insertion order the old linear scan returned.
-        """
-        index = self.ensure_index(columns)
-        return [self.row_by_id(rowid) for rowid in index.lookup(tuple(values))]
-
-    def has_key(self, columns: Sequence[str], values: Sequence[Any]) -> bool:
-        return bool(self.lookup(columns, values))
-
-    # ------------------------------------------------------------------
-    # Constraint helpers
-    # ------------------------------------------------------------------
-
-    def _normalise(self, values: Mapping[str, Any], coerce: bool) -> Dict[str, Any]:
-        known = {a.name.lower(): a for a in self.relation.attributes}
-        normalised: Dict[str, Any] = {a.name: None for a in self.relation.attributes}
-        for column, value in values.items():
-            attribute = known.get(column.lower())
-            if attribute is None:
-                raise UnknownAttributeError(
-                    f"table {self.name!r} has no column {column!r}"
-                )
-            if coerce:
-                value = coerce_value(attribute.dtype, value)
-            normalised[attribute.name] = check_value(
-                attribute.dtype, value, context=attribute.qualified_name
-            )
-        return normalised
-
-    def _check_not_null(self, values: Mapping[str, Any]) -> None:
-        for attribute in self.relation.attributes:
-            if not attribute.nullable and values.get(attribute.name) is None:
-                raise NotNullViolationError(
-                    f"column {attribute.qualified_name} is NOT NULL but received NULL"
-                )
-
-    def _check_unique_indexes(
-        self, values: Mapping[str, Any], ignore_rowid: Optional[int] = None
-    ) -> None:
-        for index in self._indexes.values():
-            key = index.key_for(dict(values))
-            if index.would_violate_unique(key, ignore_rowid=ignore_rowid):
-                raise PrimaryKeyViolationError(
-                    f"duplicate key {key!r} for unique index {index.name!r}"
-                    f" on table {self.name!r}"
-                )
+class Table(RowStorage):
+    """The dict-row storage engine under its historical name."""
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"Table({self.name}, {len(self)} rows)"
+
+
+__all__ = ["Table"]
