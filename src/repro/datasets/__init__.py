@@ -1,5 +1,11 @@
 """Synthetic datasets and workloads used by examples, tests and benchmarks."""
 
+from repro.datasets.domains import (
+    CorpusQuery,
+    Domain,
+    all_domains,
+    get_domain,
+)
 from repro.datasets.employees import (
     MANAGER_NARRATIVE,
     MANAGER_QUERY,
@@ -29,17 +35,21 @@ from repro.datasets.workload import (
 
 __all__ = [
     "ALL_GENRES",
+    "CorpusQuery",
+    "Domain",
     "GeneratorConfig",
     "MANAGER_NARRATIVE",
     "MANAGER_QUERY",
     "PAPER_NARRATIVES",
     "PAPER_QUERIES",
     "WorkloadQuery",
+    "all_domains",
     "employee_database",
     "employee_schema",
     "generate_movie_database",
     "generate_movie_records",
     "generate_workload",
+    "get_domain",
     "library_database",
     "library_schema",
     "movie_database",

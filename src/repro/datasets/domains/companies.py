@@ -1,0 +1,410 @@
+"""Corporate org-chart domain: companies, departments, employees, boards.
+
+Graph-shape stress: the ``PARTNERSHIP`` bridge points twice at COMPANY
+(like a social "follows" edge between corporations) and the schema has
+two parallel paths from COMPANY down to people (via DEPARTMENT/EMPLOYEE
+and via BOARD).  The vocabulary is the morphology torture chamber: the
+concept nouns "company" (``-y`` → "companies"), "chairman" (compound
+irregular → "chairmen") and "chief" (``-f`` that must NOT become
+"chieves") all sit directly in translation output.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.catalog.builder import SchemaBuilder
+from repro.catalog.schema import Schema
+from repro.datasets.domains import CorpusQuery, Domain, register_domain
+from repro.lexicon.lexicon import Lexicon, default_lexicon
+from repro.storage.database import Database
+
+_COMPANIES = [
+    "Acme Analytics", "Borealis Freight", "Cobalt Foods", "Dynamo Motors",
+    "Evergreen Paper", "Flux Energy", "Granite Bank", "Helios Optics",
+]
+_SECTORS = ["technology", "logistics", "food", "automotive", "energy", "finance"]
+_CITIES = ["Zurich", "Osaka", "Austin", "Porto", "Nairobi", "Oslo"]
+_DEPARTMENTS = ["research", "sales", "operations", "legal", "marketing"]
+_TITLES = ["engineer", "analyst", "clerk", "designer", "auditor"]
+_PEOPLE = [
+    "Ada Byron", "Bram Stoker", "Clara Oswald", "Dev Patel", "Edith Clarke",
+    "Farid Azmi", "Greta Ionescu", "Hugo Reyes", "Ines Castro", "Jonas Falk",
+    "Kira Sato", "Liam Doyle", "Mona Haddad", "Noor Khan", "Otto Lang",
+    "Priya Nair", "Quinn Harper", "Rosa Vela", "Sven Berg", "Tara Singh",
+]
+
+
+def companies_schema() -> Schema:
+    return (
+        SchemaBuilder("companies", description="Corporate org charts")
+        .relation("COMPANY", concept="company", weight=3.0)
+        .column("id", "integer", primary_key=True)
+        .column("name", "text", heading=True, weight=3.0)
+        .column("founded", "integer", caption="founding year", weight=1.5)
+        .column("sector", "text", weight=2.0)
+        .column("hq", "text", caption="headquarters", weight=1.0)
+        .done()
+        .relation("DEPARTMENT", concept="department", weight=2.0)
+        .column("id", "integer", primary_key=True)
+        .column("cid", "integer", caption="company", weight=1.0)
+        .column("name", "text", heading=True, weight=2.5)
+        .column("budget", "integer", weight=1.5)
+        .done()
+        .relation("EMPLOYEE", concept="employee", weight=2.5)
+        .column("id", "integer", primary_key=True)
+        .column("did", "integer", caption="department", weight=1.0)
+        .column("name", "text", heading=True, weight=3.0)
+        .column("title", "text", weight=1.5)
+        .column("salary", "integer", weight=1.5)
+        .column("hired", "integer", caption="hiring year", weight=1.0)
+        .done()
+        .relation("BOARD", concept="chairman", weight=2.0)
+        .column("id", "integer", primary_key=True)
+        .column("cid", "integer", caption="company", weight=1.0)
+        .column("name", "text", heading=True, weight=3.0)
+        .column("since", "integer", caption="appointment year", weight=1.0)
+        .done()
+        .relation("EXECUTIVE", concept="chief", weight=2.0)
+        .column("id", "integer", primary_key=True)
+        .column("cid", "integer", caption="company", weight=1.0)
+        .column("name", "text", heading=True, weight=3.0)
+        .column("division", "text", weight=1.0)
+        .done()
+        .relation("PARTNERSHIP", concept="partnership", bridge=True, weight=1.0)
+        .column("a_cid", "integer", primary_key=True)
+        .column("b_cid", "integer", primary_key=True)
+        .column("sealed", "integer", caption="signing year", weight=1.0)
+        .done()
+        .foreign_key("DEPARTMENT", ["cid"], "COMPANY", ["id"], verb="belongs to")
+        .foreign_key("EMPLOYEE", ["did"], "DEPARTMENT", ["id"], verb="works in")
+        .foreign_key("BOARD", ["cid"], "COMPANY", ["id"], verb="chairs")
+        .foreign_key("EXECUTIVE", ["cid"], "COMPANY", ["id"], verb="leads")
+        .foreign_key("PARTNERSHIP", ["a_cid"], "COMPANY", ["id"], verb="partners with")
+        .foreign_key("PARTNERSHIP", ["b_cid"], "COMPANY", ["id"], verb="partnered by")
+        .build(require_primary_keys=True)
+    )
+
+
+def companies_lexicon(schema: Schema) -> Lexicon:
+    lexicon = default_lexicon(schema)
+    # The concept plurals are deliberately NOT overridden: "companies",
+    # "chairmen" and "chiefs" must come out of the morphology rules (the
+    # validation corpus caught "chairmans" and "chieves" — see
+    # tests/test_lexicon.py).
+    lexicon.set_caption("COMPANY", "hq", "headquarters")
+    lexicon.set_relationship_verb("COMPANY", "DEPARTMENT", "organises")
+    return lexicon
+
+
+def companies_database(seed: int = 0, scale: int = 1) -> Database:
+    """A deterministic org chart (pure function of seed and scale)."""
+    rng = random.Random(f"companies-{seed}")
+    companies = [
+        {
+            "id": index + 1,
+            "name": name if scale == 1 else f"{name} {index + 1}",
+            "founded": 1900 + (index * 17) % 100,
+            "sector": _SECTORS[index % len(_SECTORS)],
+            "hq": _CITIES[index % len(_CITIES)],
+        }
+        for index, name in enumerate(_COMPANIES * scale)
+    ]
+    departments: List[dict] = []
+    for cid in range(1, len(companies) + 1):
+        for name in rng.sample(_DEPARTMENTS, rng.randint(2, 4)):
+            departments.append(
+                {
+                    "id": len(departments) + 1,
+                    "cid": cid,
+                    "name": name,
+                    "budget": rng.randrange(100_000, 5_000_000, 1000),
+                }
+            )
+    employees = [
+        {
+            "id": index + 1,
+            "did": rng.randint(1, len(departments)),
+            "name": name if scale == 1 else f"{name} {index + 1}",
+            "title": rng.choice(_TITLES),
+            "salary": rng.randrange(30_000, 160_000, 500),
+            "hired": rng.randint(1990, 2009),
+        }
+        for index, name in enumerate(_PEOPLE * (2 * scale))
+    ]
+    boards = [
+        {
+            "id": index + 1,
+            "cid": rng.randint(1, len(companies)),
+            "name": f"Chair {name.split()[1]}",
+            "since": rng.randint(1995, 2009),
+        }
+        for index, name in enumerate(_PEOPLE[: len(companies)])
+    ]
+    executives = [
+        {
+            "id": index + 1,
+            "cid": index % len(companies) + 1,
+            "name": f"Chief {name.split()[0]}",
+            "division": rng.choice(_DEPARTMENTS),
+        }
+        for index, name in enumerate(_PEOPLE[: 2 * len(companies) : 2])
+    ]
+    seen = set()
+    partnerships = []
+    for _ in range(3 * len(companies)):
+        pair = (rng.randint(1, len(companies)), rng.randint(1, len(companies)))
+        if pair[0] != pair[1] and pair not in seen:
+            seen.add(pair)
+            partnerships.append(
+                {"a_cid": pair[0], "b_cid": pair[1], "sealed": rng.randint(1990, 2009)}
+            )
+    data: Dict[str, List[dict]] = {
+        "COMPANY": companies,
+        "DEPARTMENT": departments,
+        "EMPLOYEE": employees,
+        "BOARD": boards,
+        "EXECUTIVE": executives,
+        "PARTNERSHIP": partnerships,
+    }
+    database = Database(companies_schema())
+    database.load(data)
+    return database
+
+
+def companies_corpus() -> List[CorpusQuery]:
+    corpus: List[CorpusQuery] = []
+
+    def add(name: str, category: str, sql: str) -> None:
+        corpus.append(CorpusQuery(name=name, sql=sql, category=category))
+
+    # --- path -----------------------------------------------------------
+    for index, company in enumerate(["Acme Analytics", "Flux Energy", "Granite Bank"]):
+        add(
+            f"path_staff_of_{index}",
+            "path",
+            "select e.name from EMPLOYEE e, DEPARTMENT d, COMPANY c "
+            f"where e.did = d.id and d.cid = c.id and c.name = '{company}'",
+        )
+    for index, sector in enumerate(["finance", "energy"]):
+        add(
+            f"path_chairmen_of_sector_{index}",
+            "path",
+            "select b.name from BOARD b, COMPANY c "
+            f"where b.cid = c.id and c.sector = '{sector}'",
+        )
+    add(
+        "path_chiefs_of_city",
+        "path",
+        "select x.name from EXECUTIVE x, COMPANY c "
+        "where x.cid = c.id and c.hq = 'Osaka'",
+    )
+    add("path_old_companies", "path", "select c.name from COMPANY c where c.founded < 1930")
+    add(
+        "path_rich_departments",
+        "path",
+        "select d.name, c.name from DEPARTMENT d, COMPANY c "
+        "where d.cid = c.id and d.budget > 4000000",
+    )
+
+    # --- subgraph -------------------------------------------------------
+    for index, (sector, year) in enumerate(
+        [("technology", 2000), ("food", 1995), ("automotive", 2005)]
+    ):
+        add(
+            f"subgraph_company_hub_{index}",
+            "subgraph",
+            "select c.name, b.name "
+            "from COMPANY c, DEPARTMENT d, BOARD b, EXECUTIVE x "
+            "where d.cid = c.id and b.cid = c.id and x.cid = c.id "
+            f"and c.sector = '{sector}' and b.since > {year}",
+        )
+    for index, title in enumerate(["engineer", "auditor"]):
+        add(
+            f"subgraph_title_chain_{index}",
+            "subgraph",
+            "select e.name, c.name "
+            "from EMPLOYEE e, DEPARTMENT d, COMPANY c, BOARD b, EXECUTIVE x "
+            "where e.did = d.id and d.cid = c.id and b.cid = c.id "
+            f"and x.cid = c.id and e.title = '{title}'",
+        )
+    add(
+        "subgraph_partnered_hub",
+        "subgraph",
+        "select c.name, b.name from COMPANY c, DEPARTMENT d, BOARD b, PARTNERSHIP p "
+        "where d.cid = c.id and b.cid = c.id and p.a_cid = c.id "
+        "and p.sealed > 2003",
+    )
+    add(
+        "subgraph_led_and_chaired",
+        "subgraph",
+        "select x.name, b.name from COMPANY c, EXECUTIVE x, BOARD b, DEPARTMENT d "
+        "where x.cid = c.id and b.cid = c.id and d.cid = c.id "
+        "and d.name = 'legal'",
+    )
+
+    # --- graph ----------------------------------------------------------
+    add(
+        "graph_partner_pairs",
+        "graph",
+        "select c1.name, c2.name "
+        "from COMPANY c1, PARTNERSHIP p, COMPANY c2 "
+        "where p.a_cid = c1.id and p.b_cid = c2.id and c1.sector = c2.sector",
+    )
+    add(
+        "graph_same_city_rivals",
+        "graph",
+        "select c1.name, c2.name from COMPANY c1, COMPANY c2 "
+        "where c1.hq = c2.hq and c1.id > c2.id",
+    )
+    add(
+        "graph_chair_is_chief",
+        "graph",
+        "select c.name from COMPANY c, BOARD b, EXECUTIVE x "
+        "where b.cid = c.id and x.cid = c.id and b.name = x.name",
+    )
+    for index, year in enumerate([2000, 2005]):
+        add(
+            f"graph_partners_after_{index}",
+            "graph",
+            "select c1.name, c2.name "
+            "from COMPANY c1, PARTNERSHIP p, COMPANY c2 "
+            f"where p.a_cid = c1.id and p.b_cid = c2.id and p.sealed > {year}",
+        )
+    add(
+        "graph_cross_product",
+        "graph",
+        "select c.name, e.name from COMPANY c, EMPLOYEE e "
+        "where c.sector = 'logistics' and e.title = 'clerk'",
+    )
+    add(
+        "graph_department_name_clash",
+        "graph",
+        "select d1.name from DEPARTMENT d1, DEPARTMENT d2 "
+        "where d1.name = d2.name and d1.id <> d2.id and d1.budget > d2.budget",
+    )
+
+    # --- nested ---------------------------------------------------------
+    for index, sector in enumerate(["finance", "technology"]):
+        add(
+            f"nested_staff_by_sector_{index}",
+            "nested",
+            "select e.name from EMPLOYEE e "
+            "where e.did in (select d.id from DEPARTMENT d "
+            "where d.cid in (select c.id from COMPANY c "
+            f"where c.sector = '{sector}'))",
+        )
+    add(
+        "nested_no_partners",
+        "nested",
+        "select c.name from COMPANY c "
+        "where not exists (select * from PARTNERSHIP p where p.a_cid = c.id)",
+    )
+    add(
+        "nested_boardless",
+        "nested",
+        "select c.name from COMPANY c "
+        "where not exists (select * from BOARD b where b.cid = c.id)",
+    )
+    add(
+        "nested_has_legal",
+        "nested",
+        "select c.name from COMPANY c "
+        "where exists (select * from DEPARTMENT d "
+        "where d.cid = c.id and d.name = 'legal')",
+    )
+    add(
+        "nested_all_departments",
+        "nested",
+        "select c.name from COMPANY c "
+        "where not exists (select * from DEPARTMENT d1 "
+        "where not exists (select * from DEPARTMENT d2 "
+        "where d2.cid = c.id and d2.name = d1.name))",
+    )
+    add(
+        "nested_paid_above_any_clerk",
+        "nested",
+        "select e.name from EMPLOYEE e "
+        "where e.salary > any (select e1.salary from EMPLOYEE e1 "
+        "where e1.title = 'clerk')",
+    )
+
+    # --- aggregate ------------------------------------------------------
+    add(
+        "agg_headcount",
+        "aggregate",
+        "select c.name, count(*) from COMPANY c, DEPARTMENT d, EMPLOYEE e "
+        "where d.cid = c.id and e.did = d.id group by c.name",
+    )
+    for index, threshold in enumerate([3, 6]):
+        add(
+            f"agg_big_departments_{index}",
+            "aggregate",
+            "select d.name, count(*) from DEPARTMENT d, EMPLOYEE e "
+            f"where e.did = d.id group by d.name having count(*) > {threshold}",
+        )
+    add(
+        "agg_avg_salary_by_title",
+        "aggregate",
+        "select e.title, avg(e.salary) from EMPLOYEE e group by e.title",
+    )
+    add(
+        "agg_budget_by_sector",
+        "aggregate",
+        "select c.sector, sum(d.budget) from COMPANY c, DEPARTMENT d "
+        "where d.cid = c.id group by c.sector",
+    )
+    add(
+        "agg_extremes",
+        "aggregate",
+        "select max(e.salary), min(e.hired) from EMPLOYEE e",
+    )
+    add(
+        "agg_multi_board_companies",
+        "aggregate",
+        "select c.id, c.name, count(*) from COMPANY c, DEPARTMENT d "
+        "where d.cid = c.id group by c.id, c.name "
+        "having 1 < (select count(*) from BOARD b where b.cid = c.id)",
+    )
+
+    # --- impossible -----------------------------------------------------
+    add(
+        "imp_single_title_departments",
+        "impossible",
+        "select d.id, d.name from DEPARTMENT d, EMPLOYEE e "
+        "where e.did = d.id group by d.id, d.name "
+        "having count(distinct e.title) = 1",
+    )
+    add(
+        "imp_one_city_sectors",
+        "impossible",
+        "select c.sector from COMPANY c group by c.sector "
+        "having count(distinct c.hq) = 1",
+    )
+    add(
+        "imp_earliest_hire_of_shared_title",
+        "impossible",
+        "select e.name from EMPLOYEE e "
+        "where e.hired <= all (select e1.hired from EMPLOYEE e1, EMPLOYEE e2 "
+        "where e1.title = e.title and e2.title = e.title and e1.id <> e2.id)",
+    )
+    add(
+        "imp_top_salary",
+        "impossible",
+        "select e.name from EMPLOYEE e "
+        "where e.salary >= all (select e1.salary from EMPLOYEE e1)",
+    )
+    return corpus
+
+
+register_domain(
+    Domain(
+        name="companies",
+        description="Org charts: companies, departments, employees, boards, chiefs",
+        schema_factory=companies_schema,
+        database_factory=companies_database,
+        corpus_factory=companies_corpus,
+        lexicon_factory=companies_lexicon,
+    )
+)

@@ -1,0 +1,412 @@
+"""Fantasy-saga domain: noble houses, characters, direwolves, battles.
+
+Modelled on the text2typeql Game-of-Thrones corpus.  The graph shape is
+the interesting part: ``ALLIANCE`` is a self-referential bridge over
+HOUSE (like PARTNERSHIP over COMPANY), ``FOUGHT`` is a classic m:n
+bridge, and DIREWOLF hangs off CHARACTER so "direwolf" keeps the
+``-f → -ves`` morphology rule honest in the opposite direction from
+"chief" (it MUST stay "direwolves").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.catalog.builder import SchemaBuilder
+from repro.catalog.schema import Schema
+from repro.datasets.domains import CorpusQuery, Domain, register_domain
+from repro.lexicon.lexicon import Lexicon, default_lexicon
+from repro.storage.database import Database
+
+_HOUSES = [
+    ("Stark", "Winterfell", "the North"),
+    ("Lannister", "Casterly Rock", "the Westerlands"),
+    ("Targaryen", "Dragonstone", "the Crownlands"),
+    ("Baratheon", "Storm's End", "the Stormlands"),
+    ("Tyrell", "Highgarden", "the Reach"),
+    ("Martell", "Sunspear", "Dorne"),
+    ("Greyjoy", "Pyke", "the Iron Islands"),
+    ("Arryn", "the Eyrie", "the Vale"),
+]
+_GIVEN = [
+    "Aeron", "Brienne", "Cersei", "Davos", "Elia", "Florian", "Gendry",
+    "Hodor", "Irri", "Jaqen", "Kevan", "Lyanna", "Meera", "Nymeria",
+    "Oberyn", "Podrick", "Qhono", "Rickon", "Sansa", "Tormund",
+]
+_ROLES = ["knight", "maester", "lord", "lady", "squire", "septon"]
+_WOLVES = ["Ghost", "Grey Wind", "Lady", "Nymeria", "Shaggydog", "Summer"]
+_BATTLEFIELDS = [
+    "the Green Fork", "the Whispering Wood", "the Blackwater", "Castle Black",
+    "Hardhome", "the Bastards' Field", "King's Landing", "Winterfell",
+]
+
+
+def gameofthrones_schema() -> Schema:
+    return (
+        SchemaBuilder("gameofthrones", description="Noble houses and their wars")
+        .relation("HOUSE", concept="house", weight=3.0)
+        .column("id", "integer", primary_key=True)
+        .column("name", "text", heading=True, weight=3.0)
+        .column("seat", "text", weight=1.5)
+        .column("region", "text", weight=2.0)
+        .done()
+        .relation("CHARACTER", concept="character", weight=3.0)
+        .column("id", "integer", primary_key=True)
+        .column("hid", "integer", caption="house", weight=1.0)
+        .column("name", "text", heading=True, weight=3.0)
+        .column("role", "text", weight=1.5)
+        .column("born", "integer", caption="birth year", weight=1.0)
+        .done()
+        .relation("DIREWOLF", concept="direwolf", weight=1.5)
+        .column("id", "integer", primary_key=True)
+        .column("owner", "integer", caption="owner", weight=1.0)
+        .column("name", "text", heading=True, weight=2.5)
+        .done()
+        .relation("BATTLE", concept="battle", weight=2.0)
+        .column("id", "integer", primary_key=True)
+        .column("name", "text", heading=True, weight=2.5)
+        .column("site", "text", weight=1.5)
+        .column("year", "integer", weight=1.5)
+        .done()
+        .relation("FOUGHT", concept="engagement", bridge=True, weight=1.0)
+        .column("bid", "integer", primary_key=True)
+        .column("cid", "integer", primary_key=True)
+        .column("outcome", "text", weight=1.0)
+        .done()
+        .relation("ALLIANCE", concept="alliance", bridge=True, weight=1.0)
+        .column("a_hid", "integer", primary_key=True)
+        .column("b_hid", "integer", primary_key=True)
+        .column("forged", "integer", caption="forging year", weight=1.0)
+        .done()
+        .foreign_key("CHARACTER", ["hid"], "HOUSE", ["id"], verb="serves")
+        .foreign_key("DIREWOLF", ["owner"], "CHARACTER", ["id"], verb="belongs to")
+        .foreign_key("FOUGHT", ["bid"], "BATTLE", ["id"], verb="fought in")
+        .foreign_key("FOUGHT", ["cid"], "CHARACTER", ["id"], verb="fought by")
+        .foreign_key("ALLIANCE", ["a_hid"], "HOUSE", ["id"], verb="allied with")
+        .foreign_key("ALLIANCE", ["b_hid"], "HOUSE", ["id"], verb="allied by")
+        .build(require_primary_keys=True)
+    )
+
+
+def gameofthrones_lexicon(schema: Schema) -> Lexicon:
+    lexicon = default_lexicon(schema)
+    # "direwolf" → "direwolves" must come from the morphology rules, not
+    # an override; keeping the default here is the regression guard.
+    lexicon.set_caption("BATTLE", "site", "battlefield")
+    lexicon.set_relationship_verb("HOUSE", "CHARACTER", "commands")
+    return lexicon
+
+
+def gameofthrones_database(seed: int = 0, scale: int = 1) -> Database:
+    """A deterministic saga (pure function of seed and scale)."""
+    rng = random.Random(f"gameofthrones-{seed}")
+    houses = [
+        {"id": index + 1, "name": name, "seat": seat, "region": region}
+        for index, (name, seat, region) in enumerate(_HOUSES)
+    ]
+    characters = [
+        {
+            "id": index + 1,
+            "hid": rng.randint(1, len(houses)),
+            "name": f"{given} {houses[(index * 3) % len(houses)]['name']}"
+            if scale == 1
+            else f"{given} {index + 1}",
+            "role": rng.choice(_ROLES),
+            "born": rng.randint(240, 290),
+        }
+        for index, given in enumerate(_GIVEN * (2 * scale))
+    ]
+    direwolves = [
+        {
+            "id": index + 1,
+            "owner": rng.randint(1, len(characters)),
+            "name": name if scale == 1 else f"{name} {index + 1}",
+        }
+        for index, name in enumerate(_WOLVES * scale)
+    ]
+    battles = [
+        {
+            "id": index + 1,
+            "name": f"Battle of {site}" if scale == 1 else f"Battle {index + 1}",
+            "site": site,
+            "year": 295 + (index * 3) % 10,
+        }
+        for index, site in enumerate(_BATTLEFIELDS * scale)
+    ]
+    fought = []
+    seen = set()
+    for bid in range(1, len(battles) + 1):
+        for cid in rng.sample(range(1, len(characters) + 1), rng.randint(3, 6)):
+            if (bid, cid) not in seen:
+                seen.add((bid, cid))
+                fought.append(
+                    {"bid": bid, "cid": cid, "outcome": rng.choice(["won", "lost"])}
+                )
+    alliances = []
+    pairs = set()
+    for _ in range(3 * len(houses)):
+        pair = (rng.randint(1, len(houses)), rng.randint(1, len(houses)))
+        if pair[0] != pair[1] and pair not in pairs:
+            pairs.add(pair)
+            alliances.append(
+                {"a_hid": pair[0], "b_hid": pair[1], "forged": rng.randint(280, 299)}
+            )
+    data: Dict[str, List[dict]] = {
+        "HOUSE": houses,
+        "CHARACTER": characters,
+        "DIREWOLF": direwolves,
+        "BATTLE": battles,
+        "FOUGHT": fought,
+        "ALLIANCE": alliances,
+    }
+    database = Database(gameofthrones_schema())
+    database.load(data)
+    return database
+
+
+def gameofthrones_corpus() -> List[CorpusQuery]:
+    corpus: List[CorpusQuery] = []
+
+    def add(name: str, category: str, sql: str) -> None:
+        corpus.append(CorpusQuery(name=name, sql=sql, category=category))
+
+    # --- path -----------------------------------------------------------
+    for index, house in enumerate(["Stark", "Lannister", "Martell"]):
+        add(
+            f"path_members_of_{index}",
+            "path",
+            "select c.name from CHARACTER c, HOUSE h "
+            f"where c.hid = h.id and h.name = '{house}'",
+        )
+    for index, region in enumerate(["the North", "Dorne"]):
+        add(
+            f"path_wolves_of_region_{index}",
+            "path",
+            "select w.name from DIREWOLF w, CHARACTER c, HOUSE h "
+            f"where w.owner = c.id and c.hid = h.id and h.region = '{region}'",
+        )
+    add(
+        "path_late_battles",
+        "path",
+        "select b.name from BATTLE b where b.year > 300",
+    )
+    add(
+        "path_knights",
+        "path",
+        "select c.name from CHARACTER c where c.role = 'knight'",
+    )
+    add(
+        "path_old_guard",
+        "path",
+        "select c.name, h.name from CHARACTER c, HOUSE h "
+        "where c.hid = h.id and c.born < 250",
+    )
+
+    # --- subgraph -------------------------------------------------------
+    for index, outcome in enumerate(["won", "lost"]):
+        add(
+            f"subgraph_veterans_{index}",
+            "subgraph",
+            "select c.name, b.name "
+            "from CHARACTER c, FOUGHT f, BATTLE b, HOUSE h, DIREWOLF w "
+            "where f.cid = c.id and f.bid = b.id and c.hid = h.id "
+            f"and w.owner = c.id and f.outcome = '{outcome}'",
+        )
+    for index, site in enumerate(["Winterfell", "the Blackwater"]):
+        add(
+            f"subgraph_site_fighters_{index}",
+            "subgraph",
+            "select c.name, h.region "
+            "from CHARACTER c, FOUGHT f, BATTLE b, HOUSE h, DIREWOLF w "
+            "where f.cid = c.id and f.bid = b.id and c.hid = h.id "
+            f"and w.owner = c.id and b.site = '{site}'",
+        )
+    add(
+        "subgraph_wolf_owners_at_war",
+        "subgraph",
+        "select w.name, b.name "
+        "from DIREWOLF w, CHARACTER c, FOUGHT f, BATTLE b, HOUSE h "
+        "where w.owner = c.id and f.cid = c.id and f.bid = b.id "
+        "and c.hid = h.id",
+    )
+
+    add(
+        "subgraph_victorious_wolf_owners",
+        "subgraph",
+        "select h.name, w.name "
+        "from HOUSE h, CHARACTER c, DIREWOLF w, FOUGHT f "
+        "where c.hid = h.id and w.owner = c.id and f.cid = c.id "
+        "and f.outcome = 'won'",
+    )
+    add(
+        "path_squires_of_vale",
+        "path",
+        "select c.name from CHARACTER c, HOUSE h "
+        "where c.hid = h.id and c.role = 'squire' and h.region = 'the Vale'",
+    )
+
+    # --- graph ----------------------------------------------------------
+    add(
+        "graph_allied_pairs",
+        "graph",
+        "select h1.name, h2.name from HOUSE h1, ALLIANCE a, HOUSE h2 "
+        "where a.a_hid = h1.id and a.b_hid = h2.id",
+    )
+    add(
+        "graph_comrades",
+        "graph",
+        "select c1.name, c2.name "
+        "from CHARACTER c1, FOUGHT f1, FOUGHT f2, CHARACTER c2 "
+        "where f1.cid = c1.id and f2.cid = c2.id and f1.bid = f2.bid "
+        "and c1.id < c2.id and f1.outcome = f2.outcome",
+    )
+    add(
+        "graph_wolf_named_after_character",
+        "graph",
+        "select w.name from DIREWOLF w, CHARACTER c "
+        "where w.name = c.name",
+    )
+    for index, year in enumerate([290, 295]):
+        add(
+            f"graph_recent_allies_{index}",
+            "graph",
+            "select h1.name, h2.name from HOUSE h1, ALLIANCE a, HOUSE h2 "
+            f"where a.a_hid = h1.id and a.b_hid = h2.id and a.forged > {year}",
+        )
+    add(
+        "graph_cross_product",
+        "graph",
+        "select h.name, b.name from HOUSE h, BATTLE b "
+        "where h.region = 'the North' and b.year > 300",
+    )
+    add(
+        "graph_battle_at_seat",
+        "graph",
+        "select b.name, h.name from BATTLE b, HOUSE h "
+        "where b.site = h.seat",
+    )
+
+    # --- nested ---------------------------------------------------------
+    for index, site in enumerate(["Castle Black", "Hardhome"]):
+        add(
+            f"nested_fought_at_{index}",
+            "nested",
+            "select c.name from CHARACTER c "
+            "where c.id in (select f.cid from FOUGHT f "
+            "where f.bid in (select b.id from BATTLE b "
+            f"where b.site = '{site}'))",
+        )
+    add(
+        "nested_never_fought",
+        "nested",
+        "select c.name from CHARACTER c "
+        "where not exists (select * from FOUGHT f where f.cid = c.id)",
+    )
+    add(
+        "nested_wolfless",
+        "nested",
+        "select c.name from CHARACTER c "
+        "where not exists (select * from DIREWOLF w where w.owner = c.id)",
+    )
+    add(
+        "nested_has_maester",
+        "nested",
+        "select h.name from HOUSE h "
+        "where exists (select * from CHARACTER c "
+        "where c.hid = h.id and c.role = 'maester')",
+    )
+    add(
+        "nested_fought_every_battle",
+        "nested",
+        "select c.name from CHARACTER c "
+        "where not exists (select * from BATTLE b "
+        "where not exists (select * from FOUGHT f "
+        "where f.cid = c.id and f.bid = b.id))",
+    )
+    add(
+        "nested_older_than_any_squire",
+        "nested",
+        "select c.name from CHARACTER c "
+        "where c.born < any (select c1.born from CHARACTER c1 "
+        "where c1.role = 'squire')",
+    )
+
+    # --- aggregate ------------------------------------------------------
+    add(
+        "agg_house_sizes",
+        "aggregate",
+        "select h.name, count(*) from HOUSE h, CHARACTER c "
+        "where c.hid = h.id group by h.name",
+    )
+    for index, threshold in enumerate([4, 5]):
+        add(
+            f"agg_big_battles_{index}",
+            "aggregate",
+            "select b.name, count(*) from BATTLE b, FOUGHT f "
+            f"where f.bid = b.id group by b.name having count(*) >= {threshold}",
+        )
+    add(
+        "agg_avg_birth_by_role",
+        "aggregate",
+        "select c.role, avg(c.born) from CHARACTER c group by c.role",
+    )
+    add(
+        "agg_battles_by_year",
+        "aggregate",
+        "select b.year, count(*) from BATTLE b group by b.year",
+    )
+    add(
+        "agg_extremes",
+        "aggregate",
+        "select min(c.born), max(b.year) from CHARACTER c, BATTLE b",
+    )
+    add(
+        "agg_multi_wolf_houses",
+        "aggregate",
+        "select h.id, h.name, count(*) from HOUSE h, CHARACTER c "
+        "where c.hid = h.id group by h.id, h.name "
+        "having 1 < (select count(*) from DIREWOLF w, CHARACTER c1 "
+        "where w.owner = c1.id and c1.hid = h.id)",
+    )
+
+    # --- impossible -----------------------------------------------------
+    add(
+        "imp_single_role_houses",
+        "impossible",
+        "select h.id, h.name from HOUSE h, CHARACTER c "
+        "where c.hid = h.id group by h.id, h.name "
+        "having count(distinct c.role) = 1",
+    )
+    add(
+        "imp_one_site_years",
+        "impossible",
+        "select b.year from BATTLE b group by b.year "
+        "having count(distinct b.site) = 1",
+    )
+    add(
+        "imp_firstborn_of_shared_role",
+        "impossible",
+        "select c.name from CHARACTER c "
+        "where c.born <= all (select c1.born from CHARACTER c1, CHARACTER c2 "
+        "where c1.role = c.role and c2.role = c.role and c1.id <> c2.id)",
+    )
+    add(
+        "imp_latest_battle",
+        "impossible",
+        "select b.name from BATTLE b "
+        "where b.year >= all (select b1.year from BATTLE b1)",
+    )
+    return corpus
+
+
+register_domain(
+    Domain(
+        name="gameofthrones",
+        description="Noble houses, characters, direwolves, battles, alliances",
+        schema_factory=gameofthrones_schema,
+        database_factory=gameofthrones_database,
+        corpus_factory=gameofthrones_corpus,
+        lexicon_factory=gameofthrones_lexicon,
+    )
+)

@@ -1,0 +1,420 @@
+"""Streaming-platform domain: games, heroes, streamers, channels, streams.
+
+The FK chains here are one hop deeper than the movie schema's
+(HERO → GAME ← STREAM → CHANNEL → STREAMER), which stresses the schema
+graph's path search, and the vocabulary exercises the ``-o`` plural rules
+in both directions: "hero" must become "heroes" while "video" must stay
+"videos".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.catalog.builder import SchemaBuilder
+from repro.catalog.schema import Schema
+from repro.datasets.domains import CorpusQuery, Domain, register_domain
+from repro.lexicon.lexicon import Lexicon, default_lexicon
+from repro.storage.database import Database
+
+_GENRES = ["moba", "fps", "rpg", "strategy", "platformer", "racing"]
+_GAMES = [
+    "Ancient Arena", "Nebula Strike", "Dragon Keep", "Iron Banners",
+    "Pixel Dash", "Turbo Rally", "Starfall Tactics", "Mystic Vale",
+]
+_HERO_ROLES = ["tank", "support", "carry", "assassin", "marksman"]
+_HERO_NAMES = [
+    "Aurora", "Brick", "Cinder", "Drift", "Ember", "Frost", "Gale", "Haze",
+    "Ion", "Jolt", "Karma", "Lumen", "Mist", "Nimbus", "Onyx", "Pyre",
+]
+_STREAMERS = [
+    "pixelqueen", "nightowl", "turbo_ted", "sage", "lowping", "warpcore",
+    "glitchy", "moss", "rocketpace", "quietstorm", "daybreak", "fjord",
+]
+_COUNTRIES = ["Sweden", "Korea", "Canada", "Spain", "Poland", "Chile"]
+
+
+def twitch_schema() -> Schema:
+    return (
+        SchemaBuilder("twitch", description="Game-streaming platform")
+        .relation("GAME", concept="game", weight=3.0)
+        .column("id", "integer", primary_key=True)
+        .column("title", "text", heading=True, weight=3.0)
+        .column("genre", "text", weight=2.0)
+        .column("released", "integer", caption="release year", weight=1.5)
+        .done()
+        .relation("HERO", concept="hero", weight=2.0)
+        .column("id", "integer", primary_key=True)
+        .column("gid", "integer", caption="game", weight=1.0)
+        .column("name", "text", heading=True, weight=3.0)
+        .column("role", "text", weight=1.5)
+        .done()
+        .relation("STREAMER", concept="streamer", weight=2.5)
+        .column("id", "integer", primary_key=True)
+        .column("name", "text", heading=True, weight=3.0)
+        .column("country", "text", weight=1.5)
+        .done()
+        .relation("CHANNEL", concept="channel", weight=2.0)
+        .column("id", "integer", primary_key=True)
+        .column("sid", "integer", caption="owner", weight=1.0)
+        .column("name", "text", heading=True, weight=3.0)
+        .column("followers", "integer", caption="follower count", weight=1.5)
+        .done()
+        .relation("STREAM", concept="stream", weight=2.0)
+        .column("id", "integer", primary_key=True)
+        .column("cid", "integer", caption="channel", weight=1.0)
+        .column("gid", "integer", caption="game", weight=1.0)
+        .column("title", "text", heading=True, weight=2.5)
+        .column("viewers", "integer", caption="viewer count", weight=1.5)
+        .column("aired", "integer", caption="broadcast year", weight=1.0)
+        .done()
+        .relation("FEATURED", concept="appearance", bridge=True, weight=1.0)
+        .column("stream_id", "integer", primary_key=True)
+        .column("hero_id", "integer", primary_key=True)
+        .done()
+        .relation("VIDEO", concept="video", weight=1.5)
+        .column("id", "integer", primary_key=True)
+        .column("cid", "integer", caption="channel", weight=1.0)
+        .column("title", "text", heading=True, weight=2.5)
+        .column("views", "integer", caption="view count", weight=1.5)
+        .done()
+        .foreign_key("HERO", ["gid"], "GAME", ["id"], verb="belongs to")
+        .foreign_key("CHANNEL", ["sid"], "STREAMER", ["id"], verb="run by")
+        .foreign_key("STREAM", ["cid"], "CHANNEL", ["id"], verb="broadcast on")
+        .foreign_key("STREAM", ["gid"], "GAME", ["id"], verb="shows")
+        .foreign_key("FEATURED", ["stream_id"], "STREAM", ["id"], verb="features")
+        .foreign_key("FEATURED", ["hero_id"], "HERO", ["id"], verb="featured in")
+        .foreign_key("VIDEO", ["cid"], "CHANNEL", ["id"], verb="archived on")
+        .build(require_primary_keys=True)
+    )
+
+
+def twitch_lexicon(schema: Schema) -> Lexicon:
+    lexicon = default_lexicon(schema)
+    # "hero" and "video" rely on the morphology defaults on purpose: the
+    # validation corpus is what caught "heros" (see tests/test_lexicon.py).
+    lexicon.set_caption("STREAM", "aired", "broadcast year")
+    lexicon.set_relationship_verb("STREAMER", "CHANNEL", "runs")
+    return lexicon
+
+
+def twitch_database(seed: int = 0, scale: int = 1) -> Database:
+    """A deterministic streaming platform (pure function of seed and scale)."""
+    rng = random.Random(f"twitch-{seed}")
+    games = [
+        {
+            "id": index + 1,
+            "title": title if scale == 1 else f"{title} {index + 1}",
+            "genre": _GENRES[index % len(_GENRES)],
+            "released": 2000 + (index * 7) % 10,
+        }
+        for index, title in enumerate(_GAMES * scale)
+    ]
+    heroes = [
+        {
+            "id": index + 1,
+            "gid": rng.randint(1, len(games)),
+            "name": name if scale == 1 else f"{name} {index + 1}",
+            "role": rng.choice(_HERO_ROLES),
+        }
+        for index, name in enumerate(_HERO_NAMES * scale)
+    ]
+    streamers = [
+        {
+            "id": index + 1,
+            "name": name if scale == 1 else f"{name}_{index + 1}",
+            "country": _COUNTRIES[index % len(_COUNTRIES)],
+        }
+        for index, name in enumerate(_STREAMERS * scale)
+    ]
+    channels = []
+    for index in range(len(streamers)):
+        channels.append(
+            {
+                "id": index + 1,
+                "sid": index + 1,
+                "name": f"{streamers[index]['name']}_tv",
+                "followers": rng.randint(50, 90000),
+            }
+        )
+    streams: List[dict] = []
+    featured: List[dict] = []
+    for stream_id in range(1, 1 + 70 * scale):
+        game = rng.randint(1, len(games))
+        streams.append(
+            {
+                "id": stream_id,
+                "cid": rng.randint(1, len(channels)),
+                "gid": game,
+                "title": f"Session {stream_id}",
+                "viewers": rng.randint(10, 40000),
+                "aired": rng.randint(2005, 2009),
+            }
+        )
+        pool = [hero["id"] for hero in heroes if hero["gid"] == game]
+        for hero_id in sorted(rng.sample(pool, min(len(pool), rng.randint(0, 3)))):
+            featured.append({"stream_id": stream_id, "hero_id": hero_id})
+    videos = [
+        {
+            "id": vid,
+            "cid": rng.randint(1, len(channels)),
+            "title": f"Highlights {vid}",
+            "views": rng.randint(100, 500000),
+        }
+        for vid in range(1, 1 + 30 * scale)
+    ]
+    data: Dict[str, List[dict]] = {
+        "GAME": games,
+        "HERO": heroes,
+        "STREAMER": streamers,
+        "CHANNEL": channels,
+        "STREAM": streams,
+        "FEATURED": featured,
+        "VIDEO": videos,
+    }
+    database = Database(twitch_schema())
+    database.load(data)
+    return database
+
+
+def twitch_corpus() -> List[CorpusQuery]:
+    corpus: List[CorpusQuery] = []
+
+    def add(name: str, category: str, sql: str) -> None:
+        corpus.append(CorpusQuery(name=name, sql=sql, category=category))
+
+    # --- path -----------------------------------------------------------
+    for index, streamer in enumerate(["pixelqueen", "sage", "fjord"]):
+        add(
+            f"path_streams_of_{index}",
+            "path",
+            "select t.title from STREAM t, CHANNEL c, STREAMER s "
+            f"where t.cid = c.id and c.sid = s.id and s.name = '{streamer}'",
+        )
+    for index, game in enumerate(["Ancient Arena", "Pixel Dash"]):
+        add(
+            f"path_heroes_of_{index}",
+            "path",
+            "select h.name from HERO h, GAME g "
+            f"where h.gid = g.id and g.title = '{game}'",
+        )
+    add(
+        "path_deep_chain",
+        "path",
+        "select s.name from STREAMER s, CHANNEL c, STREAM t, GAME g "
+        "where c.sid = s.id and t.cid = c.id and t.gid = g.id "
+        "and g.genre = 'moba'",
+    )
+    add("path_big_channels", "path", "select c.name from CHANNEL c where c.followers > 60000")
+    add(
+        "path_videos_of_channel",
+        "path",
+        "select v.title from VIDEO v, CHANNEL c "
+        "where v.cid = c.id and c.name = 'sage_tv'",
+    )
+
+    # --- subgraph -------------------------------------------------------
+    for index, (genre, viewers) in enumerate(
+        [("moba", 1000), ("fps", 5000), ("rpg", 200)]
+    ):
+        add(
+            f"subgraph_stream_center_{index}",
+            "subgraph",
+            "select c.name, g.title "
+            "from STREAM t, CHANNEL c, GAME g, FEATURED f "
+            "where t.cid = c.id and t.gid = g.id and f.stream_id = t.id "
+            f"and g.genre = '{genre}' and t.viewers > {viewers}",
+        )
+    for index, role in enumerate(["tank", "carry"]):
+        add(
+            f"subgraph_hero_on_air_{index}",
+            "subgraph",
+            "select h.name, t.title "
+            "from STREAM t, FEATURED f, HERO h, CHANNEL c, GAME g "
+            "where f.stream_id = t.id and f.hero_id = h.id and t.cid = c.id "
+            f"and t.gid = g.id and h.role = '{role}' and c.followers > 1000",
+        )
+    add(
+        "subgraph_channel_hub",
+        "subgraph",
+        "select s.name, g.title "
+        "from STREAMER s, CHANNEL c, STREAM t, VIDEO v, GAME g "
+        "where c.sid = s.id and t.cid = c.id and v.cid = c.id "
+        "and t.gid = g.id and v.views > 500",
+    )
+    add(
+        "subgraph_streamer_reach",
+        "subgraph",
+        "select s.name, v.title "
+        "from STREAMER s, CHANNEL c, STREAM t, VIDEO v "
+        "where c.sid = s.id and t.cid = c.id and v.cid = c.id "
+        "and c.followers > 2000",
+    )
+
+    # --- graph ----------------------------------------------------------
+    add(
+        "graph_hero_pairs",
+        "graph",
+        "select h1.name, h2.name "
+        "from STREAM t, FEATURED f1, HERO h1, FEATURED f2, HERO h2 "
+        "where f1.stream_id = t.id and f1.hero_id = h1.id "
+        "and f2.stream_id = t.id and f2.hero_id = h2.id and h1.id > h2.id",
+    )
+    add(
+        "graph_native_hero_stream",
+        "graph",
+        "select t.title from STREAM t, FEATURED f, HERO h "
+        "where f.stream_id = t.id and f.hero_id = h.id and h.gid = t.gid",
+    )
+    add(
+        "graph_same_genre_games",
+        "graph",
+        "select g1.title, g2.title from GAME g1, GAME g2 "
+        "where g1.genre = g2.genre and g1.id > g2.id",
+    )
+    add(
+        "graph_cross_product",
+        "graph",
+        "select s.name, g.title from STREAMER s, GAME g "
+        "where s.country = 'Korea' and g.genre = 'racing'",
+    )
+    for index, year in enumerate([2006, 2009]):
+        add(
+            f"graph_stream_title_clash_{index}",
+            "graph",
+            "select t1.title from STREAM t1, STREAM t2 "
+            f"where t1.title = t2.title and t1.id <> t2.id and t1.aired = {year}",
+        )
+    add(
+        "graph_video_named_like_stream",
+        "graph",
+        "select v.title from VIDEO v, STREAM t "
+        "where v.cid = t.cid and v.title = t.title",
+    )
+
+    # --- nested ---------------------------------------------------------
+    for index, game in enumerate(["Dragon Keep", "Nebula Strike"]):
+        add(
+            f"nested_streamed_game_{index}",
+            "nested",
+            "select c.name from CHANNEL c "
+            "where c.id in (select t.cid from STREAM t "
+            "where t.gid in (select g.id from GAME g "
+            f"where g.title = '{game}'))",
+        )
+    add(
+        "nested_never_streamed",
+        "nested",
+        "select g.title from GAME g "
+        "where not exists (select * from STREAM t where t.gid = g.id)",
+    )
+    add(
+        "nested_channel_without_videos",
+        "nested",
+        "select c.name from CHANNEL c "
+        "where not exists (select * from VIDEO v where v.cid = c.id)",
+    )
+    add(
+        "nested_hero_on_air",
+        "nested",
+        "select h.name from HERO h "
+        "where exists (select * from FEATURED f where f.hero_id = h.id)",
+    )
+    add(
+        "nested_all_genres_channel",
+        "nested",
+        "select c.name from CHANNEL c "
+        "where not exists (select * from GAME g1 "
+        "where not exists (select * from STREAM t, GAME g2 "
+        "where t.cid = c.id and t.gid = g2.id and g2.genre = g1.genre))",
+    )
+    add(
+        "nested_viewers_above_any",
+        "nested",
+        "select t.title from STREAM t "
+        "where t.viewers > any (select t1.viewers from STREAM t1 where t1.aired = 2005)",
+    )
+
+    # --- aggregate ------------------------------------------------------
+    add(
+        "agg_streams_per_channel",
+        "aggregate",
+        "select c.name, count(*) from CHANNEL c, STREAM t "
+        "where t.cid = c.id group by c.name",
+    )
+    for index, threshold in enumerate([3, 6]):
+        add(
+            f"agg_busy_channels_{index}",
+            "aggregate",
+            "select c.name, count(*) from CHANNEL c, STREAM t "
+            f"where t.cid = c.id group by c.name having count(*) > {threshold}",
+        )
+    add(
+        "agg_avg_viewers_per_genre",
+        "aggregate",
+        "select g.genre, avg(t.viewers) from GAME g, STREAM t "
+        "where t.gid = g.id group by g.genre",
+    )
+    add(
+        "agg_hero_appearances",
+        "aggregate",
+        "select h.name, count(*) from HERO h, FEATURED f "
+        "where f.hero_id = h.id group by h.name having count(*) >= 2",
+    )
+    add(
+        "agg_extremes",
+        "aggregate",
+        "select max(c.followers), min(v.views) from CHANNEL c, VIDEO v "
+        "where v.cid = c.id",
+    )
+    add(
+        "agg_multi_hero_streams",
+        "aggregate",
+        "select t.id, t.title, count(*) from STREAM t, FEATURED f "
+        "where t.id = f.stream_id group by t.id, t.title "
+        "having 1 < (select count(*) from FEATURED f2 where f2.stream_id = t.id)",
+    )
+
+    # --- impossible -----------------------------------------------------
+    add(
+        "imp_one_genre_streamers",
+        "impossible",
+        "select s.id, s.name from STREAMER s, CHANNEL c, STREAM t, GAME g "
+        "where c.sid = s.id and t.cid = c.id and t.gid = g.id "
+        "group by s.id, s.name having count(distinct g.genre) = 1",
+    )
+    add(
+        "imp_single_year_channels",
+        "impossible",
+        "select c.id, c.name from CHANNEL c, STREAM t "
+        "where t.cid = c.id group by c.id, c.name "
+        "having count(distinct t.aired) = 1",
+    )
+    add(
+        "imp_earliest_repeated_title",
+        "impossible",
+        "select c.name from CHANNEL c, STREAM t "
+        "where t.cid = c.id "
+        "and t.aired <= all (select t1.aired from STREAM t1, STREAM t2 "
+        "where t1.title = t.title and t2.title = t.title and t1.id <> t2.id)",
+    )
+    add(
+        "imp_biggest_stream",
+        "impossible",
+        "select t.title from STREAM t "
+        "where t.viewers >= all (select t1.viewers from STREAM t1)",
+    )
+    return corpus
+
+
+register_domain(
+    Domain(
+        name="twitch",
+        description="Game streaming: games, heroes, streamers, channels, streams, videos",
+        schema_factory=twitch_schema,
+        database_factory=twitch_database,
+        corpus_factory=twitch_corpus,
+        lexicon_factory=twitch_lexicon,
+    )
+)

@@ -1,0 +1,370 @@
+"""Social-network domain: users, tweets, follows, hashtags and mentions.
+
+The graph shape is deliberately different from the movie schema: the
+``FOLLOWS`` bridge points *twice at the same relation* (follower and
+followee are both USERS), so join paths through it always create
+multi-instance graph queries, and ``MENTION`` closes cycles back to the
+tweet's author.  The vocabulary exercises regular ``-y``/``-s`` plurals
+and short jargon nouns ("retweet", "hashtag").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.catalog.builder import SchemaBuilder
+from repro.catalog.schema import Schema
+from repro.datasets.domains import CorpusQuery, Domain, register_domain
+from repro.lexicon.lexicon import Lexicon, default_lexicon
+from repro.storage.database import Database
+
+_COUNTRIES = ["Greece", "USA", "Japan", "Brazil", "Germany", "Kenya"]
+_TAGS = ["news", "sports", "music", "food", "travel", "science", "art", "coding"]
+_HANDLES = [
+    "ada", "bela", "cosmo", "dido", "echo_fan", "fermi", "gala", "hypatia",
+    "iris", "juno", "kilo", "lyra", "mira", "nova", "orion", "pavo",
+    "quark", "rhea", "sol", "tycho", "uma", "vega", "wren", "xeno",
+]
+_WORDS = [
+    "sunrise over the harbor", "shipping a new release", "coffee first",
+    "rainy day reading", "marathon training log", "concert last night",
+    "garden update", "deep sea documentary", "street food tour",
+    "library haul", "midnight debugging", "weekend hike",
+]
+
+
+def twitter_schema() -> Schema:
+    return (
+        SchemaBuilder("twitter", description="Social network of users and tweets")
+        .relation("USERS", concept="user", weight=3.0)
+        .column("id", "integer", primary_key=True)
+        .column("handle", "text", heading=True, weight=3.0)
+        .column("name", "text", caption="display name", weight=2.0)
+        .column("country", "text", weight=1.5)
+        .done()
+        .relation("TWEET", concept="tweet", weight=2.5)
+        .column("id", "integer", primary_key=True)
+        .column("uid", "integer", caption="author", weight=1.0)
+        .column("body", "text", heading=True, weight=3.0)
+        .column("posted", "integer", caption="posting year", weight=1.5)
+        .column("likes", "integer", caption="like count", weight=1.5)
+        .done()
+        .relation("FOLLOWS", concept="follow", bridge=True, weight=1.0)
+        .column("follower", "integer", primary_key=True)
+        .column("followee", "integer", primary_key=True)
+        .done()
+        .relation("HASHTAG", concept="hashtag", weight=1.5)
+        .column("tid", "integer", primary_key=True)
+        .column("tag", "text", heading=True, primary_key=True)
+        .done()
+        .relation("MENTION", concept="mention", bridge=True, weight=1.0)
+        .column("tid", "integer", primary_key=True)
+        .column("uid", "integer", primary_key=True)
+        .done()
+        .foreign_key("TWEET", ["uid"], "USERS", ["id"], verb="posted by")
+        .foreign_key("FOLLOWS", ["follower"], "USERS", ["id"], verb="follows")
+        .foreign_key("FOLLOWS", ["followee"], "USERS", ["id"], verb="followed by")
+        .foreign_key("HASHTAG", ["tid"], "TWEET", ["id"], verb="tags")
+        .foreign_key("MENTION", ["tid"], "TWEET", ["id"], verb="appears in")
+        .foreign_key("MENTION", ["uid"], "USERS", ["id"], verb="mentions")
+        .build(require_primary_keys=True)
+    )
+
+
+def twitter_lexicon(schema: Schema) -> Lexicon:
+    lexicon = default_lexicon(schema)
+    lexicon.set_concept("USERS", "user", "users")
+    lexicon.set_caption("TWEET", "posted", "posting year")
+    lexicon.set_relationship_verb("USERS", "TWEET", "posted")
+    return lexicon
+
+
+def twitter_database(seed: int = 0, scale: int = 1) -> Database:
+    """A deterministic social network (pure function of seed and scale)."""
+    # String seeds hash through sha512 inside ``random.Random`` — stable
+    # across processes, unlike tuple seeds (salted ``hash()``).
+    rng = random.Random(f"twitter-{seed}")
+    users = [
+        {
+            "id": index + 1,
+            "handle": handle if scale == 1 else f"{handle}_{index + 1}",
+            "name": handle.replace("_", " ").title(),
+            "country": _COUNTRIES[index % len(_COUNTRIES)],
+        }
+        for index, handle in enumerate(_HANDLES * scale)
+    ]
+    tweets: List[dict] = []
+    hashtags: List[dict] = []
+    mentions: List[dict] = []
+    for tid in range(1, 1 + 60 * scale):
+        author = rng.randint(1, len(users))
+        tweets.append(
+            {
+                "id": tid,
+                "uid": author,
+                "body": f"{rng.choice(_WORDS)} #{tid}",
+                "posted": rng.randint(2004, 2009),
+                "likes": rng.randint(0, 500),
+            }
+        )
+        for tag in rng.sample(_TAGS, rng.randint(0, 3)):
+            hashtags.append({"tid": tid, "tag": tag})
+        mentioned = rng.sample(range(1, len(users) + 1), rng.randint(0, 2))
+        # Every fifth tweet mentions its own author, closing the cycle the
+        # graph-category queries look for.
+        if tid % 5 == 0 and author not in mentioned:
+            mentioned.append(author)
+        mentions.extend({"tid": tid, "uid": uid} for uid in sorted(mentioned))
+    seen = set()
+    follows = []
+    for _ in range(90 * scale):
+        pair = (rng.randint(1, len(users)), rng.randint(1, len(users)))
+        if pair[0] != pair[1] and pair not in seen:
+            seen.add(pair)
+            follows.append({"follower": pair[0], "followee": pair[1]})
+    data: Dict[str, List[dict]] = {
+        "USERS": users,
+        "TWEET": tweets,
+        "FOLLOWS": follows,
+        "HASHTAG": hashtags,
+        "MENTION": mentions,
+    }
+    database = Database(twitter_schema())
+    database.load(data)
+    return database
+
+
+def twitter_corpus() -> List[CorpusQuery]:
+    corpus: List[CorpusQuery] = []
+
+    def add(name: str, category: str, sql: str) -> None:
+        corpus.append(CorpusQuery(name=name, sql=sql, category=category))
+
+    # --- path -----------------------------------------------------------
+    for index, handle in enumerate(["ada", "juno", "vega", "quark"]):
+        add(
+            f"path_by_author_{index}",
+            "path",
+            "select t.body from TWEET t, USERS u "
+            f"where t.uid = u.id and u.handle = '{handle}'",
+        )
+    for index, tag in enumerate(["news", "music"]):
+        add(
+            f"path_tag_authors_{index}",
+            "path",
+            "select u.handle from HASHTAG h, TWEET t, USERS u "
+            f"where h.tid = t.id and t.uid = u.id and h.tag = '{tag}'",
+        )
+    add("path_likes", "path", "select t.body from TWEET t where t.likes > 400")
+    add(
+        "path_country_tweets",
+        "path",
+        "select t.body, t.posted from TWEET t, USERS u "
+        "where t.uid = u.id and u.country = 'Japan' and t.posted > 2006",
+    )
+
+    # --- subgraph -------------------------------------------------------
+    for index, (tag, country) in enumerate(
+        [("sports", "Greece"), ("travel", "USA"), ("coding", "Brazil")]
+    ):
+        add(
+            f"subgraph_tag_country_{index}",
+            "subgraph",
+            "select u.handle, t.body "
+            "from TWEET t, USERS u, HASHTAG h, MENTION m "
+            "where t.uid = u.id and h.tid = t.id and m.tid = t.id "
+            f"and h.tag = '{tag}' and u.country = '{country}'",
+        )
+    for index, likes in enumerate([100, 250, 400]):
+        add(
+            f"subgraph_popular_tagged_{index}",
+            "subgraph",
+            "select u.handle, h.tag "
+            "from TWEET t, USERS u, HASHTAG h, MENTION m "
+            f"where t.uid = u.id and h.tid = t.id and m.tid = t.id and t.likes > {likes}",
+        )
+    add(
+        "subgraph_mentioned_user",
+        "subgraph",
+        "select u.handle, t.body from TWEET t, HASHTAG h, MENTION m, USERS u "
+        "where h.tid = t.id and m.tid = t.id and t.uid = u.id "
+        "and h.tag = 'science'",
+    )
+
+    # --- graph ----------------------------------------------------------
+    add(
+        "graph_follow_pairs",
+        "graph",
+        "select u1.handle, u2.handle "
+        "from USERS u1, FOLLOWS f, USERS u2 "
+        "where f.follower = u1.id and f.followee = u2.id and u1.country = u2.country",
+    )
+    add(
+        "graph_mutual_mentions",
+        "graph",
+        "select u1.handle, u2.handle "
+        "from TWEET t, MENTION m1, USERS u1, MENTION m2, USERS u2 "
+        "where t.id = m1.tid and m1.uid = u1.id "
+        "and t.id = m2.tid and m2.uid = u2.id and u1.id > u2.id",
+    )
+    add(
+        "graph_self_mention",
+        "graph",
+        "select t.body from TWEET t, MENTION m "
+        "where m.tid = t.id and m.uid = t.uid",
+    )
+    for index, country in enumerate(["Greece", "Kenya"]):
+        add(
+            f"graph_follows_compatriot_{index}",
+            "graph",
+            "select u1.handle, u2.handle "
+            "from USERS u1, FOLLOWS f, USERS u2 "
+            "where f.follower = u1.id and f.followee = u2.id "
+            f"and u1.country = '{country}' and u2.country = '{country}'",
+        )
+    add(
+        "graph_cross_product",
+        "graph",
+        "select u.handle, h.tag from USERS u, HASHTAG h "
+        "where u.country = 'Germany' and h.tag = 'art'",
+    )
+    add(
+        "graph_body_equals_tag",
+        "graph",
+        "select t.body from TWEET t, HASHTAG h "
+        "where h.tid = t.id and h.tag = t.body",
+    )
+
+    # --- nested ---------------------------------------------------------
+    for index, handle in enumerate(["ada", "mira"]):
+        add(
+            f"nested_mentioners_{index}",
+            "nested",
+            "select t.body from TWEET t "
+            "where t.id in (select m.tid from MENTION m "
+            "where m.uid in (select u.id from USERS u "
+            f"where u.handle = '{handle}'))",
+        )
+    for index, tag in enumerate(["food", "news"]):
+        add(
+            f"nested_no_tag_{index}",
+            "nested",
+            "select t.body from TWEET t "
+            "where not exists (select * from HASHTAG h "
+            f"where h.tid = t.id and h.tag = '{tag}')",
+        )
+    add(
+        "nested_silent_users",
+        "nested",
+        "select u.handle from USERS u "
+        "where not exists (select * from TWEET t where t.uid = u.id)",
+    )
+    add(
+        "nested_mentioned_somewhere",
+        "nested",
+        "select u.handle from USERS u "
+        "where exists (select * from MENTION m where m.uid = u.id)",
+    )
+    add(
+        "nested_all_tags",
+        "nested",
+        "select u.handle from USERS u "
+        "where not exists (select * from HASHTAG h1 "
+        "where not exists (select * from TWEET t, HASHTAG h2 "
+        "where t.uid = u.id and h2.tid = t.id and h2.tag = h1.tag))",
+    )
+    add(
+        "nested_likes_above_some",
+        "nested",
+        "select t.body from TWEET t "
+        "where t.likes > any (select t1.likes from TWEET t1 where t1.posted = 2004)",
+    )
+
+    # --- aggregate ------------------------------------------------------
+    add(
+        "agg_tweets_per_user",
+        "aggregate",
+        "select u.handle, count(*) from USERS u, TWEET t "
+        "where t.uid = u.id group by u.handle",
+    )
+    for index, threshold in enumerate([2, 4]):
+        add(
+            f"agg_prolific_{index}",
+            "aggregate",
+            "select u.handle, count(*) from USERS u, TWEET t "
+            f"where t.uid = u.id group by u.handle having count(*) > {threshold}",
+        )
+    add(
+        "agg_avg_likes_by_country",
+        "aggregate",
+        "select u.country, avg(t.likes) from USERS u, TWEET t "
+        "where t.uid = u.id group by u.country",
+    )
+    add(
+        "agg_tag_spread",
+        "aggregate",
+        "select h.tag, count(distinct t.uid) from HASHTAG h, TWEET t "
+        "where h.tid = t.id group by h.tag",
+    )
+    add(
+        "agg_max_likes",
+        "aggregate",
+        "select max(t.likes), min(t.posted) from TWEET t",
+    )
+    add(
+        "agg_busy_multi_tag",
+        "aggregate",
+        "select t.id, t.body, count(*) from TWEET t, MENTION m "
+        "where t.id = m.tid group by t.id, t.body "
+        "having 1 < (select count(*) from HASHTAG h where h.tid = t.id)",
+    )
+    add(
+        "agg_followers_per_user",
+        "aggregate",
+        "select u.handle, count(*) from USERS u, FOLLOWS f "
+        "where f.followee = u.id group by u.handle having count(*) >= 3",
+    )
+
+    # --- impossible -----------------------------------------------------
+    add(
+        "imp_same_year_posters",
+        "impossible",
+        "select u.id, u.handle from USERS u, TWEET t "
+        "where t.uid = u.id group by u.id, u.handle "
+        "having count(distinct t.posted) = 1",
+    )
+    add(
+        "imp_single_country_tag",
+        "impossible",
+        "select h.tag from HASHTAG h, TWEET t, USERS u "
+        "where h.tid = t.id and t.uid = u.id group by h.tag "
+        "having count(distinct u.country) = 1",
+    )
+    add(
+        "imp_earliest_repeated_body",
+        "impossible",
+        "select u.handle from USERS u, TWEET t "
+        "where t.uid = u.id "
+        "and t.posted <= all (select t1.posted from TWEET t1, TWEET t2 "
+        "where t1.body = t.body and t2.body = t.body and t1.id <> t2.id)",
+    )
+    add(
+        "imp_most_liked",
+        "impossible",
+        "select t.body from TWEET t "
+        "where t.likes >= all (select t1.likes from TWEET t1)",
+    )
+    return corpus
+
+
+register_domain(
+    Domain(
+        name="twitter",
+        description="Social network: users, tweets, follows, hashtags, mentions",
+        schema_factory=twitter_schema,
+        database_factory=twitter_database,
+        corpus_factory=twitter_corpus,
+        lexicon_factory=twitter_lexicon,
+    )
+)

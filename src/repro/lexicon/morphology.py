@@ -26,9 +26,37 @@ _IRREGULAR_PLURALS = {
     "schema": "schemas",
     "criterion": "criteria",
     "analysis": "analyses",
+    # Compound -man nouns pluralise the embedded "man"; the generic rules
+    # below cannot know that ("chairman" + s reads as a typo).
+    "chairman": "chairmen",
+    "spokesman": "spokesmen",
+    "salesman": "salesmen",
+    "businessman": "businessmen",
+    "craftsman": "craftsmen",
+    "statesman": "statesmen",
+    "fisherman": "fishermen",
+    "nobleman": "noblemen",
+    "bannerman": "bannermen",
+    "swordsman": "swordsmen",
 }
 
 _UNCOUNTABLE = {"information", "cast", "staff", "metadata", "data", "news", "series"}
+
+# The f -> ves mutation is lexical, not productive: "wolf" takes it but
+# "chief", "belief" and "tariff" do not.  Suffix matching keeps compounds
+# working ("direwolf" -> "direwolves", "bookshelf" -> "bookshelves").
+_F_TO_VES_SUFFIXES = (
+    "wolf", "shelf", "leaf", "thief", "half", "calf", "elf", "loaf",
+    "scarf", "sheaf", "hoof", "dwarf",
+)
+_FE_TO_VES_SUFFIXES = ("wife", "knife", "life")
+
+# Likewise o -> oes: "hero"/"potato" take -es, but loanwords and clipped
+# forms ("video", "photo", "piano", "logo") take plain -s.
+_O_TO_OES_SUFFIXES = (
+    "hero", "echo", "potato", "tomato", "veto", "torpedo", "embargo",
+    "domino", "mosquito",
+)
 
 _VOWELS = "aeiou"
 
@@ -67,10 +95,12 @@ def _pluralize_many(noun: str) -> str:
         return noun + "es"
     if lowered.endswith("y") and len(lowered) > 1 and lowered[-2] not in _VOWELS:
         return noun[:-1] + "ies"
-    if lowered.endswith("f"):
+    if lowered.endswith(_F_TO_VES_SUFFIXES):
         return noun[:-1] + "ves"
-    if lowered.endswith("fe"):
+    if lowered.endswith(_FE_TO_VES_SUFFIXES):
         return noun[:-2] + "ves"
+    if lowered.endswith(_O_TO_OES_SUFFIXES):
+        return noun + "es"
     return noun + "s"
 
 

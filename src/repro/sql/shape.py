@@ -94,14 +94,21 @@ def _mask(sql: str):
             continue
         start, end = match.span()
         pieces.append(sql[last:start])
-        pieces.append("\x00")
         last = end
         if index == 2:
+            # The placeholder must carry the literal's KIND: `x = 0` and
+            # `x = '0'` are different shapes (NUMBER_MARK vs STRING_MARK
+            # slots), so their masked texts must differ too — otherwise
+            # the shape cache, the service's batch grouping and the
+            # parameterised-plan keys would serve one kind's compiled
+            # artifacts for the other.
+            pieces.append(STRING_MARK)
             body = sql[start + 1 : end - 1]
             if "''" in body:
                 body = body.replace("''", "'")
             literals.append(body)
         else:
+            pieces.append(NUMBER_MARK)
             lexeme = match.group(3)
             literals.append(float(lexeme) if "." in lexeme else int(lexeme))
     pieces.append(sql[last:])

@@ -1,0 +1,30 @@
+"""Batch differential validation: corpora x pipelines x engines.
+
+See :mod:`repro.validation.harness` for the matrix runner and
+:mod:`repro.validation.report` for the report shape.  The command-line
+front end lives in ``tools/validate_corpus.py``.
+"""
+
+from repro.validation.harness import (
+    BASELINE_MODE,
+    Mode,
+    ValidationHarness,
+    default_modes,
+)
+from repro.validation.report import (
+    DomainReport,
+    Mismatch,
+    QueryOutcome,
+    ValidationReport,
+)
+
+__all__ = [
+    "BASELINE_MODE",
+    "DomainReport",
+    "Mismatch",
+    "Mode",
+    "QueryOutcome",
+    "ValidationHarness",
+    "ValidationReport",
+    "default_modes",
+]

@@ -1,0 +1,163 @@
+"""Machine-readable reports for the batch differential-validation harness.
+
+The report is deliberately plain data (dataclasses of strings and ints
+with ``to_dict``) so the CLI can dump it as JSON, CI can archive it, and
+tests can assert on it without touching harness internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "DomainReport",
+    "Mismatch",
+    "QueryOutcome",
+    "ValidationReport",
+]
+
+#: The mismatch kinds the differ can emit, in report order.
+MISMATCH_KINDS = ("translation", "category", "rows", "narration", "error", "taxonomy")
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Everything one (mode, query) evaluation produced, canonicalised.
+
+    Exactly one of the payload fields may be ``None`` per stage: ``error``
+    is set when the stage raised, in which case the downstream fields stay
+    ``None`` (a query that fails to translate still executes; a query that
+    fails to execute is never narrated).
+    """
+
+    query: str
+    expected_category: str
+    translation: Optional[str] = None
+    category: Optional[str] = None
+    rows: Optional[str] = None
+    narration: Optional[str] = None
+    error: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Optional[str]]:
+        return {
+            "query": self.query,
+            "expected_category": self.expected_category,
+            "translation": self.translation,
+            "category": self.category,
+            "rows": self.rows,
+            "narration": self.narration,
+            "error": self.error,
+        }
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One divergence between the baseline mode and another mode."""
+
+    domain: str
+    query: str
+    mode: str
+    kind: str
+    baseline: Optional[str]
+    observed: Optional[str]
+
+    def __post_init__(self) -> None:
+        if self.kind not in MISMATCH_KINDS:
+            raise ValueError(f"kind must be one of {MISMATCH_KINDS}, got {self.kind!r}")
+
+    def to_dict(self) -> Dict[str, Optional[str]]:
+        return {
+            "domain": self.domain,
+            "query": self.query,
+            "mode": self.mode,
+            "kind": self.kind,
+            "baseline": self.baseline,
+            "observed": self.observed,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.domain}/{self.query} [{self.mode}] {self.kind}: "
+            f"baseline={self.baseline!r} observed={self.observed!r}"
+        )
+
+
+@dataclass
+class DomainReport:
+    """The outcome of validating one domain across the whole mode matrix."""
+
+    domain: str
+    queries: int
+    modes: List[str]
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def comparisons(self) -> int:
+        # The baseline mode is compared against every other mode per query.
+        return self.queries * max(0, len(self.modes) - 1)
+
+    def to_dict(self) -> dict:
+        return {
+            "domain": self.domain,
+            "queries": self.queries,
+            "modes": list(self.modes),
+            "comparisons": self.comparisons,
+            "ok": self.ok,
+            "mismatches": [m.to_dict() for m in self.mismatches],
+        }
+
+
+@dataclass
+class ValidationReport:
+    """The full batch run: every domain, every mode, every query."""
+
+    baseline: str
+    domains: List[DomainReport] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(domain.ok for domain in self.domains)
+
+    @property
+    def mismatches(self) -> List[Mismatch]:
+        return [m for domain in self.domains for m in domain.mismatches]
+
+    @property
+    def total_queries(self) -> int:
+        return sum(domain.queries for domain in self.domains)
+
+    @property
+    def total_comparisons(self) -> int:
+        return sum(domain.comparisons for domain in self.domains)
+
+    def to_dict(self) -> dict:
+        return {
+            "baseline": self.baseline,
+            "ok": self.ok,
+            "total_queries": self.total_queries,
+            "total_comparisons": self.total_comparisons,
+            "domains": [domain.to_dict() for domain in self.domains],
+        }
+
+    def render(self) -> str:
+        """A human-readable summary (the CLI's default output)."""
+        lines = [
+            f"baseline mode: {self.baseline}",
+            f"domains: {len(self.domains)}  queries: {self.total_queries}  "
+            f"comparisons: {self.total_comparisons}",
+        ]
+        for domain in self.domains:
+            status = "ok" if domain.ok else f"{len(domain.mismatches)} MISMATCHES"
+            lines.append(
+                f"  {domain.domain:<14} {domain.queries:>3} queries x "
+                f"{len(domain.modes)} modes: {status}"
+            )
+            for mismatch in domain.mismatches:
+                lines.append(f"    ! {mismatch.describe()}")
+        lines.append("RESULT: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)

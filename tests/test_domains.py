@@ -1,0 +1,153 @@
+"""The multi-domain registry: schemas, generators, lexicons, corpora."""
+
+import pytest
+
+from repro.datasets.domains import (
+    DOMAIN_NAMES,
+    TAXONOMY,
+    CorpusQuery,
+    Domain,
+    all_domains,
+    get_domain,
+    register_domain,
+)
+from repro.engine.executor import Executor
+from repro.engine.result import QueryResult
+from repro.query_nl.translator import QueryTranslator
+from repro.querygraph.classify import classify_query
+from repro.storage.loader import dump_records
+
+NEW_DOMAINS = ("twitter", "twitch", "companies", "gameofthrones")
+
+
+class TestRegistry:
+    def test_catalogue(self):
+        assert DOMAIN_NAMES == ("movies", "twitter", "twitch", "companies", "gameofthrones")
+        assert [d.name for d in all_domains()] == list(DOMAIN_NAMES)
+
+    def test_get_domain_unknown_lists_catalogue(self):
+        with pytest.raises(KeyError, match="movies"):
+            get_domain("nope")
+
+    def test_register_rejects_duplicates(self):
+        existing = get_domain("movies")
+        with pytest.raises(ValueError, match="already registered"):
+            register_domain(existing)
+
+    def test_corpus_query_rejects_unknown_category(self):
+        with pytest.raises(ValueError, match="category"):
+            CorpusQuery(name="x", sql="select 1", category="trivial")
+
+    def test_duplicate_corpus_names_rejected(self):
+        domain = Domain(
+            name="dupes",
+            description="",
+            schema_factory=get_domain("twitter").schema_factory,
+            database_factory=get_domain("twitter").database_factory,
+            corpus_factory=lambda: [
+                CorpusQuery("a", "select 1", "path"),
+                CorpusQuery("a", "select 2", "path"),
+            ],
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            domain.corpus()
+
+
+class TestGeneratorDeterminism:
+    @pytest.mark.parametrize("name", NEW_DOMAINS)
+    def test_same_seed_same_database(self, name):
+        domain = get_domain(name)
+        assert dump_records(domain.database(seed=3)) == dump_records(domain.database(seed=3))
+
+    @pytest.mark.parametrize("name", NEW_DOMAINS)
+    def test_different_seed_different_database(self, name):
+        domain = get_domain(name)
+        assert dump_records(domain.database(seed=0)) != dump_records(domain.database(seed=1))
+
+    @pytest.mark.parametrize("name", NEW_DOMAINS)
+    def test_scale_grows_the_database(self, name):
+        domain = get_domain(name)
+        small = sum(len(rows) for rows in dump_records(domain.database(scale=1)).values())
+        large = sum(len(rows) for rows in dump_records(domain.database(scale=2)).values())
+        assert large > small
+
+    @pytest.mark.parametrize("name", NEW_DOMAINS)
+    def test_referential_integrity(self, name):
+        domain = get_domain(name)
+        schema = domain.schema()
+        records = dump_records(domain.database())
+        for fk in schema.foreign_keys:
+            targets = {
+                tuple(row[col] for col in fk.target_attributes)
+                for row in records[schema.relation(fk.target_relation).name]
+            }
+            for row in records[schema.relation(fk.source_relation).name]:
+                key = tuple(row[col] for col in fk.source_attributes)
+                assert key in targets, (fk, row)
+
+
+class TestCorpora:
+    @pytest.mark.parametrize("name", DOMAIN_NAMES)
+    def test_corpus_floor_and_taxonomy_coverage(self, name):
+        corpus = get_domain(name).corpus()
+        assert len(corpus) >= 40
+        covered = {query.category for query in corpus}
+        assert covered == set(TAXONOMY)
+
+    @pytest.mark.parametrize("name", DOMAIN_NAMES)
+    def test_every_query_classifies_as_labelled(self, name):
+        domain = get_domain(name)
+        schema = domain.schema()
+        for query in domain.corpus():
+            classification = classify_query(schema, query.sql)
+            assert classification.category.value == query.category, query.name
+
+    @pytest.mark.parametrize("name", DOMAIN_NAMES)
+    def test_every_query_translates_and_executes(self, name):
+        domain = get_domain(name)
+        lexicon = domain.lexicon()
+        translator = QueryTranslator(domain.schema(), lexicon=lexicon, cache_size=None)
+        executor = Executor(domain.database())
+        for query in domain.corpus():
+            translation = translator.translate(query.sql)
+            assert translation.text.strip(), query.name
+            result = executor.execute_sql(query.sql)
+            assert isinstance(result, QueryResult), query.name
+
+
+class TestDomainVocabulary:
+    def test_companies_morphology_in_translations(self):
+        domain = get_domain("companies")
+        translator = QueryTranslator(domain.schema(), lexicon=domain.lexicon())
+        chairmen = translator.translate(
+            "select b.name from BOARD b, COMPANY c "
+            "where b.cid = c.id and c.sector = 'finance'"
+        ).text
+        assert "chairmen" in chairmen
+        assert "chairmans" not in chairmen
+        chiefs = translator.translate(
+            "select x.name from EXECUTIVE x, COMPANY c "
+            "where x.cid = c.id and c.hq = 'Osaka'"
+        ).text
+        assert "chiefs" in chiefs
+        assert "chieves" not in chiefs
+
+    def test_twitch_morphology_in_translations(self):
+        domain = get_domain("twitch")
+        translator = QueryTranslator(domain.schema(), lexicon=domain.lexicon())
+        heroes = translator.translate(
+            "select h.name from HERO h where h.role = 'tank'"
+        ).text
+        assert "heroes" in heroes
+        videos = translator.translate(
+            "select v.title from VIDEO v where v.views > 100"
+        ).text
+        assert "videos" in videos
+
+    def test_gameofthrones_direwolves(self):
+        domain = get_domain("gameofthrones")
+        translator = QueryTranslator(domain.schema(), lexicon=domain.lexicon())
+        text = translator.translate(
+            "select w.name from DIREWOLF w, CHARACTER c where w.owner = c.id"
+        ).text
+        assert "direwolves" in text

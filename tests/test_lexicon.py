@@ -47,6 +47,48 @@ class TestPluralize:
     def test_irregular_case_preserved(self):
         assert pluralize("Person") == "People"
 
+    # Regressions surfaced by the multi-domain corpora: the blanket
+    # "-f -> -ves" rule mangled "chief" ("chieves") and even "tariff"
+    # ("tarifves"), "hero" missed the "-o -> -oes" class ("heros"), and
+    # compound -man nouns fell through to plain "s" ("chairmans").
+    @pytest.mark.parametrize(
+        "singular,plural",
+        [
+            ("chief", "chiefs"),
+            ("tariff", "tariffs"),
+            ("belief", "beliefs"),
+            ("roof", "roofs"),
+            ("hero", "heroes"),
+            ("superhero", "superheroes"),
+            ("echo", "echoes"),
+            ("potato", "potatoes"),
+            ("chairman", "chairmen"),
+            ("spokesman", "spokesmen"),
+            ("bannerman", "bannermen"),
+        ],
+    )
+    def test_lexical_exceptions(self, singular, plural):
+        assert pluralize(singular) == plural
+
+    # The words the old rules got right must keep working after the fix.
+    @pytest.mark.parametrize(
+        "singular,plural",
+        [
+            ("wolf", "wolves"),
+            ("direwolf", "direwolves"),
+            ("shelf", "shelves"),
+            ("thief", "thieves"),
+            ("wife", "wives"),
+            ("self", "selves"),
+            ("video", "videos"),
+            ("photo", "photos"),
+            ("piano", "pianos"),
+            ("woman", "women"),
+        ],
+    )
+    def test_lexical_exceptions_do_not_overreach(self, singular, plural):
+        assert pluralize(singular) == plural
+
 
 class TestArticlesAndMisc:
     def test_indefinite_article(self):

@@ -46,7 +46,7 @@ from repro.service.faults import (
     corrupt_frame,
     parse_faults,
 )
-from repro.sql.shape import is_mutation, statement_keyword
+from repro.sql.shape import is_mutation, shape_hash, statement_keyword
 
 DB_FACTORY = "repro.datasets.movies:movie_database"
 
@@ -527,7 +527,14 @@ class TestShardResilience:
             async with ShardRouter(DB_FACTORY, workers=2) as router:
                 for sql in corpus[:10]:
                     await router.execute(sql)
-                assert router.kill_worker(0) is not None
+                # Kill the worker that owns the very next read, so the
+                # crash is observed before supervision finishes the
+                # respawn (killing a fixed index is hash-distribution
+                # dependent: if its shapes only appear late in the
+                # corpus, the respawn wins the race and no retry or
+                # degraded read is ever recorded).
+                owner = router._ring.preference(shape_hash(corpus[0]))[0]
+                assert router.kill_worker(owner) is not None
                 results = [await router.execute(sql) for sql in corpus]
                 stats = await router.stats()
             return expected, results, stats
@@ -556,20 +563,24 @@ class TestShardResilience:
                 }
             async with ShardRouter(DB_FACTORY, workers=2, max_respawns=0) as router:
                 await router.execute("select count(*) from MOVIES")
-                router.kill_worker(0)
+                # Kill a worker that owns at least one corpus shape —
+                # killing a fixed index would assert degraded reads the
+                # hash distribution may never produce.
+                dead = router._ring.preference(shape_hash(corpus[0]))[0]
+                router.kill_worker(dead)
                 for _ in range(int(TIMEOUT / 0.05)):
-                    if router._handles[0].gave_up:
+                    if router._handles[dead].gave_up:
                         break
                     await asyncio.sleep(0.05)
-                assert router._handles[0].gave_up
+                assert router._handles[dead].gave_up
                 got = {
                     "translations": [await router.translate(sql) for sql in corpus],
                     "results": [await router.execute(sql) for sql in corpus],
                 }
                 stats = await router.stats()
-            return expected, got, stats
+            return expected, got, stats, dead
 
-        expected, got, stats = run(main())
+        expected, got, stats, dead = run(main())
         assert got["translations"] == expected["translations"]
         assert [t.text for t in got["translations"]] == [
             t.text for t in expected["translations"]
@@ -577,9 +588,11 @@ class TestShardResilience:
         for have, want in zip(got["results"], expected["results"]):
             assert have == want
             assert have.rows == want.rows
-        assert stats["router"]["worker_health"] == ["dead", "live"]
+        health = stats["router"]["worker_health"]
+        assert health[dead] == "dead"
+        assert health[1 - dead] == "live"
         assert stats["router"]["degraded_reads"] > 0
-        assert stats["workers"][0]["session"] is None
+        assert stats["workers"][dead]["session"] is None
 
     def test_mutations_are_never_auto_retried(self):
         # The counter contract behind the idempotency rule: a workload of

@@ -69,6 +69,7 @@ def broken_links() -> List[Tuple[Path, str]]:
 #: Operator-tool demo invocations that must run clean, like examples.
 TOOL_DEMOS: List[List[str]] = [
     ["tools/wal_dump.py", "--demo"],
+    ["tools/validate_corpus.py", "--demo"],
 ]
 
 
